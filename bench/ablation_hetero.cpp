@@ -1,0 +1,64 @@
+// Ablation: how the intranode/internode bandwidth ratio shapes the k-ring
+// benefit (DESIGN.md design-choice ablation; explains the Frontier-vs-
+// Polaris contrast of Fig. 8c vs Fig. 11c from a single knob).
+//
+// Fix the internode link and sweep the intranode bandwidth advantage; at
+// each ratio report ring (k=1) vs k-ring (k=ppn) large-message bcast and
+// allgather. The k-ring gain should grow with the heterogeneity.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gencoll;
+  using core::Algorithm;
+  using core::CollOp;
+
+  util::Cli cli;
+  bench::BenchContext ctx;
+  if (!bench::parse_common_cli(argc, argv, cli, ctx, "frontier", 16, 8)) return 1;
+
+  const std::uint64_t nbytes = 4u << 20;
+  const int ppn = ctx.machine.ppn;
+
+  util::Table table({"intra_advantage", "op", "ring_us", "kring_us", "kring_gain"});
+  for (double ratio : {1.0, 2.0, 4.0, 8.0, 16.0, 32.0}) {
+    bench::BenchContext rctx = ctx;
+    rctx.machine.intra.beta_us_per_byte = rctx.machine.inter.beta_us_per_byte / ratio;
+    rctx.machine.intra.alpha_us = rctx.machine.inter.alpha_us / ratio;
+    for (CollOp op : {CollOp::kBcast, CollOp::kAllgather}) {
+      const double ring = bench::run_algorithm(op, Algorithm::kKring, 1, nbytes, rctx);
+      const double kring =
+          bench::run_algorithm(op, Algorithm::kKring, ppn, nbytes, rctx);
+      table.add_row({util::fmt(ratio, 1) + "x", core::coll_op_name(op),
+                     util::fmt(ring), util::fmt(kring),
+                     util::fmt(ring / kring, 2) + "x"});
+    }
+  }
+  bench::emit(table, ctx,
+              "Ablation: intranode-link advantage vs k-ring (k=ppn) gain at 4MB");
+
+  // Inter-group traffic reduction (paper Eq. 13 vs Eq. 14), measured from
+  // the simulator's traffic accounting rather than the formula.
+  util::Table traffic({"k", "inter_bytes", "intra_bytes", "inter_share"});
+  for (int k : {1, 2, 4, 8}) {
+    core::CollParams params;
+    params.op = CollOp::kAllgather;
+    params.p = ctx.machine.total_ranks();
+    params.count = nbytes;
+    params.elem_size = 1;
+    params.k = k;
+    const auto sched = core::build_schedule(Algorithm::kKring, params);
+    const auto result = netsim::simulate(sched, ctx.machine);
+    const double total =
+        static_cast<double>(result.bytes_inter + result.bytes_intra);
+    traffic.add_row({std::to_string(k), std::to_string(result.bytes_inter),
+                     std::to_string(result.bytes_intra),
+                     util::fmt(100.0 * static_cast<double>(result.bytes_inter) / total,
+                               1) +
+                         "%"});
+  }
+  bench::emit(traffic, ctx,
+              "Measured k-ring traffic split (Eq. 13: inter-group data shrinks with k)");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Ablation: how the NIC port count and per-message processing cost shape
+// the optimal recursive-multiplying radix (DESIGN.md calls this design
+// choice out; the paper's §VI-C attributes the empirical optimum directly
+// to the port count).
+//
+// Sweep ports/node over {1, 2, 4, 8} on an otherwise-fixed machine and
+// report the best k for MPI_Allreduce per message size: the optimum should
+// track the port count.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gencoll;
+  using core::Algorithm;
+  using core::CollOp;
+
+  util::Cli cli;
+  bench::BenchContext ctx;
+  if (!bench::parse_common_cli(argc, argv, cli, ctx, "frontier", 64, 1)) return 1;
+
+  const std::vector<std::uint64_t> sizes{256, 4096, 65536, 1u << 20};
+  const std::vector<int> ks{2, 3, 4, 5, 6, 8, 10, 12, 16};
+
+  util::Table table({"ports", "size", "best_k", "best_us", "k2_us", "gain"});
+  for (int ports : {1, 2, 4, 8}) {
+    bench::BenchContext pctx = ctx;
+    pctx.machine.ports_per_node = ports;
+    for (std::uint64_t nbytes : sizes) {
+      const bench::BestRadix best =
+          bench::best_radix(CollOp::kAllreduce, Algorithm::kRecursiveMultiplying, ks,
+                            nbytes, pctx);
+      const double k2 = bench::run_algorithm(CollOp::kAllreduce,
+                                             Algorithm::kRecursiveMultiplying, 2,
+                                             nbytes, pctx);
+      table.add_row({std::to_string(ports), util::format_bytes(nbytes),
+                     std::to_string(best.k), util::fmt(best.latency_us),
+                     util::fmt(k2), util::fmt(k2 / best.latency_us, 2) + "x"});
+    }
+  }
+  bench::emit(table, ctx,
+              "Ablation: NIC ports per node vs optimal recursive-multiplying radix");
+
+  // Second axis: the per-message NIC processing cost bounds the profitable
+  // k-nomial radix (the Fig. 10a upper-bound effect).
+  util::Table table2({"port_msg_overhead_us", "best_knomial_k_64B", "best_us", "kp_us"});
+  for (double overhead : {0.0, 0.02, 0.05, 0.2, 1.0}) {
+    bench::BenchContext octx = ctx;
+    octx.machine.port_msg_overhead_us = overhead;
+    std::vector<int> kn_ks;
+    const int p = octx.machine.total_ranks();
+    for (int k = 2; k <= p; k *= 2) kn_ks.push_back(k);
+    if (kn_ks.back() != p) kn_ks.push_back(p);
+    const bench::BestRadix best =
+        bench::best_radix(CollOp::kReduce, Algorithm::kKnomial, kn_ks, 64, octx);
+    const double kp =
+        bench::run_algorithm(CollOp::kReduce, Algorithm::kKnomial, p, 64, octx);
+    table2.add_row({util::fmt(overhead, 2), std::to_string(best.k),
+                    util::fmt(best.latency_us), util::fmt(kp)});
+  }
+  bench::emit(table2, ctx,
+              "Ablation: message-processing overhead caps the k-nomial radix");
+  return 0;
+}

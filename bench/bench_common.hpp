@@ -1,0 +1,147 @@
+// Shared plumbing for the figure-reproduction benchmark binaries.
+//
+// Every binary follows the paper's OSU-style methodology: sweep message
+// sizes, measure each (algorithm, radix) candidate on the simulated machine
+// (multiple jittered trials, report the representative median), and print an
+// aligned table plus optional CSV. Absolute microseconds are synthetic; the
+// trends are the reproduction target (see EXPERIMENTS.md).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "netsim/simulator.hpp"
+#include "tuning/vendor_policy.hpp"
+#include "util/bytes.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace gencoll::bench {
+
+struct BenchContext {
+  netsim::MachineConfig machine;
+  int trials = 3;
+  double jitter = 0.0;  ///< 0 = deterministic single-trial runs
+  bool csv = false;
+};
+
+/// Median latency of `trials` jittered simulations (deterministic seeds).
+/// The schedule is compiled (validated + matched) once and reused.
+inline double measure_us(const core::Schedule& sched, const BenchContext& ctx) {
+  const netsim::CompiledSchedule compiled(sched);
+  netsim::SimOptions opts;
+  opts.validate = false;  // compilation already proved the schedule sound
+  if (ctx.trials <= 1 || ctx.jitter <= 0.0) {
+    return compiled.run(ctx.machine, opts).time_us;
+  }
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(ctx.trials));
+  for (int t = 0; t < ctx.trials; ++t) {
+    opts.jitter = ctx.jitter;
+    opts.jitter_seed = 1000u + static_cast<std::uint64_t>(t);
+    samples.push_back(compiled.run(ctx.machine, opts).time_us);
+  }
+  return util::percentile(samples, 0.5);
+}
+
+/// Latency of (alg, k) for `op` at `nbytes` on the context machine.
+inline double run_algorithm(core::CollOp op, core::Algorithm alg, int k,
+                            std::uint64_t nbytes, const BenchContext& ctx) {
+  core::CollParams params;
+  params.op = op;
+  params.p = ctx.machine.total_ranks();
+  params.count = nbytes;
+  params.elem_size = 1;
+  params.k = k;
+  return measure_us(core::build_schedule(alg, params), ctx);
+}
+
+/// Best (k, latency) of a generalized algorithm over candidate radixes.
+struct BestRadix {
+  int k = 2;
+  double latency_us = 0.0;
+};
+
+inline BestRadix best_radix(core::CollOp op, core::Algorithm alg,
+                            const std::vector<int>& ks, std::uint64_t nbytes,
+                            const BenchContext& ctx) {
+  BestRadix best;
+  best.latency_us = std::numeric_limits<double>::infinity();
+  for (int k : ks) {
+    core::CollParams params;
+    params.op = op;
+    params.p = ctx.machine.total_ranks();
+    params.count = nbytes;
+    params.elem_size = 1;
+    params.k = k;
+    if (!core::supports_params(alg, params)) continue;
+    const double us = measure_us(core::build_schedule(alg, params), ctx);
+    if (us < best.latency_us) {
+      best.k = k;
+      best.latency_us = us;
+    }
+  }
+  return best;
+}
+
+/// Latency under the emulated vendor-MPI selection policy.
+inline double run_vendor(core::CollOp op, std::uint64_t nbytes, const BenchContext& ctx) {
+  const tuning::AlgorithmChoice choice =
+      tuning::vendor_default(op, ctx.machine.total_ranks(), nbytes);
+  return run_algorithm(op, choice.algorithm, choice.k, nbytes, ctx);
+}
+
+/// Standard CLI for the figure binaries. Returns false if the program
+/// should exit (help requested or parse error, already reported).
+inline bool parse_common_cli(int argc, const char* const* argv, util::Cli& cli,
+                             BenchContext& ctx, const std::string& default_machine,
+                             int default_nodes, int default_ppn) {
+  cli.add_flag("machine", "machine model: frontier | polaris | generic",
+               default_machine);
+  cli.add_flag("nodes", "number of nodes", std::to_string(default_nodes));
+  cli.add_flag("ppn", "MPI processes per node", std::to_string(default_ppn));
+  cli.add_flag("trials", "jittered trials per point (median reported)", "3");
+  cli.add_flag("jitter", "relative link-time jitter magnitude", "0.05");
+  cli.add_flag("csv", "also print CSV blocks", "false");
+  if (!cli.parse(argc, argv)) {
+    std::cerr << cli.error() << "\n" << cli.usage(argv[0]);
+    return false;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.usage(argv[0]);
+    return false;
+  }
+  const auto machine = netsim::machine_by_name(
+      cli.get("machine"), static_cast<int>(cli.get_int("nodes").value_or(default_nodes)),
+      static_cast<int>(cli.get_int("ppn").value_or(default_ppn)));
+  if (!machine) {
+    std::cerr << "unknown machine '" << cli.get("machine") << "'\n";
+    return false;
+  }
+  ctx.machine = *machine;
+  ctx.trials = static_cast<int>(cli.get_int("trials").value_or(3));
+  ctx.jitter = cli.get_double("jitter").value_or(0.05);
+  ctx.csv = cli.get_bool("csv");
+  return true;
+}
+
+inline void emit(const util::Table& table, const BenchContext& ctx,
+                 const std::string& title) {
+  std::cout << "\n== " << title << " ==\n";
+  std::cout << "machine=" << ctx.machine.name << " nodes=" << ctx.machine.nodes
+            << " ppn=" << ctx.machine.ppn << " ports=" << ctx.machine.ports_per_node
+            << " trials=" << ctx.trials << "\n\n";
+  table.print(std::cout);
+  if (ctx.csv) {
+    std::cout << "\n-- csv --\n";
+    table.print_csv(std::cout);
+  }
+}
+
+}  // namespace gencoll::bench

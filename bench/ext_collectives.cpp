@@ -1,0 +1,136 @@
+// Extension benchmarks (beyond the paper's figures): the same generalization
+// methodology applied to the extended collective surface —
+//   * k-dissemination barrier radix sweep (the paper cites Hoefler's n-way
+//     dissemination as prior radix generalization; here it rides the same
+//     machinery as the Table I kernels),
+//   * k-nomial scatter radix sweep,
+//   * reduce-scatter: ring vs recursive halving crossover,
+//   * alltoall: direct vs pairwise crossover.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace gencoll;
+using core::Algorithm;
+using core::CollOp;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli;
+  bench::BenchContext ctx;
+  if (!bench::parse_common_cli(argc, argv, cli, ctx, "frontier", 128, 1)) return 1;
+  const int p = ctx.machine.total_ranks();
+
+  // --- k-dissemination barrier ---
+  {
+    util::Table table({"k", "barrier_us", "rounds"});
+    for (int k : {2, 3, 4, 8, 16, 32, 64}) {
+      if (k > p) continue;
+      core::CollParams params;
+      params.op = CollOp::kBarrier;
+      params.p = p;
+      params.count = 0;
+      params.elem_size = 1;
+      params.k = k;
+      const double us = bench::measure_us(
+          core::build_schedule(Algorithm::kDissemination, params), ctx);
+      int rounds = 0;
+      long long span = 1;
+      while (span < p) {
+        span *= k;
+        ++rounds;
+      }
+      table.add_row({std::to_string(k), util::fmt(us), std::to_string(rounds)});
+    }
+    bench::emit(table, ctx, "Extension: k-dissemination barrier radix sweep");
+  }
+
+  // --- k-nomial scatter ---
+  {
+    const std::vector<std::uint64_t> sizes{256, 4096, 65536, 1u << 20};
+    std::vector<std::string> headers{"k"};
+    for (auto n : sizes) headers.push_back(util::format_bytes(n) + "_us");
+    util::Table table(std::move(headers));
+    std::vector<int> ks{2, 4, 8, 16, 32};
+    if (p >= 64) ks.push_back(64);
+    ks.push_back(p);
+    for (int k : ks) {
+      std::vector<std::string> row{std::to_string(k)};
+      for (auto n : sizes) {
+        row.push_back(
+            util::fmt(bench::run_algorithm(CollOp::kScatter, Algorithm::kKnomial, k,
+                                           n, ctx)));
+      }
+      table.add_row(std::move(row));
+    }
+    bench::emit(table, ctx, "Extension: k-nomial scatter radix sweep");
+  }
+
+  // --- reduce-scatter crossover ---
+  {
+    util::Table table({"size", "ring_us", "rec_halving_us", "winner"});
+    for (std::uint64_t n : util::osu_message_sizes()) {
+      const double ring =
+          bench::run_algorithm(CollOp::kReduceScatter, Algorithm::kRing, 1, n, ctx);
+      const double halve = bench::run_algorithm(CollOp::kReduceScatter,
+                                                Algorithm::kRecursiveHalving, 1, n, ctx);
+      table.add_row({util::format_bytes(n), util::fmt(ring), util::fmt(halve),
+                     ring < halve ? "ring" : "rec_halving"});
+    }
+    bench::emit(table, ctx, "Extension: reduce-scatter ring vs recursive halving");
+  }
+
+  // --- pipelined chain bcast: segment-count sweep ---
+  {
+    const std::vector<std::uint64_t> sizes{65536, 1u << 20, 16u << 20};
+    std::vector<std::string> headers{"segments"};
+    for (auto n : sizes) headers.push_back(util::format_bytes(n) + "_us");
+    util::Table table(std::move(headers));
+    for (int s : {1, 2, 4, 8, 16, 32}) {
+      std::vector<std::string> row{std::to_string(s)};
+      for (auto n : sizes) {
+        row.push_back(util::fmt(
+            bench::run_algorithm(CollOp::kBcast, Algorithm::kPipeline, s, n, ctx)));
+      }
+      table.add_row(std::move(row));
+    }
+    bench::emit(table, ctx,
+                "Extension: pipelined chain bcast — segment-count sweep");
+  }
+
+  // --- k-ary Hillis-Steele scan radix sweep ---
+  {
+    const std::vector<std::uint64_t> sizes{64, 4096, 262144};
+    std::vector<std::string> headers{"k"};
+    for (auto n : sizes) headers.push_back(util::format_bytes(n) + "_us");
+    util::Table table(std::move(headers));
+    for (int k : {2, 3, 4, 8, 16}) {
+      if (k > p) continue;
+      std::vector<std::string> row{std::to_string(k)};
+      for (auto n : sizes) {
+        row.push_back(util::fmt(bench::run_algorithm(
+            CollOp::kScan, Algorithm::kRecursiveMultiplying, k, n, ctx)));
+      }
+      table.add_row(std::move(row));
+    }
+    bench::emit(table, ctx, "Extension: k-ary Hillis-Steele scan radix sweep");
+  }
+
+  // --- alltoall crossover (per-pair payload on the x-axis) ---
+  {
+    util::Table table({"per_pair", "direct_us", "pairwise_us", "winner"});
+    for (std::uint64_t n : util::pow2_sizes(8, 64u << 10)) {
+      const double direct =
+          bench::run_algorithm(CollOp::kAlltoall, Algorithm::kLinear, 1, n, ctx);
+      const double pairwise =
+          bench::run_algorithm(CollOp::kAlltoall, Algorithm::kPairwise, 1, n, ctx);
+      table.add_row({util::format_bytes(n), util::fmt(direct), util::fmt(pairwise),
+                     direct < pairwise ? "direct" : "pairwise"});
+    }
+    bench::emit(table, ctx, "Extension: alltoall direct vs pairwise");
+  }
+  return 0;
+}

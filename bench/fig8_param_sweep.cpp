@@ -1,0 +1,103 @@
+// Figure 8 reproduction: "Parameter Value (K) vs. Latency (Lower is
+// Better), 128 Nodes w/ 1 or 8 Process(es) Per Node on Frontier. For all
+// algorithms, the parameter value has a significant impact on performance."
+//
+//   (a) k-nomial MPI_Reduce, 1 PPN          — message buffering dominates;
+//       small messages favor large k, large messages favor k=2.
+//   (b) recursive multiplying MPI_Allreduce, 1 PPN — the NIC port count (4)
+//       pins the optimal k for all sizes.
+//   (c) k-ring MPI_Bcast, 8 PPN             — the processes-per-node (8)
+//       pins the optimal k for large sizes.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace gencoll;
+using core::Algorithm;
+using core::CollOp;
+
+void sweep_panel(const std::string& title, CollOp op, Algorithm alg,
+                 const std::vector<int>& ks, const std::vector<std::uint64_t>& sizes,
+                 const bench::BenchContext& ctx) {
+  std::vector<std::string> headers{"k"};
+  for (std::uint64_t n : sizes) headers.push_back(util::format_bytes(n) + "_us");
+  util::Table table(std::move(headers));
+
+  std::vector<int> best_k(sizes.size(), 0);
+  std::vector<double> best_us(sizes.size(),
+                              std::numeric_limits<double>::infinity());
+  for (int k : ks) {
+    core::CollParams probe;
+    probe.op = op;
+    probe.p = ctx.machine.total_ranks();
+    probe.count = 1024;
+    probe.elem_size = 1;
+    probe.k = k;
+    if (!core::supports_params(alg, probe)) continue;
+    std::vector<std::string> row{std::to_string(k)};
+    for (std::size_t si = 0; si < sizes.size(); ++si) {
+      const double us = bench::run_algorithm(op, alg, k, sizes[si], ctx);
+      if (us < best_us[si]) {
+        best_us[si] = us;
+        best_k[si] = k;
+      }
+      row.push_back(util::fmt(us));
+    }
+    table.add_row(std::move(row));
+  }
+  std::vector<std::string> best_row{"best_k"};
+  for (std::size_t si = 0; si < sizes.size(); ++si) {
+    best_row.push_back(std::to_string(best_k[si]));
+  }
+  table.add_row(std::move(best_row));
+  bench::emit(table, ctx, title);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli;
+  bench::BenchContext ctx;
+  if (!bench::parse_common_cli(argc, argv, cli, ctx, "frontier", 128, 1)) return 1;
+
+  const std::vector<std::uint64_t> sizes{8, 256, 4096, 65536, 1u << 20, 4u << 20};
+  const int p = ctx.machine.total_ranks();
+
+  // Panel (a): k-nomial Reduce, 1 PPN.
+  {
+    std::vector<int> ks;
+    for (int k = 2; k <= p; k *= 2) ks.push_back(k);
+    if (ks.back() != p) ks.push_back(p);
+    sweep_panel("Fig. 8(a): k-nomial MPI_Reduce — radix sweep", CollOp::kReduce,
+                Algorithm::kKnomial, ks, sizes, ctx);
+  }
+
+  // Panel (b): recursive multiplying Allreduce, 1 PPN.
+  {
+    const std::vector<int> ks{2, 3, 4, 5, 6, 8, 12, 16};
+    sweep_panel("Fig. 8(b): recursive multiplying MPI_Allreduce — radix sweep",
+                CollOp::kAllreduce, Algorithm::kRecursiveMultiplying, ks, sizes, ctx);
+  }
+
+  // Panel (c): k-ring Bcast with the 8-PPN (1 process per GPU) model. Ring
+  // kernels are bandwidth algorithms: the sweep extends beyond the OSU range
+  // so the per-rank blocks (n/p) actually become bandwidth-bound.
+  {
+    bench::BenchContext ctx8 = ctx;
+    const auto machine8 =
+        netsim::machine_by_name(ctx.machine.name, ctx.machine.nodes, 8);
+    if (machine8) ctx8.machine = *machine8;
+    std::vector<int> ks;
+    const int p8 = ctx8.machine.total_ranks();
+    for (int k : {1, 2, 4, 8, 16, 32, 64}) {
+      if (k <= p8 && p8 % k == 0) ks.push_back(k);
+    }
+    const std::vector<std::uint64_t> big_sizes{65536, 1u << 20, 4u << 20,
+                                               16u << 20, 64u << 20};
+    sweep_panel("Fig. 8(c): k-ring MPI_Bcast — group-size sweep (8 PPN)",
+                CollOp::kBcast, Algorithm::kKring, ks, big_sizes, ctx8);
+  }
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Figure 9 reproduction: "Message size vs. speedup of the best generalized
+// algorithm over (i) the default-radix baseline and (ii) the vendor MPI
+// selection" for MPI_Reduce, MPI_Bcast, MPI_Allgather, MPI_Allreduce on the
+// 128-node Frontier model.
+//
+// For each size we exhaustively sweep every generalized (algorithm, radix)
+// candidate (the paper's methodology, §VI-B/§VI-C), report which algorithm
+// wins (the paper's color overlay), and the two speedup series.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace gencoll;
+using core::Algorithm;
+using core::CollOp;
+
+struct Winner {
+  Algorithm alg = Algorithm::kKnomial;
+  int k = 2;
+  double latency_us = std::numeric_limits<double>::infinity();
+};
+
+Winner best_generalized(CollOp op, std::uint64_t nbytes, const bench::BenchContext& ctx) {
+  Winner best;
+  const int p = ctx.machine.total_ranks();
+  for (Algorithm alg : core::algorithms_for(op)) {
+    // Fig. 9 reproduces the paper's sweep: exactly the Table I kernels.
+    if (alg != Algorithm::kKnomial && alg != Algorithm::kRecursiveMultiplying &&
+        alg != Algorithm::kKring) {
+      continue;
+    }
+    std::vector<int> ks;
+    for (int k : core::candidate_radixes(op, alg, p)) {
+      // Prune to powers of two plus hardware-suggested values (the paper's
+      // large-scale methodology) to keep the sweep tractable.
+      const bool pow2 = (k & (k - 1)) == 0;
+      if (pow2 || k == ctx.machine.ports_per_node || k == ctx.machine.ppn ||
+          k == p || k == 3 || k == 5 || k == 6) {
+        ks.push_back(k);
+      }
+    }
+    const bench::BestRadix b = bench::best_radix(op, alg, ks, nbytes, ctx);
+    if (b.latency_us < best.latency_us) {
+      best = Winner{alg, b.k, b.latency_us};
+    }
+  }
+  return best;
+}
+
+double default_radix_baseline(CollOp op, std::uint64_t nbytes,
+                              const bench::BenchContext& ctx) {
+  // "We fixed MPICH's algorithm selection to the non-generalized version of
+  // the comparative algorithm": the fastest *fixed-radix* kernel.
+  double best = std::numeric_limits<double>::infinity();
+  for (Algorithm alg : {Algorithm::kBinomial, Algorithm::kRecursiveDoubling,
+                        Algorithm::kRing}) {
+    if (!core::supports(op, alg)) continue;
+    best = std::min(best,
+                    bench::run_algorithm(op, alg, core::effective_radix(alg, 2),
+                                         nbytes, ctx));
+  }
+  return best;
+}
+
+void speedup_panel(CollOp op, const bench::BenchContext& ctx) {
+  util::Table table({"size", "best_alg", "best_k", "best_us", "default_radix_us",
+                     "vendor_us", "speedup_vs_default", "speedup_vs_vendor"});
+  double max_default = 0.0;
+  double max_vendor = 0.0;
+  for (std::uint64_t nbytes : util::osu_message_sizes()) {
+    const Winner best = best_generalized(op, nbytes, ctx);
+    const double base = default_radix_baseline(op, nbytes, ctx);
+    const double vendor = bench::run_vendor(op, nbytes, ctx);
+    const double s_default = base / best.latency_us;
+    const double s_vendor = vendor / best.latency_us;
+    max_default = std::max(max_default, s_default);
+    max_vendor = std::max(max_vendor, s_vendor);
+    table.add_row({util::format_bytes(nbytes), core::algorithm_name(best.alg),
+                   std::to_string(best.k), util::fmt(best.latency_us),
+                   util::fmt(base), util::fmt(vendor), util::fmt(s_default, 2),
+                   util::fmt(s_vendor, 2)});
+  }
+  std::string title = "Fig. 9: MPI_";
+  title += core::coll_op_name(op);
+  title += " speedup of best generalized algorithm";
+  bench::emit(table, ctx, title);
+  std::cout << "max speedup vs default-radix: " << util::fmt(max_default, 2)
+            << "x, vs vendor policy: " << util::fmt(max_vendor, 2) << "x\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli;
+  bench::BenchContext ctx;
+  if (!bench::parse_common_cli(argc, argv, cli, ctx, "frontier", 128, 1)) return 1;
+
+  for (CollOp op : {CollOp::kReduce, CollOp::kBcast, CollOp::kAllgather,
+                    CollOp::kAllreduce}) {
+    speedup_panel(op, ctx);
+  }
+  return 0;
+}

@@ -1,0 +1,118 @@
+// §VI-F quantified: where the system-agnostic (alpha, beta, gamma) models
+// are accurate and where hardware features overtake the theory.
+//
+// For each (kernel, regime) we compare three things per radix:
+//   * the model's predicted latency and predicted-best k,
+//   * the simulator's measured latency and measured-best k,
+// and report the prediction error plus whether the model picks the right
+// parameter. The paper's findings to reproduce:
+//   * k-nomial (message buffering regime): model "fairly accurate",
+//     correct radix trend;
+//   * recursive multiplying: the model prefers k=2 for large allreduce but
+//     the NIC port count pins the real optimum near 4 — hardware overtakes
+//     theory;
+//   * k-ring: the homogeneous-link model predicts NO difference across k
+//     (Eq. 12) while the machine's intranode links create one.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "model/cost_model.hpp"
+
+namespace {
+
+using namespace gencoll;
+using core::Algorithm;
+using core::CollOp;
+
+struct Regime {
+  const char* label;
+  CollOp op;
+  Algorithm alg;
+  std::uint64_t nbytes;
+  std::vector<int> ks;
+  int ppn;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli;
+  bench::BenchContext ctx;
+  if (!bench::parse_common_cli(argc, argv, cli, ctx, "frontier", 128, 1)) return 1;
+
+  const Regime regimes[] = {
+      {"knomial_reduce_small_64B", CollOp::kReduce, Algorithm::kKnomial, 64,
+       {2, 4, 8, 16, 32, 128}, 1},
+      {"knomial_reduce_large_4MB", CollOp::kReduce, Algorithm::kKnomial, 4u << 20,
+       {2, 4, 8, 16, 32}, 1},
+      {"recmul_allreduce_64KB", CollOp::kAllreduce, Algorithm::kRecursiveMultiplying,
+       64u << 10, {2, 3, 4, 5, 8, 16}, 1},
+      {"kring_bcast_64MB_8ppn", CollOp::kBcast, Algorithm::kKring, 64u << 20,
+       {1, 2, 4, 8, 16}, 8},
+  };
+
+  for (const Regime& regime : regimes) {
+    bench::BenchContext rctx = ctx;
+    if (regime.ppn != ctx.machine.ppn) {
+      const auto m =
+          netsim::machine_by_name(ctx.machine.name, ctx.machine.nodes, regime.ppn);
+      if (m) rctx.machine = *m;
+    }
+    const int p = rctx.machine.total_ranks();
+    const model::ModelParams mp = model::params_from_machine(rctx.machine);
+
+    util::Table table({"k", "model_us", "sim_us", "error"});
+    int model_best_k = regime.ks.front();
+    int sim_best_k = regime.ks.front();
+    double model_best = std::numeric_limits<double>::infinity();
+    double sim_best = std::numeric_limits<double>::infinity();
+    double sim_at_model_best = 0.0;
+    util::Accumulator err;
+    for (int k : regime.ks) {
+      core::CollParams params;
+      params.op = regime.op;
+      params.p = p;
+      params.count = regime.nbytes;
+      params.elem_size = 1;
+      params.k = k;
+      if (!core::supports_params(regime.alg, params)) continue;
+      const double predicted =
+          model::predict_cost(regime.alg, regime.op, static_cast<double>(regime.nbytes),
+                              static_cast<double>(p), k, mp);
+      const double simulated = bench::run_algorithm(regime.op, regime.alg, k,
+                                                    regime.nbytes, rctx);
+      if (predicted < model_best) {
+        model_best = predicted;
+        model_best_k = k;
+        sim_at_model_best = simulated;
+      }
+      if (simulated < sim_best) {
+        sim_best = simulated;
+        sim_best_k = k;
+      }
+      const double rel = std::abs(predicted - simulated) / simulated;
+      err.add(rel);
+      table.add_row({std::to_string(k), util::fmt(predicted), util::fmt(simulated),
+                     util::fmt(100.0 * rel, 1) + "%"});
+    }
+    bench::emit(table, rctx, std::string("Model vs simulator: ") + regime.label);
+    // The actionable question (the paper's §VI-F): if a user trusts the
+    // model's radix, how much do they lose against the measured optimum?
+    const double regret = sim_at_model_best / sim_best;
+    std::cout << "model-best k = " << model_best_k << ", simulator-best k = "
+              << sim_best_k << "; tuning regret of trusting the model = "
+              << util::fmt(regret, 2) << "x"
+              << (regret < 1.1 ? "  (model picks a near-optimal radix)"
+                               : "  (hardware overtakes the model)")
+              << "; mean |latency error| = " << util::fmt(100.0 * err.mean(), 1)
+              << "%\n";
+  }
+
+  std::cout << "\nReading (paper §VI-F): the latency-regime k-nomial model is the "
+               "accurate one; the recursive-multiplying optimum is set by the NIC "
+               "port count the model does not know about; k-ring's Eq. (12) "
+               "predicts parameter-independence that only heterogeneous links "
+               "break.\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Autotune a machine model and emit a gencoll selection configuration —
+// the paper's §VI-G workflow: exhaustively benchmark every algorithm and
+// radix, then write the config file that makes the speedups turnkey.
+//
+//   $ ./autotune_machine --machine frontier --nodes 128 --ppn 1 \
+//         --out frontier128.gencoll.conf
+#include <iostream>
+
+#include "tuning/autotune.hpp"
+#include "util/bytes.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gencoll;
+
+  util::Cli cli;
+  cli.add_flag("machine", "machine model: frontier | polaris | generic", "frontier");
+  cli.add_flag("nodes", "number of nodes", "128");
+  cli.add_flag("ppn", "processes per node", "1");
+  cli.add_flag("out", "output config path (empty = stdout only)", "");
+  cli.add_flag("sizes", "comma-separated probe sizes in bytes (empty = OSU sweep)",
+               "");
+  if (!cli.parse(argc, argv)) {
+    std::cerr << cli.error() << "\n" << cli.usage(argv[0]);
+    return 1;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.usage(argv[0]);
+    return 0;
+  }
+
+  const auto machine = netsim::machine_by_name(
+      cli.get("machine"), static_cast<int>(cli.get_int("nodes").value_or(128)),
+      static_cast<int>(cli.get_int("ppn").value_or(1)));
+  if (!machine) {
+    std::cerr << "unknown machine '" << cli.get("machine") << "'\n";
+    return 1;
+  }
+
+  tuning::AutotuneOptions options;
+  for (std::int64_t s : cli.get_int_list("sizes")) {
+    if (s > 0) options.sizes.push_back(static_cast<std::uint64_t>(s));
+  }
+
+  std::cout << "autotuning " << machine->name << " (" << machine->nodes << " nodes x "
+            << machine->ppn << " ppn, " << machine->ports_per_node << " ports)...\n";
+  const tuning::AutotuneReport report = tuning::autotune_all(*machine, options);
+
+  util::Table winners({"op", "size", "algorithm", "k", "latency_us"});
+  for (const tuning::MeasuredPoint& w : report.winners) {
+    winners.add_row({core::coll_op_name(w.op), util::format_bytes(w.nbytes),
+                     core::algorithm_name(w.algorithm), std::to_string(w.k),
+                     util::fmt(w.latency_us)});
+  }
+  winners.print(std::cout);
+  std::cout << "\nmeasured " << report.all_points.size() << " candidate points\n\n";
+
+  std::cout << "-- selection config --\n";
+  report.config.save(std::cout);
+
+  const std::string out = cli.get("out");
+  if (!out.empty()) {
+    report.config.save_file(out);
+    std::cout << "\nwritten to " << out
+              << "  (load with SelectionConfig::load_file and pass to "
+                 "gencoll::run_ranks)\n";
+  }
+  return 0;
+}

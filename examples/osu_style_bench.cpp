@@ -1,0 +1,141 @@
+// OSU-microbenchmark-style latency tool over the threaded runtime.
+//
+// Mirrors the measurement loop of the suite the paper benchmarks with:
+// per-size warmup + timed iterations of one collective, wall-clock measured
+// across real thread-backed ranks (so this reports *host* execution time of
+// the runtime, complementing the simulated-machine numbers in bench/).
+//
+//   $ ./osu_style_bench --op allreduce --alg recursive_multiplying --k 4
+//     (plus --ranks N --min 8 --max 64K to shape the sweep)
+#include <chrono>
+#include <iostream>
+#include <vector>
+
+#include "api/gencoll.hpp"
+#include "util/bytes.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gencoll;
+
+  util::Cli cli;
+  cli.add_flag("op", "collective: bcast | reduce | gather | allgather | allreduce",
+               "allreduce");
+  cli.add_flag("alg", "algorithm (empty = automatic selection)", "");
+  cli.add_flag("k", "radix for generalized algorithms", "4");
+  cli.add_flag("ranks", "number of in-process ranks", "16");
+  cli.add_flag("min", "smallest message size", "8");
+  cli.add_flag("max", "largest message size", "64K");
+  cli.add_flag("iters", "timed iterations per size", "20");
+  cli.add_flag("warmup", "warmup iterations per size", "5");
+  if (!cli.parse(argc, argv)) {
+    std::cerr << cli.error() << "\n" << cli.usage(argv[0]);
+    return 1;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.usage(argv[0]);
+    return 0;
+  }
+
+  const auto op = core::parse_coll_op(cli.get("op"));
+  if (!op) {
+    std::cerr << "unknown op '" << cli.get("op") << "'\n";
+    return 1;
+  }
+  AlgSpec spec;
+  if (!cli.get("alg").empty()) {
+    const auto alg = core::parse_algorithm(cli.get("alg"));
+    if (!alg) {
+      std::cerr << "unknown algorithm '" << cli.get("alg") << "'\n";
+      return 1;
+    }
+    spec.algorithm = *alg;
+  }
+  spec.k = static_cast<int>(cli.get_int("k").value_or(4));
+  const int ranks = static_cast<int>(cli.get_int("ranks").value_or(16));
+  const auto min_size = util::parse_bytes(cli.get("min")).value_or(8);
+  const auto max_size = util::parse_bytes(cli.get("max")).value_or(64u << 10);
+  const int iters = static_cast<int>(cli.get_int("iters").value_or(20));
+  const int warmup = static_cast<int>(cli.get_int("warmup").value_or(5));
+
+  std::cout << "# gencoll osu-style benchmark: op=" << core::coll_op_name(*op)
+            << " alg=" << (spec.algorithm ? core::algorithm_name(*spec.algorithm)
+                                          : "auto")
+            << " k=" << *spec.k << " ranks=" << ranks << "\n";
+
+  util::Table table({"size", "avg_us", "min_us", "max_us", "p95_us"});
+  for (std::uint64_t nbytes : util::pow2_sizes(min_size, max_size)) {
+    std::vector<double> samples;
+    samples.reserve(static_cast<std::size_t>(iters));
+
+    run_ranks(ranks, [&](Collectives& coll) {
+      core::CollParams params;
+      params.op = *op;
+      params.p = ranks;
+      params.count = *op == CollOp::kBarrier ? 0 : nbytes;
+      params.elem_size = 1;
+      params.k = spec.k.value_or(4);
+      std::vector<std::byte> in(core::input_bytes(params, coll.rank()));
+      std::vector<std::byte> out(core::output_bytes(params));
+      for (std::size_t i = 0; i < in.size(); ++i) {
+        in[i] = static_cast<std::byte>(coll.rank() + 1);
+      }
+
+      auto once = [&] {
+        switch (*op) {
+          case CollOp::kBcast:
+            coll.bcast(out, 0, spec);
+            break;
+          case CollOp::kReduce:
+            coll.reduce(in, out, DataType::kByte, ReduceOp::kMax, 0, spec);
+            break;
+          case CollOp::kGather:
+            coll.gather(in, out, 0, DataType::kByte, spec);
+            break;
+          case CollOp::kAllgather:
+            coll.allgather(in, out, DataType::kByte, spec);
+            break;
+          case CollOp::kAllreduce:
+            coll.allreduce(in, out, DataType::kByte, ReduceOp::kMax, spec);
+            break;
+          case CollOp::kScatter:
+            coll.scatter(in, out, 0, DataType::kByte, spec);
+            break;
+          case CollOp::kReduceScatter:
+            coll.reduce_scatter(in, out, DataType::kByte, ReduceOp::kMax, spec);
+            break;
+          case CollOp::kAlltoall:
+            coll.alltoall(in, out, DataType::kByte, spec);
+            break;
+          case CollOp::kBarrier:
+            coll.barrier_collective(spec);
+            break;
+        }
+      };
+
+      for (int i = 0; i < warmup; ++i) {
+        once();
+        coll.barrier();
+      }
+      for (int i = 0; i < iters; ++i) {
+        coll.barrier();
+        const auto t0 = std::chrono::steady_clock::now();
+        once();
+        coll.barrier();
+        const auto t1 = std::chrono::steady_clock::now();
+        if (coll.rank() == 0) {
+          samples.push_back(
+              std::chrono::duration<double, std::micro>(t1 - t0).count());
+        }
+      }
+    });
+
+    const util::Summary s = util::summarize(samples);
+    table.add_row({util::format_bytes(nbytes), util::fmt(s.mean), util::fmt(s.min),
+                   util::fmt(s.max), util::fmt(s.p95)});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Domain example 1: an iterative Jacobi solver whose convergence check is a
+// global allreduce — the classic HPC pattern behind the paper's motivation
+// that collectives consume 25-50% of application runtime (§I).
+//
+// Each rank owns a strip of a 1D Poisson problem; every iteration performs
+// neighbor halo exchange (point-to-point) plus an allreduce of the residual
+// norm. The collective algorithm/radix is switchable so the effect of the
+// generalized kernels on a real solver loop can be observed directly.
+//
+//   $ ./stencil_app --ranks 16 --cells 4096 --iters 200 \
+//         --alg recursive_multiplying --k 4
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "api/gencoll.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+struct Config {
+  int ranks = 16;
+  int cells_per_rank = 4096;
+  int iters = 200;
+  gencoll::AlgSpec spec;
+};
+
+/// One rank's Jacobi worker: returns the final residual (identical on all
+/// ranks thanks to the allreduce).
+double jacobi_rank(gencoll::Collectives& coll, const Config& cfg) {
+  const int n = cfg.cells_per_rank;
+  const int rank = coll.rank();
+  const int size = coll.size();
+  // Solve u'' = -1 with u=0 at both global ends; init u=0.
+  std::vector<double> u(static_cast<std::size_t>(n) + 2, 0.0);
+  std::vector<double> next(u.size(), 0.0);
+  const double h = 1.0 / (cfg.cells_per_rank * size + 1);
+  const double f = 1.0;
+
+  double residual = 0.0;
+  for (int it = 0; it < cfg.iters; ++it) {
+    // Halo exchange with physical neighbors (plain point-to-point).
+    // Interior boundary values default to 0 at the domain ends.
+    // NOTE: comm primitives live below the collective API; this mirrors an
+    // application mixing p2p and collectives on one communicator.
+    // Left/right values are just u[1] and u[n].
+    // Use the collectives facade's allgather for the halos? No — halos are
+    // neighbor-only; emulate with an allgather of the two boundary cells to
+    // keep the example entirely on the public API.
+    std::vector<double> boundary{u[1], u[static_cast<std::size_t>(n)]};
+    std::vector<double> all_bounds(static_cast<std::size_t>(2 * size), 0.0);
+    coll.allgather(gencoll::as_const_bytes(boundary),
+                   gencoll::as_bytes(all_bounds), gencoll::DataType::kDouble,
+                   cfg.spec);
+    u[0] = rank > 0 ? all_bounds[static_cast<std::size_t>(2 * (rank - 1) + 1)] : 0.0;
+    u[static_cast<std::size_t>(n) + 1] =
+        rank + 1 < size ? all_bounds[static_cast<std::size_t>(2 * (rank + 1))] : 0.0;
+
+    // Jacobi sweep + local residual.
+    double local_sq = 0.0;
+    for (int i = 1; i <= n; ++i) {
+      const auto ui = static_cast<std::size_t>(i);
+      next[ui] = 0.5 * (u[ui - 1] + u[ui + 1] + h * h * f);
+      const double d = next[ui] - u[ui];
+      local_sq += d * d;
+    }
+    std::swap(u, next);
+
+    // Global residual: THE collective on the application's critical path.
+    std::vector<double> acc{local_sq};
+    coll.allreduce(gencoll::as_bytes(acc), gencoll::DataType::kDouble,
+                   gencoll::ReduceOp::kSum, cfg.spec);
+    residual = std::sqrt(acc[0]);
+  }
+  return residual;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gencoll;
+  util::Cli cli;
+  cli.add_flag("ranks", "number of in-process ranks", "16");
+  cli.add_flag("cells", "cells per rank", "4096");
+  cli.add_flag("iters", "Jacobi iterations", "200");
+  cli.add_flag("alg", "collective algorithm (empty = auto)", "");
+  cli.add_flag("k", "radix", "4");
+  if (!cli.parse(argc, argv)) {
+    std::cerr << cli.error() << "\n" << cli.usage(argv[0]);
+    return 1;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.usage(argv[0]);
+    return 0;
+  }
+
+  Config cfg;
+  cfg.ranks = static_cast<int>(cli.get_int("ranks").value_or(16));
+  cfg.cells_per_rank = static_cast<int>(cli.get_int("cells").value_or(4096));
+  cfg.iters = static_cast<int>(cli.get_int("iters").value_or(200));
+  if (!cli.get("alg").empty()) {
+    const auto alg = core::parse_algorithm(cli.get("alg"));
+    if (!alg) {
+      std::cerr << "unknown algorithm\n";
+      return 1;
+    }
+    cfg.spec.algorithm = *alg;
+  }
+  cfg.spec.k = static_cast<int>(cli.get_int("k").value_or(4));
+
+  double final_residual = 0.0;
+  const auto t0 = std::chrono::steady_clock::now();
+  run_ranks(cfg.ranks, [&](Collectives& coll) {
+    const double r = jacobi_rank(coll, cfg);
+    if (coll.rank() == 0) final_residual = r;
+  });
+  const auto t1 = std::chrono::steady_clock::now();
+
+  std::printf("jacobi: ranks=%d cells/rank=%d iters=%d alg=%s k=%d\n", cfg.ranks,
+              cfg.cells_per_rank, cfg.iters,
+              cfg.spec.algorithm ? core::algorithm_name(*cfg.spec.algorithm) : "auto",
+              cfg.spec.k.value_or(4));
+  std::printf("final residual: %.6e\n", final_residual);
+  std::printf("wall time: %.1f ms (%d allreduces + %d allgathers on the critical "
+              "path)\n",
+              std::chrono::duration<double, std::milli>(t1 - t0).count(), cfg.iters,
+              cfg.iters);
+  return 0;
+}

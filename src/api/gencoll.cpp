@@ -1,0 +1,209 @@
+#include "api/gencoll.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace gencoll {
+
+Collectives::Collectives(runtime::Communicator& comm, tuning::SelectionConfig config)
+    : comm_(comm), config_(std::move(config)) {}
+
+tuning::AlgorithmChoice Collectives::resolve(CollOp op, std::size_t nbytes,
+                                             const AlgSpec& spec) const {
+  if (spec.algorithm) {
+    tuning::AlgorithmChoice choice;
+    choice.algorithm = *spec.algorithm;
+    choice.k = core::effective_radix(*spec.algorithm, spec.k.value_or(2));
+    return choice;
+  }
+  tuning::AlgorithmChoice choice = config_.choose(op, comm_.size(), nbytes);
+  if (spec.k) choice.k = core::effective_radix(choice.algorithm, *spec.k);
+  return choice;
+}
+
+const core::Schedule& Collectives::schedule_for(CollOp op, std::size_t count,
+                                                std::size_t elem_size, int root,
+                                                const AlgSpec& spec) {
+  const tuning::AlgorithmChoice choice = resolve(op, count * elem_size, spec);
+
+  core::CollParams params;
+  params.op = op;
+  params.p = comm_.size();
+  params.root = root;
+  params.count = count;
+  params.elem_size = elem_size;
+  params.k = choice.k;
+  if (!core::supports_params(choice.algorithm, params)) {
+    // Selection config may request e.g. k-ring with k not dividing p; fall
+    // back to the vendor default rather than failing the collective.
+    const tuning::AlgorithmChoice fallback =
+        tuning::vendor_default(op, params.p, params.nbytes());
+    params.k = fallback.k;
+    return cached_build(params, fallback.algorithm);
+  }
+  return cached_build(params, choice.algorithm);
+}
+
+const core::Schedule& Collectives::cached_build(const core::CollParams& params,
+                                                Algorithm algorithm) {
+  std::string key = core::algorithm_name(algorithm);
+  key += '|';
+  key += params.describe();
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    auto sched = std::make_unique<core::Schedule>(core::build_schedule(algorithm, params));
+    it = cache_.emplace(std::move(key), std::move(sched)).first;
+  }
+  return *it->second;
+}
+
+void Collectives::execute(const core::Schedule& sched, std::span<const std::byte> input,
+                          std::span<std::byte> output, DataType type, ReduceOp op) {
+  core::execute_rank_program(sched, comm_, input, output, type, op);
+}
+
+void Collectives::bcast(std::span<std::byte> buf, int root, const AlgSpec& spec) {
+  const core::Schedule& sched =
+      schedule_for(CollOp::kBcast, buf.size(), 1, root, spec);
+  if (comm_.rank() == root) {
+    // The schedule copies input -> output; stage the root payload so the
+    // user can pass one in-place buffer.
+    std::vector<std::byte> staged(buf.begin(), buf.end());
+    execute(sched, staged, buf, DataType::kByte, ReduceOp::kSum);
+  } else {
+    execute(sched, {}, buf, DataType::kByte, ReduceOp::kSum);
+  }
+}
+
+void Collectives::reduce(std::span<const std::byte> in, std::span<std::byte> out,
+                         DataType type, ReduceOp op, int root, const AlgSpec& spec) {
+  const std::size_t es = runtime::datatype_size(type);
+  if (in.size() % es != 0) {
+    throw std::invalid_argument("reduce: buffer not a multiple of datatype size");
+  }
+  const core::Schedule& sched =
+      schedule_for(CollOp::kReduce, in.size() / es, es, root, spec);
+  std::vector<std::byte> scratch;
+  std::span<std::byte> work = out;
+  if (comm_.rank() != root || out.size() < in.size()) {
+    // Non-root ranks need workspace even though they produce no result.
+    scratch.resize(in.size());
+    work = scratch;
+  }
+  execute(sched, in, work, type, op);
+}
+
+void Collectives::allreduce(std::span<const std::byte> in, std::span<std::byte> out,
+                            DataType type, ReduceOp op, const AlgSpec& spec) {
+  const std::size_t es = runtime::datatype_size(type);
+  if (in.size() % es != 0 || out.size() != in.size()) {
+    throw std::invalid_argument("allreduce: in/out sizes must match datatype layout");
+  }
+  const core::Schedule& sched =
+      schedule_for(CollOp::kAllreduce, in.size() / es, es, 0, spec);
+  execute(sched, in, out, type, op);
+}
+
+void Collectives::allreduce(std::span<std::byte> buf, DataType type, ReduceOp op,
+                            const AlgSpec& spec) {
+  std::vector<std::byte> staged(buf.begin(), buf.end());
+  allreduce(staged, buf, type, op, spec);
+}
+
+void Collectives::gather(std::span<const std::byte> in, std::span<std::byte> out,
+                         int root, DataType type, const AlgSpec& spec) {
+  // The blocks are element-aligned so they match what a typed caller holds;
+  // `out` must be sized to the total payload on every rank (non-roots use it
+  // as workspace).
+  const std::size_t es = runtime::datatype_size(type);
+  if (out.empty() || out.size() % es != 0) {
+    throw std::invalid_argument(
+        "gather: out must be sized to the total payload (a multiple of the "
+        "datatype size) on every rank");
+  }
+  const core::Schedule& sched =
+      schedule_for(CollOp::kGather, out.size() / es, es, root, spec);
+  execute(sched, in, out, type, ReduceOp::kSum);
+}
+
+void Collectives::allgather(std::span<const std::byte> in, std::span<std::byte> out,
+                            DataType type, const AlgSpec& spec) {
+  const std::size_t es = runtime::datatype_size(type);
+  if (out.empty() || out.size() % es != 0) {
+    throw std::invalid_argument(
+        "allgather: out must be sized to the total payload (a multiple of "
+        "the datatype size) on every rank");
+  }
+  const core::Schedule& sched =
+      schedule_for(CollOp::kAllgather, out.size() / es, es, 0, spec);
+  execute(sched, in, out, type, ReduceOp::kSum);
+}
+
+void Collectives::scatter(std::span<const std::byte> in, std::span<std::byte> out,
+                          int root, DataType type, const AlgSpec& spec) {
+  const std::size_t es = runtime::datatype_size(type);
+  if (out.empty() || out.size() % es != 0) {
+    throw std::invalid_argument(
+        "scatter: out must be sized to the total payload (a multiple of the "
+        "datatype size) on every rank");
+  }
+  const core::Schedule& sched =
+      schedule_for(CollOp::kScatter, out.size() / es, es, root, spec);
+  execute(sched, in, out, type, ReduceOp::kSum);
+}
+
+void Collectives::reduce_scatter(std::span<const std::byte> in,
+                                 std::span<std::byte> out, DataType type, ReduceOp op,
+                                 const AlgSpec& spec) {
+  const std::size_t es = runtime::datatype_size(type);
+  if (in.size() % es != 0 || out.size() != in.size()) {
+    throw std::invalid_argument(
+        "reduce_scatter: in/out must match and be datatype-aligned");
+  }
+  const core::Schedule& sched =
+      schedule_for(CollOp::kReduceScatter, in.size() / es, es, 0, spec);
+  execute(sched, in, out, type, op);
+}
+
+void Collectives::alltoall(std::span<const std::byte> in, std::span<std::byte> out,
+                           DataType type, const AlgSpec& spec) {
+  const std::size_t es = runtime::datatype_size(type);
+  const auto p = static_cast<std::size_t>(comm_.size());
+  if (in.size() != out.size() || in.size() % (es * p) != 0) {
+    throw std::invalid_argument(
+        "alltoall: in/out must match and hold p datatype-aligned chunks");
+  }
+  // CollParams.count is the per-destination element count.
+  const core::Schedule& sched =
+      schedule_for(CollOp::kAlltoall, in.size() / es / p, es, 0, spec);
+  execute(sched, in, out, type, ReduceOp::kSum);
+}
+
+void Collectives::scan(std::span<const std::byte> in, std::span<std::byte> out,
+                       DataType type, ReduceOp op, const AlgSpec& spec) {
+  const std::size_t es = runtime::datatype_size(type);
+  if (in.size() % es != 0 || out.size() != in.size()) {
+    throw std::invalid_argument("scan: in/out must match and be datatype-aligned");
+  }
+  const core::Schedule& sched =
+      schedule_for(CollOp::kScan, in.size() / es, es, 0, spec);
+  execute(sched, in, out, type, op);
+}
+
+void Collectives::barrier_collective(const AlgSpec& spec) {
+  const core::Schedule& sched = schedule_for(CollOp::kBarrier, 0, 1, 0, spec);
+  std::byte token{};
+  execute(sched, {}, std::span<std::byte>(&token, 1), DataType::kByte,
+          ReduceOp::kSum);
+}
+
+void run_ranks(int ranks, const std::function<void(Collectives&)>& body,
+               const tuning::SelectionConfig& config) {
+  runtime::World::run(ranks, [&](runtime::Communicator& comm) {
+    Collectives coll(comm, config);
+    body(coll);
+  });
+}
+
+}  // namespace gencoll

@@ -1,0 +1,152 @@
+// gencoll — generalized collective algorithms for the exascale era.
+//
+// Public facade tying the pieces together for library users:
+//
+//   gencoll::run_ranks(8, [](gencoll::Collectives& coll) {
+//     std::vector<double> v(1024, coll.rank());
+//     coll.allreduce(as_bytes(v), gencoll::DataType::kDouble,
+//                    gencoll::ReduceOp::kSum);
+//   });
+//
+// A Collectives object wraps one rank's communicator plus a selection
+// configuration (autotuned or vendor-default) and executes collectives on
+// the in-process runtime. Algorithm and radix can be forced per call (the
+// paper's tuning experiments) or resolved automatically from the config
+// (the paper's §VI-G turnkey mode).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/coll_params.hpp"
+#include "core/executor.hpp"
+#include "core/registry.hpp"
+#include "runtime/comm.hpp"
+#include "runtime/datatype.hpp"
+#include "runtime/reduce_op.hpp"
+#include "runtime/world.hpp"
+#include "tuning/selector.hpp"
+
+namespace gencoll {
+
+using runtime::DataType;
+using runtime::ReduceOp;
+using Algorithm = core::Algorithm;
+using CollOp = core::CollOp;
+
+/// Per-call algorithm override. Default: resolve from the selection config.
+struct AlgSpec {
+  std::optional<Algorithm> algorithm;
+  std::optional<int> k;
+};
+
+class Collectives {
+ public:
+  /// Wrap a communicator. `config` follows the gencoll selection-file format
+  /// (see tuning/selector.hpp); every rank must use an identical config.
+  explicit Collectives(runtime::Communicator& comm,
+                       tuning::SelectionConfig config = {});
+
+  [[nodiscard]] int rank() const { return comm_.rank(); }
+  [[nodiscard]] int size() const { return comm_.size(); }
+
+  /// Broadcast `buf` (same size on every rank) from `root`.
+  void bcast(std::span<std::byte> buf, int root, const AlgSpec& spec = {});
+
+  /// Element-wise reduction of `in` into `out` at `root` (out ignored on
+  /// other ranks; may be empty there). in.size() must be identical on all
+  /// ranks and a multiple of the datatype size.
+  void reduce(std::span<const std::byte> in, std::span<std::byte> out, DataType type,
+              ReduceOp op, int root, const AlgSpec& spec = {});
+
+  /// Like reduce, but every rank receives the result.
+  void allreduce(std::span<const std::byte> in, std::span<std::byte> out,
+                 DataType type, ReduceOp op, const AlgSpec& spec = {});
+  /// In-place convenience.
+  void allreduce(std::span<std::byte> buf, DataType type, ReduceOp op,
+                 const AlgSpec& spec = {});
+
+  /// Concatenate per-rank blocks at `root`. Blocks follow the balanced
+  /// element partition of out.size()/sizeof(type) over ranks
+  /// (core/partition.hpp); `in` must be exactly this rank's block. `out`
+  /// must be sized on every rank (non-roots use it as workspace).
+  void gather(std::span<const std::byte> in, std::span<std::byte> out, int root,
+              DataType type = DataType::kByte, const AlgSpec& spec = {});
+
+  /// Like gather, but every rank receives the concatenation.
+  void allgather(std::span<const std::byte> in, std::span<std::byte> out,
+                 DataType type = DataType::kByte, const AlgSpec& spec = {});
+
+  /// Inverse gather: root's `in` (sized on every rank; workspace on
+  /// non-roots' out) is split into element-aligned blocks; rank r's block
+  /// lands at its block offset of `out`.
+  void scatter(std::span<const std::byte> in, std::span<std::byte> out, int root,
+               DataType type = DataType::kByte, const AlgSpec& spec = {});
+
+  /// Element-wise reduction of the full vectors, with rank r keeping the
+  /// reduced block r (at its block offset of `out`).
+  void reduce_scatter(std::span<const std::byte> in, std::span<std::byte> out,
+                      DataType type, ReduceOp op, const AlgSpec& spec = {});
+
+  /// Personalized exchange: in/out hold p equal chunks (in.size() == p *
+  /// chunk bytes); chunk d of `in` goes to rank d, chunk s of `out` came
+  /// from rank s.
+  void alltoall(std::span<const std::byte> in, std::span<std::byte> out,
+                DataType type = DataType::kByte, const AlgSpec& spec = {});
+
+  /// Inclusive prefix reduction: out on rank r = op(in of ranks 0..r).
+  void scan(std::span<const std::byte> in, std::span<std::byte> out, DataType type,
+            ReduceOp op, const AlgSpec& spec = {});
+
+  /// Message-based barrier over the selected algorithm (k-dissemination by
+  /// default); exercises the network like a real MPI_Barrier.
+  void barrier_collective(const AlgSpec& spec = {});
+
+  /// Shared-memory rendezvous (no messages) — cheap synchronization for
+  /// tests and timing loops.
+  void barrier() { comm_.barrier(); }
+
+  /// The (algorithm, radix) this instance would use for (op, nbytes).
+  [[nodiscard]] tuning::AlgorithmChoice resolve(CollOp op, std::size_t nbytes,
+                                                const AlgSpec& spec = {}) const;
+
+  /// Number of schedules built so far (cache effectiveness; one per distinct
+  /// (op, alg, k, root, size) tuple).
+  [[nodiscard]] std::size_t schedules_built() const { return cache_.size(); }
+
+ private:
+  const core::Schedule& schedule_for(CollOp op, std::size_t count,
+                                     std::size_t elem_size, int root,
+                                     const AlgSpec& spec);
+  const core::Schedule& cached_build(const core::CollParams& params,
+                                     Algorithm algorithm);
+  void execute(const core::Schedule& sched, std::span<const std::byte> input,
+               std::span<std::byte> output, DataType type, ReduceOp op);
+
+  runtime::Communicator& comm_;
+  tuning::SelectionConfig config_;
+  std::map<std::string, std::unique_ptr<core::Schedule>> cache_;
+};
+
+/// Spawn `ranks` threads, each wrapped in a Collectives over a fresh World.
+/// The same `config` is applied on every rank. Exceptions propagate.
+void run_ranks(int ranks, const std::function<void(Collectives&)>& body,
+               const tuning::SelectionConfig& config = {});
+
+/// View any trivially-copyable vector as mutable/const bytes.
+template <typename T>
+std::span<std::byte> as_bytes(std::vector<T>& v) {
+  return {reinterpret_cast<std::byte*>(v.data()), v.size() * sizeof(T)};
+}
+template <typename T>
+std::span<const std::byte> as_const_bytes(const std::vector<T>& v) {
+  return {reinterpret_cast<const std::byte*>(v.data()), v.size() * sizeof(T)};
+}
+
+}  // namespace gencoll

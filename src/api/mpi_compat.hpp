@@ -1,0 +1,122 @@
+// MPI-flavored free-function facade over gencoll::Collectives.
+//
+// Ported applications read more naturally with MPI-style calls; these thin
+// inline wrappers map the familiar (sendbuf, recvbuf, count, datatype, op,
+// root, comm) signatures onto the gencoll API. They are header-only and add
+// no behavior: algorithm selection still flows through the Collectives
+// object's selection config, and a trailing AlgSpec parameter exposes the
+// generalized-radix override everywhere (the knob MPI itself lacks — the
+// point of the paper).
+//
+//   gencoll::run_ranks(8, [](gencoll::Collectives& comm) {
+//     std::vector<double> x(1024, 1.0);
+//     gencoll::mpi::Allreduce(MPI_IN_PLACE_STYLE(x), x.data(), 1024,
+//                             gencoll::DataType::kDouble,
+//                             gencoll::ReduceOp::kSum, comm);
+//   });
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "api/gencoll.hpp"
+
+namespace gencoll::mpi {
+
+namespace detail {
+inline std::span<const std::byte> cbytes(const void* ptr, std::size_t count,
+                                         DataType type) {
+  return {static_cast<const std::byte*>(ptr), count * runtime::datatype_size(type)};
+}
+inline std::span<std::byte> bytes(void* ptr, std::size_t count, DataType type) {
+  return {static_cast<std::byte*>(ptr), count * runtime::datatype_size(type)};
+}
+}  // namespace detail
+
+/// MPI_Bcast(buffer, count, datatype, root, comm).
+inline void Bcast(void* buffer, std::size_t count, DataType type, int root,
+                  Collectives& comm, const AlgSpec& spec = {}) {
+  comm.bcast(detail::bytes(buffer, count, type), root, spec);
+}
+
+/// MPI_Reduce(sendbuf, recvbuf, count, datatype, op, root, comm).
+/// recvbuf may be null on non-root ranks.
+inline void Reduce(const void* sendbuf, void* recvbuf, std::size_t count,
+                   DataType type, ReduceOp op, int root, Collectives& comm,
+                   const AlgSpec& spec = {}) {
+  comm.reduce(detail::cbytes(sendbuf, count, type),
+              recvbuf != nullptr ? detail::bytes(recvbuf, count, type)
+                                 : std::span<std::byte>{},
+              type, op, root, spec);
+}
+
+/// MPI_Allreduce(sendbuf, recvbuf, count, datatype, op, comm).
+inline void Allreduce(const void* sendbuf, void* recvbuf, std::size_t count,
+                      DataType type, ReduceOp op, Collectives& comm,
+                      const AlgSpec& spec = {}) {
+  comm.allreduce(detail::cbytes(sendbuf, count, type),
+                 detail::bytes(recvbuf, count, type), type, op, spec);
+}
+
+/// MPI_Gather with gencoll's balanced-block layout: sendcount is this rank's
+/// block element count, recvbuf holds total_count elements on every rank
+/// (workspace on non-roots).
+inline void Gather(const void* sendbuf, std::size_t sendcount, void* recvbuf,
+                   std::size_t total_count, DataType type, int root,
+                   Collectives& comm, const AlgSpec& spec = {}) {
+  comm.gather(detail::cbytes(sendbuf, sendcount, type),
+              detail::bytes(recvbuf, total_count, type), root, type, spec);
+}
+
+/// MPI_Allgather with the balanced-block layout (see Gather).
+inline void Allgather(const void* sendbuf, std::size_t sendcount, void* recvbuf,
+                      std::size_t total_count, DataType type, Collectives& comm,
+                      const AlgSpec& spec = {}) {
+  comm.allgather(detail::cbytes(sendbuf, sendcount, type),
+                 detail::bytes(recvbuf, total_count, type), type, spec);
+}
+
+/// MPI_Scatter: sendbuf holds total_count elements at the root; every rank
+/// provides a total_count-element recv workspace and finds its block at its
+/// block offset.
+inline void Scatter(const void* sendbuf, void* recvbuf, std::size_t total_count,
+                    DataType type, int root, Collectives& comm,
+                    const AlgSpec& spec = {}) {
+  comm.scatter(sendbuf != nullptr
+                   ? detail::cbytes(sendbuf, total_count, type)
+                   : std::span<const std::byte>{},
+               detail::bytes(recvbuf, total_count, type), root, type, spec);
+}
+
+/// MPI_Reduce_scatter_block-style: full count vectors in, rank's reduced
+/// block (at its block offset of the count-element workspace) out.
+inline void ReduceScatter(const void* sendbuf, void* recvbuf, std::size_t count,
+                          DataType type, ReduceOp op, Collectives& comm,
+                          const AlgSpec& spec = {}) {
+  comm.reduce_scatter(detail::cbytes(sendbuf, count, type),
+                      detail::bytes(recvbuf, count, type), type, op, spec);
+}
+
+/// MPI_Alltoall(sendbuf, sendcount, ..., comm): sendcount elements per
+/// destination; both buffers hold p * sendcount elements.
+inline void Alltoall(const void* sendbuf, std::size_t sendcount, void* recvbuf,
+                     DataType type, Collectives& comm, const AlgSpec& spec = {}) {
+  const auto p = static_cast<std::size_t>(comm.size());
+  comm.alltoall(detail::cbytes(sendbuf, sendcount * p, type),
+                detail::bytes(recvbuf, sendcount * p, type), type, spec);
+}
+
+/// MPI_Scan(sendbuf, recvbuf, count, datatype, op, comm) — inclusive.
+inline void Scan(const void* sendbuf, void* recvbuf, std::size_t count,
+                 DataType type, ReduceOp op, Collectives& comm,
+                 const AlgSpec& spec = {}) {
+  comm.scan(detail::cbytes(sendbuf, count, type),
+            detail::bytes(recvbuf, count, type), type, op, spec);
+}
+
+/// MPI_Barrier(comm) — message-based.
+inline void Barrier(Collectives& comm, const AlgSpec& spec = {}) {
+  comm.barrier_collective(spec);
+}
+
+}  // namespace gencoll::mpi

@@ -1,0 +1,106 @@
+// Schedule builders: one function per (kernel, collective) pair.
+//
+// Each builder compiles CollParams into a Schedule (see schedule.hpp).
+// Radix semantics:
+//   * k-nomial         — tree radix, k >= 2 (k=2 is the binomial baseline).
+//   * recursive mult.  — group factor per round, k >= 2 (k=2 is recursive
+//                        doubling). Non-power-of-k process counts are folded
+//                        onto a k^r core, mirroring MPICH's non-power-of-two
+//                        handling.
+//   * k-ring           — intra-ring group size, k >= 1 and k | p (k=1 is the
+//                        classic ring).
+// Builders throw UnsupportedParams when the (op, p, k) combination is not
+// representable (use registry.hpp to query support beforehand).
+#pragma once
+
+#include <stdexcept>
+
+#include "core/coll_params.hpp"
+#include "core/schedule.hpp"
+
+namespace gencoll::core {
+
+/// Thrown when an algorithm cannot be built for the requested parameters
+/// (e.g. k-ring with p % k != 0). Distinct from std::invalid_argument so the
+/// registry/tuner can treat it as "skip", not "bug".
+class UnsupportedParams : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// --- K-nomial tree kernel (paper §III) ---
+Schedule build_knomial_bcast(const CollParams& params);
+Schedule build_knomial_reduce(const CollParams& params);
+Schedule build_knomial_gather(const CollParams& params);
+/// Composition: k-nomial gather to rank 0, then k-nomial bcast (paper Eq. 3).
+Schedule build_knomial_allgather(const CollParams& params);
+/// Composition: k-nomial reduce to rank 0, then k-nomial bcast (paper Eq. 3).
+Schedule build_knomial_allreduce(const CollParams& params);
+
+// --- Recursive multiplying kernel (paper §IV) ---
+Schedule build_recmul_allreduce(const CollParams& params);
+Schedule build_recmul_allgather(const CollParams& params);
+/// Scatter-allgather: k-nomial scatter over the k^r core, then recursive
+/// multiplying allgather, then full-payload delivery to folded ranks.
+Schedule build_recmul_bcast(const CollParams& params);
+
+// --- Ring / k-ring kernel (paper §V) ---
+Schedule build_kring_allgather(const CollParams& params);
+/// Ring reduce-scatter followed by k-ring allgather rounds (the paper's
+/// "partitions offset by 1" variant).
+Schedule build_kring_allreduce(const CollParams& params);
+/// Scatter-allgather bcast over the k-ring allgather rounds.
+Schedule build_kring_bcast(const CollParams& params);
+
+// --- Non-generalized baselines ---
+Schedule build_linear_bcast(const CollParams& params);
+Schedule build_linear_reduce(const CollParams& params);
+Schedule build_linear_gather(const CollParams& params);
+Schedule build_linear_allgather(const CollParams& params);
+/// Rabenseifner: recursive-halving reduce-scatter + recursive-doubling
+/// allgather (the large-message allreduce MPICH default).
+Schedule build_rabenseifner_allreduce(const CollParams& params);
+
+// --- Extended substrate surface (MPICH-parity; beyond the paper's Table I,
+// see DESIGN.md §3) ---
+
+/// Scatter along a k-nomial tree: each child receives its whole subtree's
+/// blocks (<= 2 wrapped segments) and peels them onward. k=2 is the
+/// binomial scatter baseline; root sequential delivery is build_linear_*.
+Schedule build_knomial_scatter(const CollParams& params);
+Schedule build_linear_scatter(const CollParams& params);
+
+/// Ring reduce-scatter: p-1 neighbor rounds; rank r finishes owning reduced
+/// block r. Valid for any p.
+Schedule build_ring_reduce_scatter(const CollParams& params);
+/// Recursive-halving reduce-scatter (requires power-of-two p; the
+/// commutative-op MPICH default).
+Schedule build_rechalving_reduce_scatter(const CollParams& params);
+
+/// Direct (post-all-then-drain) alltoall; per-destination payload count.
+Schedule build_direct_alltoall(const CollParams& params);
+/// Pairwise-exchange alltoall: p-1 balanced rounds (the MPICH long-message
+/// default).
+Schedule build_pairwise_alltoall(const CollParams& params);
+
+/// Bruck allgather: ceil(log2 p) rounds at ANY process count (no
+/// power-of-two fold) — the classic small-message non-power-of-two choice.
+Schedule build_bruck_allgather(const CollParams& params);
+
+/// K-dissemination barrier: each round every rank signals k-1 peers at
+/// strides j*k^i, completing in ceil(log_k p) rounds — the generalized form
+/// of the dissemination barrier (k=2) / n-way dissemination.
+Schedule build_dissemination_barrier(const CollParams& params);
+
+/// Sequential prefix chain scan (p-1 dependent hops).
+Schedule build_linear_scan(const CollParams& params);
+/// K-ary Hillis-Steele scan: ceil(log_k p) rounds folding k-1 partial
+/// prefixes each (k=2 is the classic recursive-doubling scan).
+Schedule build_hillis_steele_scan(const CollParams& params);
+
+/// Pipelined chain broadcast: the payload is cut into k element-aligned
+/// segments relayed down the rank chain, overlapping the hops. k=1 is the
+/// unsegmented chain.
+Schedule build_pipeline_bcast(const CollParams& params);
+
+}  // namespace gencoll::core

@@ -1,0 +1,217 @@
+#include "core/algorithms_internal.hpp"
+
+#include <stdexcept>
+
+#include "core/tree.hpp"
+
+namespace gencoll::core::internal {
+
+CorePow core_pow(int p, int k) {
+  if (p < 1 || k < 2) throw std::invalid_argument("core_pow: need p >= 1, k >= 2");
+  CorePow cp;
+  // Grow core while core * k still fits in p (watch for overflow at huge k).
+  while (cp.core <= p / k) {
+    cp.core *= k;
+    ++cp.rounds;
+  }
+  return cp;
+}
+
+void append_knomial_scatter(Schedule& sched, int radix, int parts, int rot,
+                            int tag_base) {
+  const CollParams& pr = sched.params;
+  const KnomialTree tree(parts, radix);
+  for (int vr = 0; vr < parts; ++vr) {
+    RankProgram& prog = sched.ranks[static_cast<std::size_t>(real_of(vr, rot, pr.p))];
+    // Receive this vrank's whole subtree range from the parent, then peel
+    // off each child's subtree. Biggest subtree first so deep branches start
+    // early (matches the bcast forwarding order).
+    if (vr != 0) {
+      const int parent = tree.parent(vr);
+      const Seg mine =
+          seg_of_blocks(pr.count, pr.elem_size, parts, vr, vr + tree.subtree_size(vr));
+      prog.recv(real_of(parent, rot, pr.p), tag_base, mine.off, mine.len);
+    }
+    for (int child : tree.children_desc(vr)) {
+      const Seg cs = seg_of_blocks(pr.count, pr.elem_size, parts, child,
+                                   child + tree.subtree_size(child));
+      prog.send(real_of(child, rot, pr.p), tag_base, cs.off, cs.len);
+    }
+  }
+}
+
+std::vector<Seg> slot_segs(const CollParams& params, int parts, int core, int rem,
+                           int lo, int hi) {
+  std::vector<Seg> segs;
+  if (lo >= hi) return segs;
+  const Seg head = seg_of_blocks(params.count, params.elem_size, parts, lo, hi);
+  if (head.len > 0) segs.push_back(head);
+  // Folded layers: layer m holds blocks core + m*core + [lo, hi), clipped to
+  // the rem extras that exist.
+  for (int m = 0; m * core + lo < rem; ++m) {
+    const int layer_lo = core + m * core + lo;
+    const int layer_hi = core + std::min(m * core + hi, rem);
+    const Seg layer =
+        seg_of_blocks(params.count, params.elem_size, parts, layer_lo, layer_hi);
+    if (layer.len > 0) segs.push_back(layer);
+  }
+  return merge_segs(std::move(segs));
+}
+
+void append_recmul_allgather_rounds(Schedule& sched, int k, int rounds, int parts,
+                                    int core, int rem, int rot, int tag_base) {
+  const CollParams& pr = sched.params;
+  long long stride = 1;  // k^i
+  for (int i = 0; i < rounds; ++i) {
+    const int tag = tag_base + i * kTagRoundStride;
+    for (int vr = 0; vr < core; ++vr) {
+      RankProgram& prog = sched.ranks[static_cast<std::size_t>(real_of(vr, rot, pr.p))];
+      const int digit = static_cast<int>((vr / stride) % k);
+      // Held slot range before this round: the stride-aligned window.
+      const int my_lo = static_cast<int>((vr / stride) * stride);
+      const int my_hi = static_cast<int>(my_lo + stride);
+      // Post all sends first (buffered / non-blocking), then drain receives:
+      // this is the overlap the paper's multiport model assumes (§II-B2).
+      // Multi-segment payloads share one tag: matching is FIFO per
+      // (source, tag) and both sides enumerate segments in the same order.
+      const std::vector<Seg> mine = slot_segs(pr, parts, core, rem, my_lo, my_hi);
+      for (int j = 0; j < k; ++j) {
+        if (j == digit) continue;
+        const int peer = vr + static_cast<int>((j - digit) * stride);
+        for (const Seg& s : mine) {
+          prog.send(real_of(peer, rot, pr.p), tag, s.off, s.len);
+        }
+      }
+      for (int j = 0; j < k; ++j) {
+        if (j == digit) continue;
+        const int peer = vr + static_cast<int>((j - digit) * stride);
+        const int peer_lo = static_cast<int>((peer / stride) * stride);
+        const std::vector<Seg> theirs =
+            slot_segs(pr, parts, core, rem, peer_lo, peer_lo + static_cast<int>(stride));
+        for (const Seg& s : theirs) {
+          prog.recv(real_of(peer, rot, pr.p), tag, s.off, s.len);
+        }
+      }
+    }
+    stride *= k;
+  }
+}
+
+void append_kring_allgather_rounds(Schedule& sched, int k, int rot, int tag_base) {
+  const CollParams& pr = sched.params;
+  const int p = pr.p;
+  if (k < 1 || k > p) {
+    throw std::invalid_argument("kring rounds: require 1 <= k <= p");
+  }
+  const int g = (p + k - 1) / k;  // number of groups; last may be smaller
+
+  const auto group_base = [&](int G) { return G * k; };
+  const auto group_size = [&](int G) { return G == g - 1 ? p - k * (g - 1) : k; };
+  const auto block_seg = [&](int b) {
+    return seg_of_blocks(pr.count, pr.elem_size, p, b, b + 1);
+  };
+  auto prog_of = [&](int vr) -> RankProgram& {
+    return sched.ranks[static_cast<std::size_t>(real_of(vr, rot, p))];
+  };
+  // Tag slots: k+1 rounds per phase (<= k-1 intra + 1 inter), group-local
+  // numbering is consistent because intra messages stay within a group.
+  const auto round_tag = [&](int phase, int slot) {
+    return tag_base + (phase * (k + 1) + slot) * kTagRoundStride;
+  };
+
+  // "Stream" m = the blocks of group m. In phase j, group G circulates
+  // stream (G - j) internally, then forwards it to group G + 1. start[G][i]
+  // holds the stream blocks member i owns at the phase start (its own block
+  // in phase 0; whatever the inter hand-off assigned afterwards — several
+  // blocks per member when the groups are non-uniform).
+  std::vector<std::vector<std::vector<int>>> start(static_cast<std::size_t>(g));
+  for (int G = 0; G < g; ++G) {
+    auto& members = start[static_cast<std::size_t>(G)];
+    members.resize(static_cast<std::size_t>(group_size(G)));
+    for (int i = 0; i < group_size(G); ++i) {
+      members[static_cast<std::size_t>(i)] = {group_base(G) + i};
+    }
+  }
+
+  for (int j = 0; j < g; ++j) {
+    std::vector<std::vector<std::vector<int>>> next_start(static_cast<std::size_t>(g));
+    for (int G = 0; G < g; ++G) {
+      next_start[static_cast<std::size_t>(G)].resize(
+          static_cast<std::size_t>(group_size(G)));
+    }
+
+    // Intra rounds first for every group (they are independent and must not
+    // be ordered behind any inter receive): the size-sG ring circulates each
+    // member's phase-start set; after sG-1 rounds every member holds all of
+    // stream (G - j).
+    for (int G = 0; G < g; ++G) {
+      const int sG = group_size(G);
+      const int base = group_base(G);
+      std::vector<std::vector<int>> rolling = start[static_cast<std::size_t>(G)];
+      for (int t = 1; t < sG; ++t) {
+        const int tag = round_tag(j, t);
+        for (int i = 0; i < sG; ++i) {
+          RankProgram& prog = prog_of(base + i);
+          const int right = (i + 1) % sG;
+          const int left = (i - 1 + sG) % sG;
+          for (int b : rolling[static_cast<std::size_t>(i)]) {
+            const Seg s = block_seg(b);
+            prog.send(real_of(base + right, rot, p), tag, s.off, s.len);
+          }
+          for (int b : rolling[static_cast<std::size_t>(left)]) {
+            const Seg s = block_seg(b);
+            prog.recv(real_of(base + left, rot, p), tag, s.off, s.len);
+          }
+        }
+        // Everyone forwards what just arrived in the next round.
+        std::vector<std::vector<int>> arrived(rolling.size());
+        for (int i = 0; i < sG; ++i) {
+          arrived[static_cast<std::size_t>(i)] =
+              rolling[static_cast<std::size_t>((i - 1 + sG) % sG)];
+        }
+        rolling = std::move(arrived);
+      }
+    }
+
+    if (j == g - 1) break;  // final phase needs no hand-off
+
+    // Inter hand-off: group G forwards stream (G - j) around the group ring
+    // to G+1. Block `idx` of the stream travels from member (idx % sG) —
+    // every member holds the full stream after the intra rounds — to member
+    // (idx % s_{G+1}). Sends post for all groups before any receive so no
+    // group's next phase is ordered behind another group's progress.
+    for (int G = 0; G < g; ++G) {
+      const int sG = group_size(G);
+      const int dst = (G + 1) % g;
+      const int sDst = group_size(dst);
+      const int tag = round_tag(j, 0);
+      const int m = ((G - j) % g + g) % g;
+      const int stream_len = group_size(m);
+      for (int idx = 0; idx < stream_len; ++idx) {
+        const int b = group_base(m) + idx;
+        const Seg s = block_seg(b);
+        prog_of(group_base(G) + idx % sG)
+            .send(real_of(group_base(dst) + idx % sDst, rot, p), tag, s.off, s.len);
+        next_start[static_cast<std::size_t>(dst)]
+                  [static_cast<std::size_t>(idx % sDst)].push_back(b);
+      }
+    }
+    for (int dst = 0; dst < g; ++dst) {
+      const int src = (dst - 1 + g) % g;
+      const int sSrc = group_size(src);
+      const int sDst = group_size(dst);
+      const int tag = round_tag(j, 0);
+      const int m = ((src - j) % g + g) % g;
+      const int stream_len = group_size(m);
+      for (int idx = 0; idx < stream_len; ++idx) {
+        const int b = group_base(m) + idx;
+        const Seg s = block_seg(b);
+        prog_of(group_base(dst) + idx % sDst)
+            .recv(real_of(group_base(src) + idx % sSrc, rot, p), tag, s.off, s.len);
+      }
+    }
+    start = std::move(next_start);
+  }
+}
+
+}  // namespace gencoll::core::internal

@@ -1,0 +1,150 @@
+#include "core/coll_params.hpp"
+
+#include <stdexcept>
+
+namespace gencoll::core {
+
+const char* coll_op_name(CollOp op) {
+  switch (op) {
+    case CollOp::kBcast: return "bcast";
+    case CollOp::kReduce: return "reduce";
+    case CollOp::kGather: return "gather";
+    case CollOp::kAllgather: return "allgather";
+    case CollOp::kAllreduce: return "allreduce";
+    case CollOp::kScatter: return "scatter";
+    case CollOp::kReduceScatter: return "reduce_scatter";
+    case CollOp::kAlltoall: return "alltoall";
+    case CollOp::kBarrier: return "barrier";
+    case CollOp::kScan: return "scan";
+  }
+  return "?";
+}
+
+const char* algorithm_name(Algorithm alg) {
+  switch (alg) {
+    case Algorithm::kLinear: return "linear";
+    case Algorithm::kBinomial: return "binomial";
+    case Algorithm::kRecursiveDoubling: return "recursive_doubling";
+    case Algorithm::kRing: return "ring";
+    case Algorithm::kRabenseifner: return "rabenseifner";
+    case Algorithm::kBruck: return "bruck";
+    case Algorithm::kRecursiveHalving: return "recursive_halving";
+    case Algorithm::kPairwise: return "pairwise";
+    case Algorithm::kKnomial: return "knomial";
+    case Algorithm::kRecursiveMultiplying: return "recursive_multiplying";
+    case Algorithm::kKring: return "kring";
+    case Algorithm::kDissemination: return "dissemination";
+    case Algorithm::kPipeline: return "pipeline";
+  }
+  return "?";
+}
+
+std::optional<CollOp> parse_coll_op(std::string_view name) {
+  for (CollOp op : kAllCollOps) {
+    if (name == coll_op_name(op)) return op;
+  }
+  return std::nullopt;
+}
+
+std::optional<Algorithm> parse_algorithm(std::string_view name) {
+  for (Algorithm alg : kAllAlgorithms) {
+    if (name == algorithm_name(alg)) return alg;
+  }
+  return std::nullopt;
+}
+
+bool is_generalized(Algorithm alg) {
+  return alg == Algorithm::kKnomial || alg == Algorithm::kRecursiveMultiplying ||
+         alg == Algorithm::kKring || alg == Algorithm::kDissemination ||
+         alg == Algorithm::kPipeline;
+}
+
+std::string CollParams::describe() const {
+  std::string out = coll_op_name(op);
+  out += " p=" + std::to_string(p);
+  out += " root=" + std::to_string(root);
+  out += " count=" + std::to_string(count);
+  out += " elem=" + std::to_string(elem_size);
+  out += " k=" + std::to_string(k);
+  return out;
+}
+
+namespace {
+std::size_t block_bytes(const CollParams& params, int rank) {
+  return block_of(params.count, params.p, rank).elem_len * params.elem_size;
+}
+}  // namespace
+
+std::size_t input_bytes(const CollParams& params, int rank) {
+  switch (params.op) {
+    case CollOp::kBcast:
+    case CollOp::kScatter:
+      return rank == params.root ? params.nbytes() : 0;
+    case CollOp::kReduce:
+    case CollOp::kAllreduce:
+    case CollOp::kReduceScatter:
+    case CollOp::kScan:
+      return params.nbytes();
+    case CollOp::kGather:
+    case CollOp::kAllgather:
+      return block_bytes(params, rank);
+    case CollOp::kAlltoall:
+      return params.nbytes() * static_cast<std::size_t>(params.p);
+    case CollOp::kBarrier:
+      return 0;
+  }
+  return 0;
+}
+
+std::size_t output_bytes(const CollParams& params) {
+  switch (params.op) {
+    case CollOp::kAlltoall:
+      return params.nbytes() * static_cast<std::size_t>(params.p);
+    case CollOp::kBarrier:
+      return 1;  // token workspace
+    default:
+      return params.nbytes();
+  }
+}
+
+bool has_result(const CollParams& params, int rank) {
+  return !result_segments(params, rank).empty();
+}
+
+std::vector<Seg> result_segments(const CollParams& params, int rank) {
+  const std::size_t n = output_bytes(params);
+  switch (params.op) {
+    case CollOp::kBcast:
+    case CollOp::kAllgather:
+    case CollOp::kAllreduce:
+    case CollOp::kAlltoall:
+    case CollOp::kScan:
+      return n > 0 ? std::vector<Seg>{Seg{0, n}} : std::vector<Seg>{};
+    case CollOp::kReduce:
+    case CollOp::kGather:
+      if (rank == params.root && n > 0) return {Seg{0, n}};
+      return {};
+    case CollOp::kScatter:
+    case CollOp::kReduceScatter: {
+      const Seg own = seg_of_blocks(params.count, params.elem_size, params.p,
+                                    rank, rank + 1);
+      return own.len > 0 ? std::vector<Seg>{own} : std::vector<Seg>{};
+    }
+    case CollOp::kBarrier:
+      return {};
+  }
+  return {};
+}
+
+void check_params(const CollParams& params) {
+  if (params.p <= 0) throw std::invalid_argument("CollParams: p must be positive");
+  if (params.root < 0 || params.root >= params.p) {
+    throw std::invalid_argument("CollParams: root out of range");
+  }
+  if (params.elem_size == 0) {
+    throw std::invalid_argument("CollParams: elem_size must be nonzero");
+  }
+  if (params.k < 1) throw std::invalid_argument("CollParams: k must be >= 1");
+}
+
+}  // namespace gencoll::core

@@ -1,0 +1,133 @@
+// Collective operation descriptors shared by every algorithm.
+//
+// Data-layout conventions (fixed across the whole library, matching the
+// paper's cost models where `n` is the *total* payload):
+//   Bcast         : root holds n bytes; every rank ends with the same n.
+//   Reduce        : every rank contributes n bytes; root ends with the
+//                   element-wise reduction.
+//   Gather        : the n bytes are partitioned into p blocks by rank id;
+//                   rank r contributes block r; root ends with all n bytes.
+//   Allgather     : like Gather but every rank ends with all n bytes.
+//   Allreduce     : like Reduce but every rank ends with the result.
+//   Scatter       : inverse Gather — root holds n bytes; rank r ends with
+//                   block r (at block r's offset of its output workspace).
+//   ReduceScatter : every rank contributes n bytes; rank r ends with the
+//                   reduced block r (at block r's offset).
+//   Alltoall      : count is the *per-destination* element count: every rank
+//                   holds p*count input elements (chunk d goes to rank d)
+//                   and ends with p*count output elements (chunk s came from
+//                   rank s).
+//   Barrier       : no payload; schedules exchange 1-byte tokens through a
+//                   1-byte output workspace.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/partition.hpp"
+
+namespace gencoll::core {
+
+enum class CollOp {
+  // The paper's four headline collectives plus Gather (its Fig. 1 example).
+  kBcast,
+  kReduce,
+  kGather,
+  kAllgather,
+  kAllreduce,
+  // Extended substrate surface (MPICH-parity operations built on the same
+  // kernels; see DESIGN.md §3).
+  kScatter,
+  kReduceScatter,
+  kAlltoall,
+  kBarrier,
+  kScan,  ///< inclusive prefix reduction: out[r] = op(in[0..r])
+};
+
+enum class Algorithm {
+  // Baselines.
+  kLinear,               ///< root sends/receives sequentially (or direct alltoall)
+  kBinomial,             ///< k-nomial at fixed k=2
+  kRecursiveDoubling,    ///< recursive multiplying at fixed k=2
+  kRing,                 ///< k-ring at fixed k=1
+  kRabenseifner,         ///< reduce-scatter + allgather allreduce
+  kBruck,                ///< Bruck allgather (log rounds at any p)
+  kRecursiveHalving,     ///< reduce-scatter by recursive halving (pow2 core)
+  kPairwise,             ///< pairwise-exchange alltoall
+  // Generalized (variable-radix) kernels.
+  kKnomial,
+  kRecursiveMultiplying,
+  kKring,
+  kDissemination,        ///< k-dissemination barrier (n-way dissemination)
+  kPipeline,             ///< segmented chain bcast; the parameter is the
+                         ///< segment count rather than a tree radix
+};
+
+const char* coll_op_name(CollOp op);
+const char* algorithm_name(Algorithm alg);
+std::optional<CollOp> parse_coll_op(std::string_view name);
+std::optional<Algorithm> parse_algorithm(std::string_view name);
+
+inline constexpr CollOp kAllCollOps[] = {
+    CollOp::kBcast,   CollOp::kReduce,        CollOp::kGather,
+    CollOp::kAllgather, CollOp::kAllreduce,
+    CollOp::kScatter, CollOp::kReduceScatter, CollOp::kAlltoall,
+    CollOp::kBarrier, CollOp::kScan,
+};
+
+/// The paper's original evaluation surface (Table I + Gather).
+inline constexpr CollOp kPaperCollOps[] = {
+    CollOp::kBcast, CollOp::kReduce, CollOp::kGather,
+    CollOp::kAllgather, CollOp::kAllreduce,
+};
+
+inline constexpr Algorithm kAllAlgorithms[] = {
+    Algorithm::kLinear,  Algorithm::kBinomial, Algorithm::kRecursiveDoubling,
+    Algorithm::kRing,    Algorithm::kRabenseifner,
+    Algorithm::kBruck,   Algorithm::kRecursiveHalving, Algorithm::kPairwise,
+    Algorithm::kKnomial, Algorithm::kRecursiveMultiplying, Algorithm::kKring,
+    Algorithm::kDissemination, Algorithm::kPipeline,
+};
+
+/// True for algorithms whose radix is tunable (the paper's generalized set).
+bool is_generalized(Algorithm alg);
+
+struct CollParams {
+  CollOp op = CollOp::kBcast;
+  int p = 1;                ///< number of ranks
+  int root = 0;             ///< ignored by Allgather/Allreduce
+  std::size_t count = 0;    ///< total element count (the paper's n = count*elem_size)
+  std::size_t elem_size = 1;
+  int k = 2;                ///< radix; ignored by non-generalized algorithms
+
+  /// For Alltoall this is the per-destination payload; the buffers hold
+  /// p * nbytes(). For Barrier it is 0.
+  [[nodiscard]] std::size_t nbytes() const { return count * elem_size; }
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Size in bytes of the input buffer rank `rank` must provide.
+std::size_t input_bytes(const CollParams& params, int rank);
+
+/// Size in bytes of the output buffer (workspace) each rank must provide.
+/// Uniform across ranks: the full payload (non-root / non-owned regions are
+/// workspace with unspecified final contents, as in MPI).
+std::size_t output_bytes(const CollParams& params);
+
+/// True if `rank` receives a defined result in its output buffer.
+bool has_result(const CollParams& params, int rank);
+
+/// The byte ranges of `rank`'s output that carry a defined result: the full
+/// buffer for Bcast/Allgather/Allreduce/Alltoall (and at the root of
+/// Reduce/Gather), this rank's block for Scatter/ReduceScatter, nothing for
+/// Barrier or rootless ranks of rooted collectives.
+std::vector<Seg> result_segments(const CollParams& params, int rank);
+
+/// Throws std::invalid_argument if params are malformed (p <= 0, root out of
+/// range, elem_size == 0, k < 1, ...).
+void check_params(const CollParams& params);
+
+}  // namespace gencoll::core

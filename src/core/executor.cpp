@@ -1,0 +1,80 @@
+#include "core/executor.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "runtime/world.hpp"
+
+namespace gencoll::core {
+
+void execute_rank_program(const Schedule& sched, runtime::Communicator& comm,
+                          std::span<const std::byte> input,
+                          std::span<std::byte> output, runtime::DataType type,
+                          runtime::ReduceOp op) {
+  const CollParams& pr = sched.params;
+  if (comm.size() != pr.p) {
+    throw std::invalid_argument("execute_rank_program: communicator size != p");
+  }
+  if (runtime::datatype_size(type) != pr.elem_size) {
+    throw std::invalid_argument("execute_rank_program: elem_size != datatype size");
+  }
+  const int rank = comm.rank();
+  if (input.size() < input_bytes(pr, rank)) {
+    throw std::invalid_argument("execute_rank_program: input too small");
+  }
+  if (output.size() < output_bytes(pr)) {
+    throw std::invalid_argument("execute_rank_program: output too small");
+  }
+
+  std::vector<std::byte> reduce_scratch;
+  for (const Step& s : sched.ranks[static_cast<std::size_t>(rank)].steps) {
+    switch (s.kind) {
+      case StepKind::kCopyInput:
+        std::memcpy(output.data() + s.off, input.data() + s.src_off, s.bytes);
+        break;
+      case StepKind::kSend:
+        comm.send(s.peer, s.tag, output.subspan(s.off, s.bytes));
+        break;
+      case StepKind::kSendInput:
+        comm.send(s.peer, s.tag, input.subspan(s.src_off, s.bytes));
+        break;
+      case StepKind::kRecv:
+        comm.recv(s.peer, s.tag, output.subspan(s.off, s.bytes));
+        break;
+      case StepKind::kRecvReduce: {
+        reduce_scratch.resize(s.bytes);
+        comm.recv(s.peer, s.tag, reduce_scratch);
+        runtime::apply_reduce(op, type, output.subspan(s.off, s.bytes),
+                              reduce_scratch, s.bytes / pr.elem_size);
+        break;
+      }
+    }
+  }
+}
+
+std::vector<std::vector<std::byte>> execute_threaded(
+    const Schedule& sched, const std::vector<std::vector<std::byte>>& inputs,
+    runtime::DataType type, runtime::ReduceOp op) {
+  const CollParams& pr = sched.params;
+  if (inputs.size() != static_cast<std::size_t>(pr.p)) {
+    throw std::invalid_argument("execute_threaded: wrong number of inputs");
+  }
+  for (int r = 0; r < pr.p; ++r) {
+    if (inputs[static_cast<std::size_t>(r)].size() != input_bytes(pr, r)) {
+      throw std::invalid_argument("execute_threaded: input size mismatch at rank " +
+                                  std::to_string(r));
+    }
+  }
+
+  std::vector<std::vector<std::byte>> outputs(static_cast<std::size_t>(pr.p));
+  for (auto& buf : outputs) buf.resize(output_bytes(pr));
+
+  runtime::World::run(pr.p, [&](runtime::Communicator& comm) {
+    const auto r = static_cast<std::size_t>(comm.rank());
+    execute_rank_program(sched, comm, inputs[r], outputs[r], type, op);
+  });
+  return outputs;
+}
+
+}  // namespace gencoll::core

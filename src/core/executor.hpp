@@ -1,0 +1,35 @@
+// Threaded schedule executor: runs a Schedule on the in-process runtime with
+// real buffers, one thread per rank. This is the correctness engine — every
+// algorithm's data movement is proven here against reference.hpp before its
+// timing is ever reported by the simulator.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "runtime/comm.hpp"
+#include "runtime/datatype.hpp"
+#include "runtime/reduce_op.hpp"
+
+namespace gencoll::core {
+
+/// Execute `sched` across World-spawned threads. inputs[r] must hold
+/// input_bytes(params, r) bytes. Returns each rank's full output buffer
+/// (n bytes each; contents of non-result ranks are whatever the algorithm
+/// left as workspace). Throws on schedule/runtime errors, including receive
+/// timeouts from malformed schedules.
+std::vector<std::vector<std::byte>> execute_threaded(
+    const Schedule& sched, const std::vector<std::vector<std::byte>>& inputs,
+    runtime::DataType type, runtime::ReduceOp op);
+
+/// Execute one rank's program against an existing communicator. `output`
+/// must have output_bytes(params) bytes. Exposed so the public API (api/)
+/// can run collectives on long-lived communicators, and reused by
+/// execute_threaded.
+void execute_rank_program(const Schedule& sched, runtime::Communicator& comm,
+                          std::span<const std::byte> input,
+                          std::span<std::byte> output, runtime::DataType type,
+                          runtime::ReduceOp op);
+
+}  // namespace gencoll::core

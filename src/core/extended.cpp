@@ -1,0 +1,270 @@
+// Extended substrate collectives beyond the paper's Table I: scatter,
+// reduce-scatter, alltoall, barrier, and the Bruck allgather. These give the
+// library MPICH-parity surface on the same schedule IR (DESIGN.md §3) and
+// exercise the generalization idea on two more kernels: the k-nomial
+// scatter tree and the k-dissemination barrier (the paper cites Hoefler's
+// n-way dissemination as prior radix generalization).
+#include <string>
+
+#include "core/algorithms.hpp"
+#include "core/algorithms_internal.hpp"
+#include "core/partition.hpp"
+#include "core/tree.hpp"
+
+namespace gencoll::core {
+
+using internal::real_of;
+
+namespace {
+
+void require_op(const CollParams& params, CollOp op) {
+  check_params(params);
+  if (params.op != op) {
+    throw std::invalid_argument("schedule builder called with mismatched op");
+  }
+}
+
+Schedule make_schedule(const CollParams& params, const std::string& kernel,
+                       bool with_radix = true) {
+  Schedule sched;
+  sched.params = params;
+  sched.name = with_radix ? kernel + "(k=" + std::to_string(params.k) + ")" : kernel;
+  sched.ranks.resize(static_cast<std::size_t>(params.p));
+  return sched;
+}
+
+}  // namespace
+
+Schedule build_knomial_scatter(const CollParams& params) {
+  require_op(params, CollOp::kScatter);
+  if (params.k < 2) throw UnsupportedParams("k-nomial scatter requires k >= 2");
+  Schedule sched = make_schedule(params, "knomial_scatter");
+  const int p = params.p;
+  const KnomialTree tree(p, params.k);
+
+  sched.ranks[static_cast<std::size_t>(params.root)].copy_input(0, 0, params.nbytes());
+  for (int vr = 0; vr < p; ++vr) {
+    const int rank = real_of(vr, params.root, p);
+    RankProgram& prog = sched.ranks[static_cast<std::size_t>(rank)];
+    // Receive this vrank's whole subtree (blocks indexed by *real* rank, so
+    // the root rotation can wrap the range into two segments), then peel off
+    // each child's subtree, biggest first.
+    if (vr != 0) {
+      const auto segs =
+          wrap_segs(params.count, params.elem_size, p, rank, tree.subtree_size(vr));
+      for (std::size_t s = 0; s < segs.size(); ++s) {
+        prog.recv(real_of(tree.parent(vr), params.root, p), 0, segs[s].off,
+                  segs[s].len);
+      }
+    }
+    for (int child : tree.children_desc(vr)) {
+      const auto segs = wrap_segs(params.count, params.elem_size, p,
+                                  real_of(child, params.root, p),
+                                  tree.subtree_size(child));
+      for (std::size_t s = 0; s < segs.size(); ++s) {
+        prog.send(real_of(child, params.root, p), 0, segs[s].off, segs[s].len);
+      }
+    }
+  }
+  return sched;
+}
+
+Schedule build_linear_scatter(const CollParams& params) {
+  require_op(params, CollOp::kScatter);
+  Schedule sched = make_schedule(params, "linear_scatter", /*with_radix=*/false);
+  RankProgram& root = sched.ranks[static_cast<std::size_t>(params.root)];
+  root.copy_input(0, 0, params.nbytes());
+  for (int d = 1; d < params.p; ++d) {
+    const int peer = (params.root + d) % params.p;
+    const Seg block = seg_of_blocks(params.count, params.elem_size, params.p,
+                                    peer, peer + 1);
+    root.send(peer, 0, block.off, block.len);
+    sched.ranks[static_cast<std::size_t>(peer)].recv(params.root, 0, block.off,
+                                                     block.len);
+  }
+  return sched;
+}
+
+Schedule build_ring_reduce_scatter(const CollParams& params) {
+  require_op(params, CollOp::kReduceScatter);
+  Schedule sched = make_schedule(params, "ring_reduce_scatter", /*with_radix=*/false);
+  const int p = params.p;
+  for (auto& prog : sched.ranks) prog.copy_input(0, 0, params.nbytes());
+  // Round t: pass block (r - t - 1) right and fold block (r - t - 2) from
+  // the left; after p-1 rounds rank r's last folded block is r - p = r.
+  for (int t = 0; t < p - 1; ++t) {
+    const int tag = t * internal::kTagRoundStride;
+    for (int r = 0; r < p; ++r) {
+      RankProgram& prog = sched.ranks[static_cast<std::size_t>(r)];
+      const int right = (r + 1) % p;
+      const int left = (r - 1 + p) % p;
+      const int send_block = ((r - t - 1) % p + p) % p;
+      const int recv_block = ((r - t - 2) % p + p) % p;
+      const Seg ss =
+          seg_of_blocks(params.count, params.elem_size, p, send_block, send_block + 1);
+      const Seg rs =
+          seg_of_blocks(params.count, params.elem_size, p, recv_block, recv_block + 1);
+      prog.send(right, tag, ss.off, ss.len);
+      prog.recv_reduce(left, tag, rs.off, rs.len);
+    }
+  }
+  return sched;
+}
+
+Schedule build_rechalving_reduce_scatter(const CollParams& params) {
+  require_op(params, CollOp::kReduceScatter);
+  const int p = params.p;
+  if ((p & (p - 1)) != 0) {
+    throw UnsupportedParams("recursive-halving reduce-scatter requires power-of-two p");
+  }
+  Schedule sched =
+      make_schedule(params, "rechalving_reduce_scatter", /*with_radix=*/false);
+  for (auto& prog : sched.ranks) prog.copy_input(0, 0, params.nbytes());
+  for (int vr = 0; vr < p; ++vr) {
+    RankProgram& prog = sched.ranks[static_cast<std::size_t>(vr)];
+    int lo = 0;
+    int hi = p;
+    int round = 0;
+    while (hi - lo > 1) {
+      const int tag = round * internal::kTagRoundStride;
+      const int half = (hi - lo) / 2;
+      const int mid = lo + half;
+      const bool lower = vr < mid;
+      const int peer = lower ? vr + half : vr - half;
+      const Seg keep = seg_of_blocks(params.count, params.elem_size, p,
+                                     lower ? lo : mid, lower ? mid : hi);
+      const Seg away = seg_of_blocks(params.count, params.elem_size, p,
+                                     lower ? mid : lo, lower ? hi : mid);
+      prog.send(peer, tag, away.off, away.len);
+      prog.recv_reduce(peer, tag, keep.off, keep.len);
+      if (lower) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+      ++round;
+    }
+  }
+  return sched;
+}
+
+namespace {
+
+/// Per-destination chunk segment in the p*count-element alltoall layout.
+Seg alltoall_chunk(const CollParams& params, int index) {
+  return Seg{static_cast<std::size_t>(index) * params.nbytes(), params.nbytes()};
+}
+
+}  // namespace
+
+Schedule build_direct_alltoall(const CollParams& params) {
+  require_op(params, CollOp::kAlltoall);
+  Schedule sched = make_schedule(params, "direct_alltoall", /*with_radix=*/false);
+  const int p = params.p;
+  for (int r = 0; r < p; ++r) {
+    RankProgram& prog = sched.ranks[static_cast<std::size_t>(r)];
+    const Seg own = alltoall_chunk(params, r);
+    prog.copy_input(own.off, own.off, own.len);
+    // Post every outgoing chunk (straight from the input buffer — the
+    // matching output slots are recv targets), then drain. Peer order is
+    // staggered by rank so no single destination is hammered first.
+    for (int d = 1; d < p; ++d) {
+      const int peer = (r + d) % p;
+      prog.send_input(peer, 0, alltoall_chunk(params, peer).off, params.nbytes());
+    }
+    for (int d = 1; d < p; ++d) {
+      const int peer = (r - d + p) % p;
+      prog.recv(peer, 0, alltoall_chunk(params, peer).off, params.nbytes());
+    }
+  }
+  return sched;
+}
+
+Schedule build_pairwise_alltoall(const CollParams& params) {
+  require_op(params, CollOp::kAlltoall);
+  Schedule sched = make_schedule(params, "pairwise_alltoall", /*with_radix=*/false);
+  const int p = params.p;
+  for (int r = 0; r < p; ++r) {
+    RankProgram& prog = sched.ranks[static_cast<std::size_t>(r)];
+    const Seg own = alltoall_chunk(params, r);
+    prog.copy_input(own.off, own.off, own.len);
+    for (int t = 1; t < p; ++t) {
+      const int to = (r + t) % p;
+      const int from = (r - t + p) % p;
+      prog.send_input(to, t, alltoall_chunk(params, to).off, params.nbytes());
+      prog.recv(from, t, alltoall_chunk(params, from).off, params.nbytes());
+    }
+  }
+  return sched;
+}
+
+Schedule build_bruck_allgather(const CollParams& params) {
+  require_op(params, CollOp::kAllgather);
+  Schedule sched = make_schedule(params, "bruck_allgather", /*with_radix=*/false);
+  const int p = params.p;
+  for (int r = 0; r < p; ++r) {
+    const Seg own = seg_of_blocks(params.count, params.elem_size, p, r, r + 1);
+    sched.ranks[static_cast<std::size_t>(r)].copy_input(0, own.off, own.len);
+  }
+  // Round i: every rank ships its accumulated ring-range [r, r + 2^i) to
+  // rank r - 2^i, doubling the held range; the final round sends only the
+  // part still missing, which is what makes Bruck log-round at any p. The
+  // blocks sit at their true output offsets, so no final rotation is needed
+  // (the wrapped range is at most two segments).
+  int held = 1;
+  int round = 0;
+  while (held < p) {
+    const int send_count = std::min(held, p - held);
+    const int dist = held;
+    const int tag = round * internal::kTagRoundStride;
+    for (int r = 0; r < p; ++r) {
+      RankProgram& prog = sched.ranks[static_cast<std::size_t>(r)];
+      const int dst = (r - dist + p) % p;
+      const int src = (r + dist) % p;
+      for (const Seg& s :
+           wrap_segs(params.count, params.elem_size, p, r, send_count)) {
+        prog.send(dst, tag, s.off, s.len);
+      }
+      for (const Seg& s :
+           wrap_segs(params.count, params.elem_size, p, src, send_count)) {
+        prog.recv(src, tag, s.off, s.len);
+      }
+    }
+    held += send_count;
+    ++round;
+  }
+  return sched;
+}
+
+Schedule build_dissemination_barrier(const CollParams& params) {
+  require_op(params, CollOp::kBarrier);
+  if (params.k < 2) throw UnsupportedParams("dissemination barrier requires k >= 2");
+  Schedule sched = make_schedule(params, "dissemination_barrier");
+  const int p = params.p;
+  const int k = params.k;
+  // Round i: signal the k-1 ranks at strides j*k^i ahead and hear from the
+  // k-1 ranks behind; 1-byte tokens through the 1-byte output workspace.
+  long long stride = 1;
+  int round = 0;
+  while (stride < p) {
+    const int tag = round * internal::kTagRoundStride;
+    for (int r = 0; r < p; ++r) {
+      RankProgram& prog = sched.ranks[static_cast<std::size_t>(r)];
+      for (int j = 1; j < k; ++j) {
+        const long long d = static_cast<long long>(j) * stride;
+        const int to = static_cast<int>((r + d) % p);
+        if (to != r) prog.send(to, tag, 0, 1);
+      }
+      for (int j = 1; j < k; ++j) {
+        const long long d = static_cast<long long>(j) * stride;
+        const int from = static_cast<int>((r - d % p + p) % p);
+        if (from != r) prog.recv(from, tag, 0, 1);
+      }
+    }
+    stride *= k;
+    ++round;
+  }
+  return sched;
+}
+
+}  // namespace gencoll::core

@@ -1,0 +1,168 @@
+// K-nomial tree algorithms (paper §III). k=2 is the binomial baseline.
+//
+// All tree communication happens in vrank space (vrank 0 = root). The
+// payload-contiguity property of k-nomial subtrees (tree.hpp) keeps gather
+// transfers to at most two segments even when the root rotation wraps the
+// block range past rank p-1.
+#include <string>
+
+#include "core/algorithms.hpp"
+#include "core/algorithms_internal.hpp"
+#include "core/partition.hpp"
+#include "core/tree.hpp"
+
+namespace gencoll::core {
+
+using internal::real_of;
+
+namespace {
+
+void require_op(const CollParams& params, CollOp op) {
+  check_params(params);
+  if (params.op != op) {
+    throw std::invalid_argument("schedule builder called with mismatched op");
+  }
+}
+
+void require_tree_radix(const CollParams& params) {
+  if (params.k < 2) {
+    throw UnsupportedParams("k-nomial requires radix k >= 2");
+  }
+}
+
+Schedule make_schedule(const CollParams& params, const std::string& kernel) {
+  Schedule sched;
+  sched.params = params;
+  sched.name = kernel + "(k=" + std::to_string(params.k) + ")";
+  sched.ranks.resize(static_cast<std::size_t>(params.p));
+  return sched;
+}
+
+/// Root (vrank 0) pushes the full payload down the tree: each vrank receives
+/// once from its parent, then forwards to its children, biggest subtree
+/// first. Appends to existing programs so compositions can reuse it.
+void append_knomial_bcast_phase(Schedule& sched, int tag_base) {
+  const CollParams& pr = sched.params;
+  const KnomialTree tree(pr.p, pr.k);
+  const std::size_t n = pr.nbytes();
+  for (int vr = 0; vr < pr.p; ++vr) {
+    RankProgram& prog = sched.ranks[static_cast<std::size_t>(real_of(vr, pr.root, pr.p))];
+    if (vr != 0) {
+      prog.recv(real_of(tree.parent(vr), pr.root, pr.p), tag_base, 0, n);
+    }
+    for (int child : tree.children_desc(vr)) {
+      prog.send(real_of(child, pr.root, pr.p), tag_base, 0, n);
+    }
+  }
+}
+
+/// Leaves push contributions up the tree: each vrank reduces its children's
+/// partial results into its own, then forwards to its parent. Nearest
+/// (smallest-subtree) children drain first since they finish first.
+void append_knomial_reduce_phase(Schedule& sched, int tag_base) {
+  const CollParams& pr = sched.params;
+  const KnomialTree tree(pr.p, pr.k);
+  const std::size_t n = pr.nbytes();
+  for (int vr = 0; vr < pr.p; ++vr) {
+    RankProgram& prog = sched.ranks[static_cast<std::size_t>(real_of(vr, pr.root, pr.p))];
+    for (int child : tree.children_asc(vr)) {
+      prog.recv_reduce(real_of(child, pr.root, pr.p), tag_base, 0, n);
+    }
+    if (vr != 0) {
+      prog.send(real_of(tree.parent(vr), pr.root, pr.p), tag_base, 0, n);
+    }
+  }
+}
+
+/// Each vrank accumulates its subtree's blocks (a contiguous vrank range =
+/// at most two byte segments after the root rotation) and forwards them to
+/// its parent; vrank 0 ends with all p blocks.
+void append_knomial_gather_phase(Schedule& sched, int tag_base) {
+  const CollParams& pr = sched.params;
+  const KnomialTree tree(pr.p, pr.k);
+  for (int vr = 0; vr < pr.p; ++vr) {
+    const int rank = real_of(vr, pr.root, pr.p);
+    RankProgram& prog = sched.ranks[static_cast<std::size_t>(rank)];
+    for (int child : tree.children_asc(vr)) {
+      const auto segs = wrap_segs(pr.count, pr.elem_size, pr.p,
+                                  real_of(child, pr.root, pr.p), tree.subtree_size(child));
+      for (std::size_t s = 0; s < segs.size(); ++s) {
+        prog.recv(real_of(child, pr.root, pr.p), tag_base + static_cast<int>(s),
+                  segs[s].off, segs[s].len);
+      }
+    }
+    if (vr != 0) {
+      const auto segs =
+          wrap_segs(pr.count, pr.elem_size, pr.p, rank, tree.subtree_size(vr));
+      for (std::size_t s = 0; s < segs.size(); ++s) {
+        prog.send(real_of(tree.parent(vr), pr.root, pr.p),
+                  tag_base + static_cast<int>(s), segs[s].off, segs[s].len);
+      }
+    }
+  }
+}
+
+void append_own_block_copy(Schedule& sched) {
+  const CollParams& pr = sched.params;
+  for (int r = 0; r < pr.p; ++r) {
+    const Seg own = seg_of_blocks(pr.count, pr.elem_size, pr.p, r, r + 1);
+    sched.ranks[static_cast<std::size_t>(r)].copy_input(0, own.off, own.len);
+  }
+}
+
+}  // namespace
+
+Schedule build_knomial_bcast(const CollParams& params) {
+  require_op(params, CollOp::kBcast);
+  require_tree_radix(params);
+  Schedule sched = make_schedule(params, "knomial_bcast");
+  sched.ranks[static_cast<std::size_t>(params.root)].copy_input(0, 0, params.nbytes());
+  append_knomial_bcast_phase(sched, /*tag_base=*/0);
+  return sched;
+}
+
+Schedule build_knomial_reduce(const CollParams& params) {
+  require_op(params, CollOp::kReduce);
+  require_tree_radix(params);
+  Schedule sched = make_schedule(params, "knomial_reduce");
+  for (auto& prog : sched.ranks) prog.copy_input(0, 0, params.nbytes());
+  append_knomial_reduce_phase(sched, /*tag_base=*/0);
+  return sched;
+}
+
+Schedule build_knomial_gather(const CollParams& params) {
+  require_op(params, CollOp::kGather);
+  require_tree_radix(params);
+  Schedule sched = make_schedule(params, "knomial_gather");
+  append_own_block_copy(sched);
+  append_knomial_gather_phase(sched, /*tag_base=*/0);
+  return sched;
+}
+
+Schedule build_knomial_allgather(const CollParams& params) {
+  require_op(params, CollOp::kAllgather);
+  require_tree_radix(params);
+  Schedule sched = make_schedule(params, "knomial_allgather");
+  // Gather to rank 0, then bcast from rank 0 (paper Eq. 3). Rootless
+  // collectives fix the internal root at rank 0, so vrank == rank.
+  sched.params.root = 0;
+  append_own_block_copy(sched);
+  append_knomial_gather_phase(sched, /*tag_base=*/0);
+  append_knomial_bcast_phase(sched, /*tag_base=*/internal::kTagPhaseStride);
+  sched.params.root = params.root;
+  return sched;
+}
+
+Schedule build_knomial_allreduce(const CollParams& params) {
+  require_op(params, CollOp::kAllreduce);
+  require_tree_radix(params);
+  Schedule sched = make_schedule(params, "knomial_allreduce");
+  sched.params.root = 0;
+  for (auto& prog : sched.ranks) prog.copy_input(0, 0, params.nbytes());
+  append_knomial_reduce_phase(sched, /*tag_base=*/0);
+  append_knomial_bcast_phase(sched, /*tag_base=*/internal::kTagPhaseStride);
+  sched.params.root = params.root;
+  return sched;
+}
+
+}  // namespace gencoll::core

@@ -1,0 +1,157 @@
+// Linear (sequential) baselines: the naive algorithms the paper's Eq. (1)
+// discussion starts from, and the "linear" algorithm vendor MPIs fall back
+// to for some regimes (§VI-C observes Cray MPI's Reduce doing so poorly).
+#include "core/algorithms.hpp"
+#include "core/algorithms_internal.hpp"
+#include "core/partition.hpp"
+
+namespace gencoll::core {
+
+namespace {
+
+void require_op(const CollParams& params, CollOp op) {
+  check_params(params);
+  if (params.op != op) {
+    throw std::invalid_argument("schedule builder called with mismatched op");
+  }
+}
+
+Schedule make_schedule(const CollParams& params, const char* kernel) {
+  Schedule sched;
+  sched.params = params;
+  sched.name = kernel;
+  sched.ranks.resize(static_cast<std::size_t>(params.p));
+  return sched;
+}
+
+}  // namespace
+
+Schedule build_linear_bcast(const CollParams& params) {
+  require_op(params, CollOp::kBcast);
+  Schedule sched = make_schedule(params, "linear_bcast");
+  const std::size_t n = params.nbytes();
+  RankProgram& root = sched.ranks[static_cast<std::size_t>(params.root)];
+  root.copy_input(0, 0, n);
+  for (int d = 1; d < params.p; ++d) {
+    const int peer = (params.root + d) % params.p;
+    root.send(peer, 0, 0, n);
+    sched.ranks[static_cast<std::size_t>(peer)].recv(params.root, 0, 0, n);
+  }
+  return sched;
+}
+
+Schedule build_linear_reduce(const CollParams& params) {
+  require_op(params, CollOp::kReduce);
+  Schedule sched = make_schedule(params, "linear_reduce");
+  const std::size_t n = params.nbytes();
+  for (auto& prog : sched.ranks) prog.copy_input(0, 0, n);
+  RankProgram& root = sched.ranks[static_cast<std::size_t>(params.root)];
+  for (int d = 1; d < params.p; ++d) {
+    const int peer = (params.root + d) % params.p;
+    sched.ranks[static_cast<std::size_t>(peer)].send(params.root, 0, 0, n);
+    root.recv_reduce(peer, 0, 0, n);
+  }
+  return sched;
+}
+
+Schedule build_linear_gather(const CollParams& params) {
+  require_op(params, CollOp::kGather);
+  Schedule sched = make_schedule(params, "linear_gather");
+  RankProgram& root = sched.ranks[static_cast<std::size_t>(params.root)];
+  for (int r = 0; r < params.p; ++r) {
+    const Seg block = seg_of_blocks(params.count, params.elem_size, params.p, r, r + 1);
+    sched.ranks[static_cast<std::size_t>(r)].copy_input(0, block.off, block.len);
+    if (r != params.root) {
+      sched.ranks[static_cast<std::size_t>(r)].send(params.root, 0, block.off, block.len);
+      root.recv(r, 0, block.off, block.len);
+    }
+  }
+  return sched;
+}
+
+Schedule build_linear_allgather(const CollParams& params) {
+  require_op(params, CollOp::kAllgather);
+  Schedule sched = make_schedule(params, "linear_allgather");
+  const int p = params.p;
+  for (int r = 0; r < p; ++r) {
+    RankProgram& prog = sched.ranks[static_cast<std::size_t>(r)];
+    const Seg own = seg_of_blocks(params.count, params.elem_size, p, r, r + 1);
+    prog.copy_input(0, own.off, own.len);
+    // Post all p-1 sends of the own block, then drain the p-1 receives.
+    for (int d = 1; d < p; ++d) {
+      prog.send((r + d) % p, 0, own.off, own.len);
+    }
+    for (int d = 1; d < p; ++d) {
+      const int peer = (r - d + p) % p;
+      const Seg theirs = seg_of_blocks(params.count, params.elem_size, p, peer, peer + 1);
+      prog.recv(peer, 0, theirs.off, theirs.len);
+    }
+  }
+  return sched;
+}
+
+Schedule build_rabenseifner_allreduce(const CollParams& params) {
+  require_op(params, CollOp::kAllreduce);
+  Schedule sched = make_schedule(params, "rabenseifner_allreduce");
+
+  const int p = params.p;
+  const std::size_t n = params.nbytes();
+  const internal::CorePow cp = internal::core_pow(p, 2);
+  const int core = cp.core;
+  const int rem = p - core;
+
+  for (auto& prog : sched.ranks) prog.copy_input(0, 0, n);
+
+  constexpr int kFoldInTag = 0;
+  constexpr int kHalvingTag = internal::kTagPhaseStride;
+  constexpr int kDoublingTag = 2 * internal::kTagPhaseStride;
+  constexpr int kFoldOutTag = 3 * internal::kTagPhaseStride;
+
+  // Fold-in: extras hand their full vector to a power-of-two core partner.
+  for (int c = 0; c < rem; ++c) {
+    const int extra = core + c;
+    sched.ranks[static_cast<std::size_t>(extra)].send(c, kFoldInTag, 0, n);
+    sched.ranks[static_cast<std::size_t>(c)].recv_reduce(extra, kFoldInTag, 0, n);
+  }
+
+  // Recursive-halving reduce-scatter over `core` absolute-offset blocks:
+  // each round sends away the half of the held block range the peer keeps.
+  for (int vr = 0; vr < core; ++vr) {
+    RankProgram& prog = sched.ranks[static_cast<std::size_t>(vr)];
+    int lo = 0;
+    int hi = core;
+    for (int i = 0; i < cp.rounds; ++i) {
+      const int tag = kHalvingTag + i * internal::kTagRoundStride;
+      const int half = (hi - lo) / 2;
+      const int mid = lo + half;
+      const bool lower = vr < mid;
+      const int peer = lower ? vr + half : vr - half;
+      const Seg keep = seg_of_blocks(params.count, params.elem_size, core,
+                                     lower ? lo : mid, lower ? mid : hi);
+      const Seg away = seg_of_blocks(params.count, params.elem_size, core,
+                                     lower ? mid : lo, lower ? hi : mid);
+      prog.send(peer, tag, away.off, away.len);
+      prog.recv_reduce(peer, tag, keep.off, keep.len);
+      if (lower) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+  }
+
+  // Recursive-doubling allgather of the scattered blocks (recursive
+  // multiplying rounds at k=2 over the core partition).
+  internal::append_recmul_allgather_rounds(sched, /*k=*/2, cp.rounds, /*parts=*/core,
+                                           core, /*rem=*/0, /*rot=*/0, kDoublingTag);
+
+  // Fold-out: extras receive the finished result.
+  for (int c = 0; c < rem; ++c) {
+    const int extra = core + c;
+    sched.ranks[static_cast<std::size_t>(c)].send(extra, kFoldOutTag, 0, n);
+    sched.ranks[static_cast<std::size_t>(extra)].recv(c, kFoldOutTag, 0, n);
+  }
+  return sched;
+}
+
+}  // namespace gencoll::core

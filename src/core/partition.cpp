@@ -1,0 +1,67 @@
+#include "core/partition.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gencoll::core {
+
+Block block_of(std::size_t count, int parts, int idx) {
+  if (parts <= 0 || idx < 0 || idx >= parts) {
+    throw std::invalid_argument("block_of: bad partition index");
+  }
+  const auto uparts = static_cast<std::size_t>(parts);
+  const auto uidx = static_cast<std::size_t>(idx);
+  const std::size_t base = count / uparts;
+  const std::size_t rem = count % uparts;
+  Block b;
+  b.elem_len = base + (uidx < rem ? 1 : 0);
+  b.elem_off = base * uidx + std::min(uidx, rem);
+  return b;
+}
+
+Seg seg_of_blocks(std::size_t count, std::size_t elem_size, int parts, int lo, int hi) {
+  if (lo > hi) throw std::invalid_argument("seg_of_blocks: lo > hi");
+  if (lo == hi) return Seg{0, 0};
+  const Block first = block_of(count, parts, lo);
+  const Block last = block_of(count, parts, hi - 1);
+  Seg s;
+  s.off = first.elem_off * elem_size;
+  s.len = (last.elem_off + last.elem_len - first.elem_off) * elem_size;
+  return s;
+}
+
+std::vector<Seg> wrap_segs(std::size_t count, std::size_t elem_size, int parts,
+                           int lo, int len) {
+  if (len < 0 || len > parts) {
+    throw std::invalid_argument("wrap_segs: bad length");
+  }
+  std::vector<Seg> out;
+  if (len == 0) return out;
+  lo = ((lo % parts) + parts) % parts;
+  const int first_len = std::min(len, parts - lo);
+  const Seg head = seg_of_blocks(count, elem_size, parts, lo, lo + first_len);
+  if (head.len > 0) out.push_back(head);
+  if (first_len < len) {
+    const Seg tail = seg_of_blocks(count, elem_size, parts, 0, len - first_len);
+    if (tail.len > 0) out.push_back(tail);
+  }
+  return out;
+}
+
+std::vector<Seg> merge_segs(std::vector<Seg> segs) {
+  std::erase_if(segs, [](const Seg& s) { return s.len == 0; });
+  std::sort(segs.begin(), segs.end(),
+            [](const Seg& a, const Seg& b) { return a.off < b.off; });
+  std::vector<Seg> out;
+  for (const Seg& s : segs) {
+    if (!out.empty() && s.off <= out.back().off + out.back().len) {
+      const std::size_t end = std::max(out.back().off + out.back().len, s.off + s.len);
+      out.back().len = end - out.back().off;
+    } else {
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+}  // namespace gencoll::core

@@ -1,0 +1,51 @@
+// Block partitioning of a collective payload.
+//
+// Gather/Allgather (and the scatter phases of scatter-allgather Bcast) split
+// the `count` elements into `parts` blocks. Blocks are element-aligned so
+// RecvReduce steps always cover whole elements. Partitioning is "balanced":
+// the first (count % parts) blocks carry one extra element, so block sizes
+// differ by at most one element and every rank can compute every block's
+// offset without communication.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace gencoll::core {
+
+/// A byte range within the output buffer.
+struct Seg {
+  std::size_t off = 0;
+  std::size_t len = 0;
+
+  friend bool operator==(const Seg&, const Seg&) = default;
+};
+
+/// A block in element units.
+struct Block {
+  std::size_t elem_off = 0;
+  std::size_t elem_len = 0;
+
+  friend bool operator==(const Block&, const Block&) = default;
+};
+
+/// Block `idx` of `count` elements split into `parts` balanced blocks.
+/// Requires 0 <= idx < parts.
+Block block_of(std::size_t count, int parts, int idx);
+
+/// Byte segment spanning blocks [lo, hi) of the partition (hi >= lo).
+/// Contiguous by construction since blocks are laid out in index order.
+Seg seg_of_blocks(std::size_t count, std::size_t elem_size, int parts, int lo, int hi);
+
+/// Byte segments covering the block index range [lo, lo+len) taken modulo
+/// `parts` — i.e. a contiguous range in *ring order* that may wrap past the
+/// last block. Returns 0, 1, or 2 non-empty segments in buffer order of the
+/// ring traversal (the wrapped tail, if any, comes second).
+std::vector<Seg> wrap_segs(std::size_t count, std::size_t elem_size, int parts,
+                           int lo, int len);
+
+/// Coalesce adjacent/overlapping segments (sorts by offset). Used by tests
+/// to assert full-coverage invariants.
+std::vector<Seg> merge_segs(std::vector<Seg> segs);
+
+}  // namespace gencoll::core

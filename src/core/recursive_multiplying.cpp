@@ -1,0 +1,178 @@
+// Recursive multiplying algorithms (paper §IV). k=2 is recursive doubling.
+//
+// Non-power-of-k process counts fold onto a k^r core (the generalization of
+// MPICH's non-power-of-two handling): the p - k^r "extra" ranks hand their
+// contribution to a core partner before the rounds and receive the final
+// result afterwards. For allgather the fold makes core slots carry two
+// blocks, which the slot_segs layout keeps to at most two wire segments.
+#include <string>
+
+#include "core/algorithms.hpp"
+#include "core/algorithms_internal.hpp"
+#include "core/partition.hpp"
+
+namespace gencoll::core {
+
+using internal::core_pow;
+using internal::CorePow;
+using internal::real_of;
+
+namespace {
+
+void require_op(const CollParams& params, CollOp op) {
+  check_params(params);
+  if (params.op != op) {
+    throw std::invalid_argument("schedule builder called with mismatched op");
+  }
+}
+
+void require_recmul_radix(const CollParams& params) {
+  if (params.k < 2) {
+    throw UnsupportedParams("recursive multiplying requires radix k >= 2");
+  }
+}
+
+Schedule make_schedule(const CollParams& params, const std::string& kernel) {
+  Schedule sched;
+  sched.params = params;
+  sched.name = kernel + "(k=" + std::to_string(params.k) + ")";
+  sched.ranks.resize(static_cast<std::size_t>(params.p));
+  return sched;
+}
+
+// Tag bases for the three phases of each collective.
+constexpr int kFoldInTag = 0;
+constexpr int kRoundsTag = internal::kTagPhaseStride;
+constexpr int kFoldOutTag = 2 * internal::kTagPhaseStride;
+
+}  // namespace
+
+Schedule build_recmul_allreduce(const CollParams& params) {
+  require_op(params, CollOp::kAllreduce);
+  require_recmul_radix(params);
+  Schedule sched = make_schedule(params, "recmul_allreduce");
+
+  const int p = params.p;
+  const int k = params.k;
+  const std::size_t n = params.nbytes();
+  const CorePow cp = core_pow(p, k);
+  const int rem = p - cp.core;
+
+  for (auto& prog : sched.ranks) prog.copy_input(0, 0, n);
+
+  // Fold-in: extras hand their full vector to their core partner. rem may
+  // exceed the core size (k > 2), so extras distribute round-robin.
+  for (int c = 0; c < rem; ++c) {
+    const int extra = cp.core + c;
+    const int partner = c % cp.core;
+    sched.ranks[static_cast<std::size_t>(extra)].send(partner, kFoldInTag, 0, n);
+    sched.ranks[static_cast<std::size_t>(partner)].recv_reduce(extra, kFoldInTag, 0, n);
+  }
+
+  // Core rounds: in round i, the k ranks sharing all base-k digits except
+  // digit i exchange full vectors. All sends post before any receive drains
+  // (the multiport overlap the paper's model assumes, §II-B2).
+  long long stride = 1;
+  for (int i = 0; i < cp.rounds; ++i) {
+    const int tag = kRoundsTag + i * internal::kTagRoundStride;
+    for (int vr = 0; vr < cp.core; ++vr) {
+      RankProgram& prog = sched.ranks[static_cast<std::size_t>(vr)];
+      const int digit = static_cast<int>((vr / stride) % k);
+      for (int j = 0; j < k; ++j) {
+        if (j == digit) continue;
+        const int peer = vr + static_cast<int>((static_cast<long long>(j) - digit) * stride);
+        prog.send(peer, tag, 0, n);
+      }
+      for (int j = 0; j < k; ++j) {
+        if (j == digit) continue;
+        const int peer = vr + static_cast<int>((static_cast<long long>(j) - digit) * stride);
+        prog.recv_reduce(peer, tag, 0, n);
+      }
+    }
+    stride *= k;
+  }
+
+  // Fold-out: core partners return the finished result.
+  for (int c = 0; c < rem; ++c) {
+    const int extra = cp.core + c;
+    const int partner = c % cp.core;
+    sched.ranks[static_cast<std::size_t>(partner)].send(extra, kFoldOutTag, 0, n);
+    sched.ranks[static_cast<std::size_t>(extra)].recv(partner, kFoldOutTag, 0, n);
+  }
+  return sched;
+}
+
+Schedule build_recmul_allgather(const CollParams& params) {
+  require_op(params, CollOp::kAllgather);
+  require_recmul_radix(params);
+  Schedule sched = make_schedule(params, "recmul_allgather");
+
+  const int p = params.p;
+  const int k = params.k;
+  const CorePow cp = core_pow(p, k);
+  const int rem = p - cp.core;
+
+  // Everyone stages its own block at its final position in the output.
+  for (int r = 0; r < p; ++r) {
+    const Seg own = seg_of_blocks(params.count, params.elem_size, p, r, r + 1);
+    sched.ranks[static_cast<std::size_t>(r)].copy_input(0, own.off, own.len);
+  }
+
+  // Fold-in: extra core+c ships its block to core rank c % core, whose
+  // "slot" then covers its own block plus every folded layer's block.
+  for (int c = 0; c < rem; ++c) {
+    const int extra = cp.core + c;
+    const int partner = c % cp.core;
+    const Seg eb = seg_of_blocks(params.count, params.elem_size, p, extra, extra + 1);
+    sched.ranks[static_cast<std::size_t>(extra)].send(partner, kFoldInTag, eb.off, eb.len);
+    sched.ranks[static_cast<std::size_t>(partner)].recv(extra, kFoldInTag, eb.off, eb.len);
+  }
+
+  internal::append_recmul_allgather_rounds(sched, k, cp.rounds, /*parts=*/p,
+                                           cp.core, rem, /*rot=*/0, kRoundsTag);
+
+  // Fold-out: extras receive the fully assembled payload.
+  const std::size_t n = params.nbytes();
+  for (int c = 0; c < rem; ++c) {
+    const int extra = cp.core + c;
+    const int partner = c % cp.core;
+    sched.ranks[static_cast<std::size_t>(partner)].send(extra, kFoldOutTag, 0, n);
+    sched.ranks[static_cast<std::size_t>(extra)].recv(partner, kFoldOutTag, 0, n);
+  }
+  return sched;
+}
+
+Schedule build_recmul_bcast(const CollParams& params) {
+  require_op(params, CollOp::kBcast);
+  require_recmul_radix(params);
+  Schedule sched = make_schedule(params, "recmul_bcast");
+
+  const int p = params.p;
+  const int k = params.k;
+  const std::size_t n = params.nbytes();
+  const CorePow cp = core_pow(p, k);
+  const int rem = p - cp.core;
+
+  // Scatter-allgather over the k^r core, in vrank space (vrank 0 = root).
+  // The payload is partitioned into `core` blocks at absolute offsets, so
+  // the assembled bytes are position-correct on every rank with no final
+  // reorder.
+  sched.ranks[static_cast<std::size_t>(params.root)].copy_input(0, 0, n);
+  internal::append_knomial_scatter(sched, k, /*parts=*/cp.core, /*rot=*/params.root,
+                                   kFoldInTag);
+  internal::append_recmul_allgather_rounds(sched, k, cp.rounds, /*parts=*/cp.core,
+                                           cp.core, /*rem=*/0, /*rot=*/params.root,
+                                           kRoundsTag);
+  // Deliver the full payload to the folded vranks [core, p).
+  for (int c = 0; c < rem; ++c) {
+    const int extra_vr = cp.core + c;
+    const int partner = c % cp.core;
+    sched.ranks[static_cast<std::size_t>(real_of(partner, params.root, p))].send(
+        real_of(extra_vr, params.root, p), kFoldOutTag, 0, n);
+    sched.ranks[static_cast<std::size_t>(real_of(extra_vr, params.root, p))].recv(
+        real_of(partner, params.root, p), kFoldOutTag, 0, n);
+  }
+  return sched;
+}
+
+}  // namespace gencoll::core

@@ -1,0 +1,154 @@
+#include "core/reference.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "core/partition.hpp"
+#include "util/rng.hpp"
+
+namespace gencoll::core {
+
+using runtime::DataType;
+using runtime::ReduceOp;
+
+std::vector<std::vector<std::byte>> reference_outputs(
+    const CollParams& params, const std::vector<std::vector<std::byte>>& inputs,
+    DataType type, ReduceOp op) {
+  check_params(params);
+  if (runtime::datatype_size(type) != params.elem_size) {
+    throw std::invalid_argument("reference_outputs: elem_size != datatype size");
+  }
+  if (inputs.size() != static_cast<std::size_t>(params.p)) {
+    throw std::invalid_argument("reference_outputs: wrong number of inputs");
+  }
+  for (int r = 0; r < params.p; ++r) {
+    if (inputs[static_cast<std::size_t>(r)].size() != input_bytes(params, r)) {
+      throw std::invalid_argument("reference_outputs: input size mismatch at rank " +
+                                  std::to_string(r));
+    }
+  }
+
+  const std::size_t n = output_bytes(params);
+  std::vector<std::byte> result(n);
+  // Alltoall results differ per rank; everything else shares one `result`
+  // buffer (for Scatter/ReduceScatter only each rank's own block of it is a
+  // defined result, which is all result_segments exposes).
+  std::vector<std::vector<std::byte>> outputs(static_cast<std::size_t>(params.p));
+
+  switch (params.op) {
+    case CollOp::kBcast:
+    case CollOp::kScatter:
+      result = inputs[static_cast<std::size_t>(params.root)];
+      break;
+    case CollOp::kReduce:
+    case CollOp::kAllreduce:
+    case CollOp::kReduceScatter: {
+      result = inputs[0];
+      for (int r = 1; r < params.p; ++r) {
+        runtime::apply_reduce(op, type, result, inputs[static_cast<std::size_t>(r)],
+                              params.count);
+      }
+      break;
+    }
+    case CollOp::kGather:
+    case CollOp::kAllgather: {
+      for (int r = 0; r < params.p; ++r) {
+        const Seg s = seg_of_blocks(params.count, params.elem_size, params.p, r, r + 1);
+        std::memcpy(result.data() + s.off, inputs[static_cast<std::size_t>(r)].data(),
+                    s.len);
+      }
+      break;
+    }
+    case CollOp::kAlltoall: {
+      const std::size_t chunk = params.nbytes();
+      for (int r = 0; r < params.p; ++r) {
+        auto& out = outputs[static_cast<std::size_t>(r)];
+        out.resize(n);
+        for (int s = 0; s < params.p; ++s) {
+          std::memcpy(out.data() + static_cast<std::size_t>(s) * chunk,
+                      inputs[static_cast<std::size_t>(s)].data() +
+                          static_cast<std::size_t>(r) * chunk,
+                      chunk);
+        }
+      }
+      return outputs;
+    }
+    case CollOp::kScan: {
+      // Inclusive prefix: rank r's output reduces inputs[0..r].
+      std::vector<std::byte> prefix = inputs[0];
+      outputs[0] = prefix;
+      for (int r = 1; r < params.p; ++r) {
+        runtime::apply_reduce(op, type, prefix, inputs[static_cast<std::size_t>(r)],
+                              params.count);
+        outputs[static_cast<std::size_t>(r)] = prefix;
+      }
+      return outputs;
+    }
+    case CollOp::kBarrier:
+      return outputs;  // no data results
+  }
+
+  for (int r = 0; r < params.p; ++r) {
+    if (has_result(params, r)) outputs[static_cast<std::size_t>(r)] = result;
+  }
+  return outputs;
+}
+
+std::vector<std::vector<std::byte>> make_inputs(const CollParams& params,
+                                                DataType type,
+                                                unsigned long long seed) {
+  check_params(params);
+  if (runtime::datatype_size(type) != params.elem_size) {
+    throw std::invalid_argument("make_inputs: elem_size != datatype size");
+  }
+  std::vector<std::vector<std::byte>> inputs(static_cast<std::size_t>(params.p));
+  for (int r = 0; r < params.p; ++r) {
+    util::SplitMix64 rng(seed * 1000003ULL + static_cast<unsigned long long>(r));
+    const std::size_t bytes = input_bytes(params, r);
+    auto& buf = inputs[static_cast<std::size_t>(r)];
+    buf.resize(bytes);
+    const std::size_t elems = bytes / params.elem_size;
+    for (std::size_t e = 0; e < elems; ++e) {
+      std::byte* at = buf.data() + e * params.elem_size;
+      // Small-magnitude values: sums/products across thousands of ranks stay
+      // exactly representable, so even float reductions compare bit-exactly
+      // when the reduction orders agree and closely otherwise.
+      const auto small = static_cast<long long>(rng.below(7)) + 1;  // 1..7
+      switch (type) {
+        case DataType::kByte: {
+          const auto v = static_cast<std::uint8_t>(rng.below(200));
+          std::memcpy(at, &v, sizeof(v));
+          break;
+        }
+        case DataType::kInt32: {
+          const auto v = static_cast<std::int32_t>(rng.below(1000)) - 500;
+          std::memcpy(at, &v, sizeof(v));
+          break;
+        }
+        case DataType::kInt64: {
+          const auto v = static_cast<std::int64_t>(rng.below(100000)) - 50000;
+          std::memcpy(at, &v, sizeof(v));
+          break;
+        }
+        case DataType::kUInt64: {
+          const std::uint64_t v = rng.below(1ULL << 40);
+          std::memcpy(at, &v, sizeof(v));
+          break;
+        }
+        case DataType::kFloat: {
+          const auto v = static_cast<float>(small);
+          std::memcpy(at, &v, sizeof(v));
+          break;
+        }
+        case DataType::kDouble: {
+          const auto v = static_cast<double>(small);
+          std::memcpy(at, &v, sizeof(v));
+          break;
+        }
+      }
+    }
+  }
+  return inputs;
+}
+
+}  // namespace gencoll::core

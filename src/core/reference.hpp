@@ -1,0 +1,30 @@
+// Reference (trivially correct) collective results, computed directly from
+// the per-rank inputs with no schedule. The integration tests compare every
+// algorithm's executed output against these byte-for-byte (element-wise with
+// tolerance for floating point).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/coll_params.hpp"
+#include "runtime/datatype.hpp"
+#include "runtime/reduce_op.hpp"
+
+namespace gencoll::core {
+
+/// inputs[r] must have input_bytes(params, r) bytes. Returns one
+/// output_bytes(params)-sized buffer per rank; ranks without a defined
+/// result (non-root Reduce/Gather) get an empty vector.
+std::vector<std::vector<std::byte>> reference_outputs(
+    const CollParams& params, const std::vector<std::vector<std::byte>>& inputs,
+    runtime::DataType type, runtime::ReduceOp op);
+
+/// Deterministic pseudo-random inputs for (params, seed): valid element
+/// patterns per datatype, small-magnitude values so float sums stay exact
+/// enough to compare. Shape matches input_bytes().
+std::vector<std::vector<std::byte>> make_inputs(const CollParams& params,
+                                                runtime::DataType type,
+                                                unsigned long long seed);
+
+}  // namespace gencoll::core

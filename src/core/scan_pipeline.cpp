@@ -1,0 +1,123 @@
+// Scan (inclusive prefix reduction) and pipelined chain broadcast.
+//
+// Both continue the paper's theme on classic kernels it does not cover:
+//   * the k-ary Hillis-Steele scan generalizes recursive-doubling scan the
+//     same way recursive multiplying generalizes recursive doubling — each
+//     round folds partial prefixes from k-1 ranks behind,
+//   * the pipelined chain bcast exposes its segment count as the tunable
+//     parameter: more segments shrink the pipeline fill cost per byte but
+//     pay more per-message latency, the same latency/bandwidth dial as a
+//     radix.
+#include <algorithm>
+#include <string>
+
+#include "core/algorithms.hpp"
+#include "core/algorithms_internal.hpp"
+#include "core/partition.hpp"
+
+namespace gencoll::core {
+
+using internal::real_of;
+
+namespace {
+
+void require_op(const CollParams& params, CollOp op) {
+  check_params(params);
+  if (params.op != op) {
+    throw std::invalid_argument("schedule builder called with mismatched op");
+  }
+}
+
+Schedule make_schedule(const CollParams& params, const std::string& kernel,
+                       bool with_radix = true) {
+  Schedule sched;
+  sched.params = params;
+  sched.name = with_radix ? kernel + "(k=" + std::to_string(params.k) + ")" : kernel;
+  sched.ranks.resize(static_cast<std::size_t>(params.p));
+  return sched;
+}
+
+}  // namespace
+
+Schedule build_linear_scan(const CollParams& params) {
+  require_op(params, CollOp::kScan);
+  Schedule sched = make_schedule(params, "linear_scan", /*with_radix=*/false);
+  const std::size_t n = params.nbytes();
+  // Sequential prefix chain: rank r folds the prefix of [0, r) arriving from
+  // r-1 into its own contribution, then forwards the new prefix to r+1.
+  for (int r = 0; r < params.p; ++r) {
+    RankProgram& prog = sched.ranks[static_cast<std::size_t>(r)];
+    prog.copy_input(0, 0, n);
+    if (r > 0) prog.recv_reduce(r - 1, 0, 0, n);
+    if (r + 1 < params.p) prog.send(r + 1, 0, 0, n);
+  }
+  return sched;
+}
+
+Schedule build_hillis_steele_scan(const CollParams& params) {
+  require_op(params, CollOp::kScan);
+  if (params.k < 2) throw UnsupportedParams("Hillis-Steele scan requires k >= 2");
+  Schedule sched = make_schedule(params, "hillis_steele_scan");
+  const int p = params.p;
+  const int k = params.k;
+  const std::size_t n = params.nbytes();
+
+  for (auto& prog : sched.ranks) prog.copy_input(0, 0, n);
+
+  // Round i (stride k^i): rank r ships its current partial prefix (covering
+  // [r - k^i + 1, r]) to the k-1 ranks ahead and folds the partials of the
+  // k-1 ranks behind; after the round it covers [r - k^{i+1} + 1, r]. Sends
+  // post before receives so the pre-round value is what travels (buffered
+  // sends snapshot the payload).
+  long long stride = 1;
+  int round = 0;
+  while (stride < p) {
+    const int tag = round * internal::kTagRoundStride;
+    for (int r = 0; r < p; ++r) {
+      RankProgram& prog = sched.ranks[static_cast<std::size_t>(r)];
+      for (int j = 1; j < k; ++j) {
+        const long long to = r + static_cast<long long>(j) * stride;
+        if (to < p) prog.send(static_cast<int>(to), tag, 0, n);
+      }
+      for (int j = 1; j < k; ++j) {
+        const long long from = r - static_cast<long long>(j) * stride;
+        if (from >= 0) prog.recv_reduce(static_cast<int>(from), tag, 0, n);
+      }
+    }
+    stride *= k;
+    ++round;
+  }
+  return sched;
+}
+
+Schedule build_pipeline_bcast(const CollParams& params) {
+  require_op(params, CollOp::kBcast);
+  if (params.k < 1) throw UnsupportedParams("pipeline bcast requires >= 1 segment");
+  Schedule sched = make_schedule(params, "pipeline_bcast");
+  const int p = params.p;
+  // Clip segments to the element count so none are empty (when count > 0).
+  const int segments = static_cast<int>(std::max<std::size_t>(
+      1, std::min<std::size_t>(static_cast<std::size_t>(params.k),
+                               std::max<std::size_t>(params.count, 1))));
+
+  sched.ranks[static_cast<std::size_t>(params.root)].copy_input(0, 0, params.nbytes());
+  // Chain in vrank order; each segment flows down the chain independently,
+  // so segment s+1 can occupy the link rank i-1 -> i while rank i forwards
+  // segment s to rank i+1.
+  for (int vr = 0; vr < p; ++vr) {
+    RankProgram& prog =
+        sched.ranks[static_cast<std::size_t>(real_of(vr, params.root, p))];
+    for (int s = 0; s < segments; ++s) {
+      const Seg seg = seg_of_blocks(params.count, params.elem_size, segments, s, s + 1);
+      if (vr != 0) {
+        prog.recv(real_of(vr - 1, params.root, p), s, seg.off, seg.len);
+      }
+      if (vr + 1 < p) {
+        prog.send(real_of(vr + 1, params.root, p), s, seg.off, seg.len);
+      }
+    }
+  }
+  return sched;
+}
+
+}  // namespace gencoll::core

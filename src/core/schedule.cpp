@@ -1,0 +1,112 @@
+#include "core/schedule.hpp"
+
+#include <sstream>
+
+namespace gencoll::core {
+
+void RankProgram::copy_input(std::size_t src_off, std::size_t dst_off, std::size_t bytes) {
+  if (bytes == 0) return;
+  Step s;
+  s.kind = StepKind::kCopyInput;
+  s.src_off = src_off;
+  s.off = dst_off;
+  s.bytes = bytes;
+  steps.push_back(s);
+}
+
+void RankProgram::send(int peer, int tag, std::size_t off, std::size_t bytes) {
+  if (bytes == 0) return;
+  Step s;
+  s.kind = StepKind::kSend;
+  s.peer = peer;
+  s.tag = tag;
+  s.off = off;
+  s.bytes = bytes;
+  steps.push_back(s);
+}
+
+void RankProgram::send_input(int peer, int tag, std::size_t src_off, std::size_t bytes) {
+  if (bytes == 0) return;
+  Step s;
+  s.kind = StepKind::kSendInput;
+  s.peer = peer;
+  s.tag = tag;
+  s.src_off = src_off;
+  s.bytes = bytes;
+  steps.push_back(s);
+}
+
+void RankProgram::recv(int peer, int tag, std::size_t off, std::size_t bytes) {
+  if (bytes == 0) return;
+  Step s;
+  s.kind = StepKind::kRecv;
+  s.peer = peer;
+  s.tag = tag;
+  s.off = off;
+  s.bytes = bytes;
+  steps.push_back(s);
+}
+
+void RankProgram::recv_reduce(int peer, int tag, std::size_t off, std::size_t bytes) {
+  if (bytes == 0) return;
+  Step s;
+  s.kind = StepKind::kRecvReduce;
+  s.peer = peer;
+  s.tag = tag;
+  s.off = off;
+  s.bytes = bytes;
+  steps.push_back(s);
+}
+
+std::size_t Schedule::total_steps() const {
+  std::size_t total = 0;
+  for (const auto& r : ranks) total += r.steps.size();
+  return total;
+}
+
+std::size_t Schedule::total_send_bytes() const {
+  std::size_t total = 0;
+  for (const auto& r : ranks) {
+    for (const auto& s : r.steps) {
+      if (s.kind == StepKind::kSend || s.kind == StepKind::kSendInput) {
+        total += s.bytes;
+      }
+    }
+  }
+  return total;
+}
+
+const char* step_kind_name(StepKind kind) {
+  switch (kind) {
+    case StepKind::kCopyInput: return "copy_input";
+    case StepKind::kSend: return "send";
+    case StepKind::kSendInput: return "send_input";
+    case StepKind::kRecv: return "recv";
+    case StepKind::kRecvReduce: return "recv_reduce";
+  }
+  return "?";
+}
+
+std::string Schedule::dump() const {
+  std::ostringstream os;
+  os << name << " [" << params.describe() << "]\n";
+  for (std::size_t r = 0; r < ranks.size(); ++r) {
+    os << "  rank " << r << ":\n";
+    for (const Step& s : ranks[r].steps) {
+      os << "    " << step_kind_name(s.kind);
+      if (s.kind == StepKind::kCopyInput) {
+        os << " in+" << s.src_off << " -> out+" << s.off << " x" << s.bytes;
+      } else if (s.kind == StepKind::kSendInput) {
+        os << " peer=" << s.peer << " tag=" << s.tag << " in+" << s.src_off
+           << " x" << s.bytes;
+      } else {
+        os << " peer=" << s.peer << " tag=" << s.tag << " out+" << s.off
+           << " x" << s.bytes;
+      }
+      os << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace gencoll::core

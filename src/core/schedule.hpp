@@ -1,0 +1,65 @@
+// Schedule IR: the bridge between algorithms and executors.
+//
+// An algorithm compiles (op, p, root, n, k) into one step program per rank.
+// Steps operate on two buffers per rank:
+//   input  — the rank's read-only contribution (size input_bytes()),
+//   output — the n-byte workspace/result buffer.
+// Every send/recv references a byte range of *output*; the only input access
+// is the CopyInput step. This tiny IR is sufficient for all the paper's
+// algorithms and keeps both executors (threaded + simulated) trivial to
+// verify.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/coll_params.hpp"
+
+namespace gencoll::core {
+
+enum class StepKind {
+  kCopyInput,   ///< output[dst_off .. dst_off+bytes) = input[src_off ..)
+  kSend,        ///< send output[off ..) to peer with tag
+  kSendInput,   ///< send input[src_off ..) to peer with tag (alltoall-style
+                ///< exchanges where the region's output slot is overwritten
+                ///< by an incoming message)
+  kRecv,        ///< receive bytes into output[off ..)
+  kRecvReduce,  ///< receive bytes, combine element-wise into output[off ..)
+};
+
+struct Step {
+  StepKind kind = StepKind::kSend;
+  int peer = -1;            ///< kSend/kRecv/kRecvReduce
+  int tag = 0;              ///< message matching tag
+  std::size_t off = 0;      ///< byte offset in output (dst for kCopyInput)
+  std::size_t bytes = 0;
+  std::size_t src_off = 0;  ///< kCopyInput only: byte offset in input
+};
+
+/// One rank's ordered step program.
+struct RankProgram {
+  std::vector<Step> steps;
+
+  void copy_input(std::size_t src_off, std::size_t dst_off, std::size_t bytes);
+  void send(int peer, int tag, std::size_t off, std::size_t bytes);
+  void send_input(int peer, int tag, std::size_t src_off, std::size_t bytes);
+  void recv(int peer, int tag, std::size_t off, std::size_t bytes);
+  void recv_reduce(int peer, int tag, std::size_t off, std::size_t bytes);
+};
+
+struct Schedule {
+  CollParams params;
+  std::string name;                 ///< algorithm name + radix, for reports
+  std::vector<RankProgram> ranks;   ///< size params.p
+
+  [[nodiscard]] std::size_t total_steps() const;
+  /// Sum of bytes over all kSend steps (network traffic of the collective).
+  [[nodiscard]] std::size_t total_send_bytes() const;
+  /// Human-readable dump (debugging aid).
+  [[nodiscard]] std::string dump() const;
+};
+
+const char* step_kind_name(StepKind kind);
+
+}  // namespace gencoll::core

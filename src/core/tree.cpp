@@ -1,0 +1,82 @@
+#include "core/tree.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gencoll::core {
+
+KnomialTree::KnomialTree(int p, int k) : p_(p), k_(k) {
+  if (p < 1) throw std::invalid_argument("KnomialTree: p must be >= 1");
+  if (k < 2) throw std::invalid_argument("KnomialTree: k must be >= 2");
+}
+
+int KnomialTree::parent(int vr) const {
+  if (vr < 0 || vr >= p_) throw std::out_of_range("KnomialTree::parent: bad vrank");
+  long long mask = 1;
+  while (mask < p_) {
+    const int digit = static_cast<int>((vr / mask) % k_);
+    if (digit != 0) return static_cast<int>(vr - static_cast<long long>(digit) * mask);
+    mask *= k_;
+  }
+  return -1;  // vr == 0
+}
+
+namespace {
+// The k^d at which `vr` has its lowest nonzero digit; for the root this is
+// the smallest power of k >= p (children exist at every level below it).
+long long limit_mask(int p, int k, int vr) {
+  long long mask = 1;
+  while (mask < p) {
+    if ((vr / mask) % k != 0) return mask;
+    mask *= k;
+  }
+  return mask;
+}
+}  // namespace
+
+std::vector<int> KnomialTree::children_desc(int vr) const {
+  if (vr < 0 || vr >= p_) throw std::out_of_range("KnomialTree::children: bad vrank");
+  const long long limit = limit_mask(p_, k_, vr);
+  // Collect levels below the limit, largest mask first.
+  std::vector<long long> masks;
+  for (long long mask = 1; mask < limit && mask < p_; mask *= k_) masks.push_back(mask);
+  std::vector<int> children;
+  for (auto it = masks.rbegin(); it != masks.rend(); ++it) {
+    for (int j = 1; j < k_; ++j) {
+      const long long child = vr + static_cast<long long>(j) * (*it);
+      if (child < p_) children.push_back(static_cast<int>(child));
+    }
+  }
+  return children;
+}
+
+std::vector<int> KnomialTree::children_asc(int vr) const {
+  if (vr < 0 || vr >= p_) throw std::out_of_range("KnomialTree::children: bad vrank");
+  const long long limit = limit_mask(p_, k_, vr);
+  std::vector<int> children;
+  for (long long mask = 1; mask < limit && mask < p_; mask *= k_) {
+    for (int j = 1; j < k_; ++j) {
+      const long long child = vr + static_cast<long long>(j) * mask;
+      if (child < p_) children.push_back(static_cast<int>(child));
+    }
+  }
+  return children;
+}
+
+int KnomialTree::subtree_size(int vr) const {
+  if (vr < 0 || vr >= p_) throw std::out_of_range("KnomialTree::subtree_size: bad vrank");
+  const long long limit = limit_mask(p_, k_, vr);
+  return static_cast<int>(std::min<long long>(limit, p_ - vr));
+}
+
+int KnomialTree::depth() const {
+  int d = 0;
+  long long span = 1;
+  while (span < p_) {
+    span *= k_;
+    ++d;
+  }
+  return d;
+}
+
+}  // namespace gencoll::core

@@ -1,0 +1,50 @@
+// K-nomial tree structure over p virtual ranks (vrank 0 is the root).
+//
+// A k-nomial tree generalizes the binomial tree (k=2): writing a vrank in
+// base k, its parent is the vrank with the lowest nonzero digit cleared, and
+// its children add j*k^l (j = 1..k-1) at every digit position l below that
+// lowest nonzero digit. The subtree rooted at vr spans the contiguous vrank
+// range [vr, vr + subtree_span) clipped to p — the property the gather and
+// scatter schedules exploit to keep payloads contiguous.
+#pragma once
+
+#include <vector>
+
+namespace gencoll::core {
+
+class KnomialTree {
+ public:
+  /// Requires p >= 1 and k >= 2.
+  KnomialTree(int p, int k);
+
+  [[nodiscard]] int p() const { return p_; }
+  [[nodiscard]] int k() const { return k_; }
+
+  /// Parent vrank; -1 for the root (vrank 0).
+  [[nodiscard]] int parent(int vr) const;
+
+  /// Children ordered by descending subtree size (the order a broadcast
+  /// forwards in: the farthest/biggest subtree first, as in MPICH).
+  [[nodiscard]] std::vector<int> children_desc(int vr) const;
+
+  /// Children ordered by ascending subtree size (the order a reduction
+  /// drains in: nearest leaves complete first). Within one level (equal
+  /// subtree size) children keep ascending-j order, matching the order
+  /// their messages arrive in when they start simultaneously.
+  [[nodiscard]] std::vector<int> children_asc(int vr) const;
+
+  /// Number of vranks in the subtree rooted at vr (including vr), i.e.
+  /// min(k^d, p - vr) where k^d is vr's lowest nonzero digit position
+  /// (k^ceil(log_k p) for the root).
+  [[nodiscard]] int subtree_size(int vr) const;
+
+  /// Depth of the deepest vrank (number of sequential communication rounds
+  /// on the critical path). ceil(log_k(p)).
+  [[nodiscard]] int depth() const;
+
+ private:
+  int p_;
+  int k_;
+};
+
+}  // namespace gencoll::core

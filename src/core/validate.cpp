@@ -1,0 +1,199 @@
+#include "core/validate.hpp"
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/partition.hpp"
+
+namespace gencoll::core {
+
+namespace {
+
+/// FIFO of pending message sizes on one channel. A tiny vector-with-head
+/// beats std::deque here: most channels ever hold exactly one message, and
+/// schedules create millions of channels.
+struct ChannelQueue {
+  std::uint32_t head = 0;
+  std::vector<std::size_t> bytes;
+
+  [[nodiscard]] bool empty() const { return head == bytes.size(); }
+  [[nodiscard]] std::size_t size() const { return bytes.size() - head; }
+  void push(std::size_t b) { bytes.push_back(b); }
+  std::size_t pop() { return bytes[head++]; }
+};
+
+std::string step_context(const Schedule& sched, int rank, std::size_t index) {
+  return sched.name + " [" + sched.params.describe() + "] rank " +
+         std::to_string(rank) + " step " + std::to_string(index);
+}
+
+}  // namespace
+
+void validate_schedule(const Schedule& sched) {
+  const CollParams& pr = sched.params;
+  check_params(pr);
+  if (sched.ranks.size() != static_cast<std::size_t>(pr.p)) {
+    throw std::logic_error("validate: schedule rank count != p");
+  }
+  const std::size_t n = output_bytes(pr);
+
+  // Static per-step checks.
+  for (int r = 0; r < pr.p; ++r) {
+    const auto& steps = sched.ranks[static_cast<std::size_t>(r)].steps;
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+      const Step& s = steps[i];
+      if (s.bytes == 0) {
+        throw std::logic_error(step_context(sched, r, i) + ": zero-byte step emitted");
+      }
+      if (s.kind != StepKind::kSendInput && s.off + s.bytes > n) {
+        throw std::logic_error(step_context(sched, r, i) + ": output range out of bounds");
+      }
+      if (s.kind != StepKind::kCopyInput && (s.tag < 0 || s.tag >= (1 << 24))) {
+        throw std::logic_error(step_context(sched, r, i) + ": tag out of range");
+      }
+      switch (s.kind) {
+        case StepKind::kCopyInput:
+        case StepKind::kSendInput:
+          if (s.src_off + s.bytes > input_bytes(pr, r)) {
+            throw std::logic_error(step_context(sched, r, i) +
+                                   ": input range out of bounds");
+          }
+          if (s.kind == StepKind::kCopyInput) break;
+          [[fallthrough]];
+        case StepKind::kRecvReduce:
+          if (s.kind == StepKind::kRecvReduce &&
+              (s.off % pr.elem_size != 0 || s.bytes % pr.elem_size != 0)) {
+            throw std::logic_error(step_context(sched, r, i) +
+                                   ": recv_reduce range not element aligned");
+          }
+          [[fallthrough]];
+        case StepKind::kSend:
+        case StepKind::kRecv:
+          if (s.peer < 0 || s.peer >= pr.p) {
+            throw std::logic_error(step_context(sched, r, i) + ": peer out of range");
+          }
+          if (s.peer == r) {
+            throw std::logic_error(step_context(sched, r, i) + ": self message");
+          }
+          break;
+      }
+    }
+  }
+
+  // Logical execution: sends always progress; a receive progresses when the
+  // head of its (source -> me, tag) channel matches. Detects deadlock,
+  // size/kind mismatches, and channel-order violations.
+  std::vector<std::size_t> pc(static_cast<std::size_t>(pr.p), 0);
+  // Packed channel key: (src * p + dst) in the high bits, tag in the low 24
+  // (tags stay well below 2^24: phase strides of 2^20 times <= 8 phases).
+  const auto channel_key = [&](int src, int dst, int tag) {
+    return (static_cast<std::uint64_t>(src) * static_cast<std::uint64_t>(pr.p) +
+            static_cast<std::uint64_t>(dst)) << 24 |
+           static_cast<std::uint64_t>(tag);
+  };
+  std::unordered_map<std::uint64_t, ChannelQueue> channels;
+  channels.reserve(static_cast<std::size_t>(pr.p) * 4);
+  // At most one rank (the channel's destination) can block per channel.
+  std::unordered_map<std::uint64_t, int> blocked_on;
+  std::vector<int> worklist;
+  worklist.reserve(static_cast<std::size_t>(pr.p));
+  for (int r = pr.p - 1; r >= 0; --r) worklist.push_back(r);
+
+  while (!worklist.empty()) {
+    const int r = worklist.back();
+    worklist.pop_back();
+    auto& steps = sched.ranks[static_cast<std::size_t>(r)].steps;
+    while (pc[static_cast<std::size_t>(r)] < steps.size()) {
+      const std::size_t i = pc[static_cast<std::size_t>(r)];
+      const Step& s = steps[i];
+      if (s.kind == StepKind::kCopyInput) {
+        ++pc[static_cast<std::size_t>(r)];
+        continue;
+      }
+      if (s.kind == StepKind::kSend || s.kind == StepKind::kSendInput) {
+        const std::uint64_t key = channel_key(r, s.peer, s.tag);
+        channels[key].push(s.bytes);
+        // Wake the receiver if it is parked on this channel.
+        if (const auto blocked = blocked_on.find(key); blocked != blocked_on.end()) {
+          worklist.push_back(blocked->second);
+          blocked_on.erase(blocked);
+        }
+        ++pc[static_cast<std::size_t>(r)];
+        continue;
+      }
+      // Receive-type step: consume the channel head or park.
+      const std::uint64_t key = channel_key(s.peer, r, s.tag);
+      auto it = channels.find(key);
+      if (it == channels.end() || it->second.empty()) {
+        blocked_on[key] = r;
+        break;
+      }
+      const std::size_t sent = it->second.pop();
+      if (sent != s.bytes) {
+        throw std::logic_error(step_context(sched, r, i) +
+                               ": size mismatch with matched send (recv " +
+                               std::to_string(s.bytes) + ", send " +
+                               std::to_string(sent) + ")");
+      }
+      ++pc[static_cast<std::size_t>(r)];
+    }
+  }
+
+  for (int r = 0; r < pr.p; ++r) {
+    if (pc[static_cast<std::size_t>(r)] !=
+        sched.ranks[static_cast<std::size_t>(r)].steps.size()) {
+      throw std::logic_error(
+          step_context(sched, r, pc[static_cast<std::size_t>(r)]) +
+          ": deadlock — receive never matched");
+    }
+  }
+  for (const auto& [key, queue] : channels) {
+    if (!queue.empty()) {
+      const auto pair = key >> 24;
+      const auto tag = key & ((1u << 24) - 1);
+      throw std::logic_error(
+          sched.name + ": " + std::to_string(queue.size()) +
+          " unconsumed message(s) on channel src=" +
+          std::to_string(pair / static_cast<std::uint64_t>(sched.params.p)) +
+          " dst=" + std::to_string(pair % static_cast<std::uint64_t>(sched.params.p)) +
+          " tag=" + std::to_string(tag));
+    }
+  }
+}
+
+void validate_schedule_coverage(const Schedule& sched) {
+  validate_schedule(sched);
+  const CollParams& pr = sched.params;
+  for (int r = 0; r < pr.p; ++r) {
+    const std::vector<Seg> required = result_segments(pr, r);
+    if (required.empty()) continue;
+    std::vector<Seg> written;
+    for (const Step& s : sched.ranks[static_cast<std::size_t>(r)].steps) {
+      if (s.kind == StepKind::kCopyInput || s.kind == StepKind::kRecv ||
+          s.kind == StepKind::kRecvReduce) {
+        written.push_back(Seg{s.off, s.bytes});
+      }
+    }
+    const std::vector<Seg> merged = merge_segs(std::move(written));
+    // Every required result segment must lie inside some written segment.
+    for (const Seg& need : required) {
+      bool covered = false;
+      for (const Seg& have : merged) {
+        if (need.off >= have.off && need.off + need.len <= have.off + have.len) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) {
+        throw std::logic_error(sched.name + " [" + pr.describe() + "] rank " +
+                               std::to_string(r) +
+                               ": result segment not covered by writes");
+      }
+    }
+  }
+}
+
+}  // namespace gencoll::core

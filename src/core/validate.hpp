@@ -1,0 +1,23 @@
+// Structural validation of schedules.
+//
+// validate_schedule() logically executes a schedule without data: it checks
+// buffer bounds, element alignment of reduce targets, send/recv matching
+// (kind, size, FIFO order per (source, tag) channel), progress (no
+// deadlock), and that no message is left undelivered. Tests run it on every
+// generated schedule; executors may run it in debug builds.
+#pragma once
+
+#include "core/schedule.hpp"
+
+namespace gencoll::core {
+
+/// Throws std::logic_error with a diagnostic on the first violation.
+void validate_schedule(const Schedule& sched);
+
+/// As above, but additionally require that after execution every rank that
+/// must hold a result (has_result) had its full output range written
+/// (by CopyInput/Recv/RecvReduce coverage). Reduction data-flow correctness
+/// is the executor tests' job; this catches "forgot to fill a block" bugs.
+void validate_schedule_coverage(const Schedule& sched);
+
+}  // namespace gencoll::core

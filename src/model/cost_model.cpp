@@ -1,0 +1,280 @@
+#include "model/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "core/registry.hpp"
+
+namespace gencoll::model {
+
+using core::Algorithm;
+using core::CollOp;
+
+ModelParams params_from_machine(const netsim::MachineConfig& machine) {
+  ModelParams m;
+  m.alpha_us = machine.inter.alpha_us + machine.send_overhead_us +
+               machine.recv_overhead_us + machine.port_msg_overhead_us;
+  m.beta_us_per_byte = machine.inter.beta_us_per_byte;
+  m.gamma_us_per_byte = machine.gamma_us_per_byte;
+  return m;
+}
+
+double log_base(double p, double k) {
+  if (p <= 1.0) return 0.0;
+  if (k <= 1.0) throw std::invalid_argument("log_base: k must be > 1");
+  return std::log(p) / std::log(k);
+}
+
+double binomial_cost(CollOp op, double n, double p, const ModelParams& m) {
+  const double lg = log_base(p, 2.0);
+  const double frac = p > 0.0 ? (p - 1.0) / p : 0.0;
+  switch (op) {
+    case CollOp::kBcast:
+      return lg * m.alpha_us + n * lg * m.beta_us_per_byte;
+    case CollOp::kReduce:
+      return lg * m.alpha_us + n * lg * (m.beta_us_per_byte + m.gamma_us_per_byte);
+    case CollOp::kGather:
+      return lg * m.alpha_us + n * frac * m.beta_us_per_byte;
+    case CollOp::kAllgather:
+      return lg * m.alpha_us + n * (lg + frac) * m.beta_us_per_byte;
+    case CollOp::kAllreduce:
+      return lg * m.alpha_us + n * (lg + frac) * m.beta_us_per_byte +
+             n * lg * m.gamma_us_per_byte;
+  }
+  throw std::invalid_argument("binomial_cost: bad op");
+}
+
+double knomial_cost(CollOp op, double n, double p, double k, const ModelParams& m) {
+  if (k < 2.0) throw std::invalid_argument("knomial_cost: k must be >= 2");
+  const double lg = log_base(p, k);
+  const double frac = p > 0.0 ? (p - 1.0) / p : 0.0;
+  const double km1 = k - 1.0;
+  switch (op) {
+    case CollOp::kBcast:
+      return lg * m.alpha_us + km1 * n * lg * m.beta_us_per_byte;
+    case CollOp::kReduce:
+      return lg * m.alpha_us + km1 * n * lg * (m.beta_us_per_byte + m.gamma_us_per_byte);
+    case CollOp::kGather:
+      return lg * m.alpha_us + n * frac * m.beta_us_per_byte;
+    case CollOp::kAllgather:
+      return lg * m.alpha_us + km1 * n * (lg + frac) * m.beta_us_per_byte;
+    case CollOp::kAllreduce:
+      return lg * m.alpha_us + km1 * n * (lg + frac) * m.beta_us_per_byte +
+             km1 * n * lg * m.gamma_us_per_byte;
+  }
+  throw std::invalid_argument("knomial_cost: bad op");
+}
+
+double recursive_doubling_cost(CollOp op, double n, double p, const ModelParams& m) {
+  const double lg = log_base(p, 2.0);
+  const double frac = p > 0.0 ? (p - 1.0) / p : 0.0;
+  switch (op) {
+    case CollOp::kAllgather:
+    case CollOp::kBcast:
+      return m.alpha_us * lg + m.beta_us_per_byte * n * frac;
+    case CollOp::kAllreduce:
+      return lg * (m.alpha_us + (m.beta_us_per_byte + m.gamma_us_per_byte) * n);
+    default:
+      throw std::invalid_argument("recursive_doubling_cost: bad op");
+  }
+}
+
+double recursive_doubling_round_cost(CollOp op, double n, double p, int round,
+                                     const ModelParams& m) {
+  switch (op) {
+    case CollOp::kAllgather:
+    case CollOp::kBcast:
+      return m.alpha_us +
+             m.beta_us_per_byte * n * std::pow(2.0, round - 1) / std::max(p, 1.0);
+    case CollOp::kAllreduce:
+      return m.alpha_us + (m.beta_us_per_byte + m.gamma_us_per_byte) * n;
+    default:
+      throw std::invalid_argument("recursive_doubling_round_cost: bad op");
+  }
+}
+
+double recursive_multiplying_cost(CollOp op, double n, double p, double k,
+                                  const ModelParams& m) {
+  if (k < 2.0) throw std::invalid_argument("recursive_multiplying_cost: k must be >= 2");
+  const double lg = log_base(p, k);
+  const double frac = p > 0.0 ? (p - 1.0) / p : 0.0;
+  switch (op) {
+    case CollOp::kAllgather:
+    case CollOp::kBcast:
+      return m.alpha_us * lg + m.beta_us_per_byte * n * frac;
+    case CollOp::kAllreduce:
+      return lg * (m.alpha_us +
+                   (m.beta_us_per_byte + m.gamma_us_per_byte) * (k - 1.0) * n);
+    default:
+      throw std::invalid_argument("recursive_multiplying_cost: bad op");
+  }
+}
+
+double recursive_multiplying_round_cost(CollOp op, double n, double p, double k,
+                                        int round, const ModelParams& m) {
+  switch (op) {
+    case CollOp::kAllgather:
+    case CollOp::kBcast:
+      return m.alpha_us + m.beta_us_per_byte * n * (k - 1.0) *
+                              std::pow(k, round - 1) / std::max(p, 1.0);
+    case CollOp::kAllreduce:
+      return m.alpha_us + (m.beta_us_per_byte + m.gamma_us_per_byte) * (k - 1.0) * n;
+    default:
+      throw std::invalid_argument("recursive_multiplying_round_cost: bad op");
+  }
+}
+
+double ring_round_cost(CollOp op, double n, double p, const ModelParams& m) {
+  const double share = n / std::max(p, 1.0);
+  switch (op) {
+    case CollOp::kAllgather:
+    case CollOp::kBcast:
+      return m.alpha_us + m.beta_us_per_byte * share;
+    case CollOp::kAllreduce:
+      return m.alpha_us + m.beta_us_per_byte * share + m.gamma_us_per_byte * share;
+    default:
+      throw std::invalid_argument("ring_round_cost: bad op");
+  }
+}
+
+double ring_cost(CollOp op, double n, double p, const ModelParams& m) {
+  return (p - 1.0) * ring_round_cost(op, n, p, m);
+}
+
+double ring_cost_large_n(CollOp op, double n, const ModelParams& m) {
+  switch (op) {
+    case CollOp::kAllgather:
+    case CollOp::kBcast:
+      return m.beta_us_per_byte * n;
+    case CollOp::kAllreduce:
+      return (m.beta_us_per_byte + m.gamma_us_per_byte) * n;
+    default:
+      throw std::invalid_argument("ring_cost_large_n: bad op");
+  }
+}
+
+double kring_intra_cost(CollOp op, double n, double p, double k, const ModelParams& m) {
+  const double g = p / std::max(k, 1.0);
+  return g * (k - 1.0) * ring_round_cost(op, n, p, m);
+}
+
+double kring_inter_cost(CollOp op, double n, double p, double k, const ModelParams& m) {
+  const double g = p / std::max(k, 1.0);
+  return (g - 1.0) * ring_round_cost(op, n, p, m);
+}
+
+double kring_cost(CollOp op, double n, double p, double k, const ModelParams& m) {
+  // Eq. (12): g(k-1) + (g-1) rounds = (p-1) rounds — identical to ring under
+  // a homogeneous link model; the advantage only appears with heterogeneous
+  // links (which the simulator, not this model, captures).
+  return kring_intra_cost(op, n, p, k, m) + kring_inter_cost(op, n, p, k, m);
+}
+
+double kring_intergroup_bytes(double n, double p, double k) {
+  if (p <= 0.0) return 0.0;
+  return 2.0 * n * (p - k) / p;  // Eq. (13)
+}
+
+double ring_intergroup_bytes(double n, double p) {
+  if (p <= 0.0) return 0.0;
+  return 2.0 * n * (p - 1.0) / p;  // Eq. (14)
+}
+
+double dissemination_barrier_cost(double p, double k, const ModelParams& m) {
+  return std::ceil(log_base(p, k)) * m.alpha_us;
+}
+
+double bruck_allgather_cost(double n, double p, const ModelParams& m) {
+  return std::ceil(log_base(p, 2.0)) * m.alpha_us +
+         (p - 1.0) / std::max(p, 1.0) * n * m.beta_us_per_byte;
+}
+
+double ring_reduce_scatter_cost(double n, double p, const ModelParams& m) {
+  const double share = n / std::max(p, 1.0);
+  return (p - 1.0) *
+         (m.alpha_us + (m.beta_us_per_byte + m.gamma_us_per_byte) * share);
+}
+
+double rechalving_reduce_scatter_cost(double n, double p, const ModelParams& m) {
+  return log_base(p, 2.0) * m.alpha_us +
+         (p - 1.0) / std::max(p, 1.0) * n *
+             (m.beta_us_per_byte + m.gamma_us_per_byte);
+}
+
+double alltoall_cost(double n, double p, const ModelParams& m) {
+  return (p - 1.0) * (m.alpha_us + m.beta_us_per_byte * n);
+}
+
+double hillis_steele_scan_cost(double n, double p, double k, const ModelParams& m) {
+  return std::ceil(log_base(p, k)) *
+         (m.alpha_us + (k - 1.0) * (m.beta_us_per_byte + m.gamma_us_per_byte) * n);
+}
+
+double linear_scan_cost(double n, double p, const ModelParams& m) {
+  return (p - 1.0) *
+         (m.alpha_us + (m.beta_us_per_byte + m.gamma_us_per_byte) * n);
+}
+
+double pipeline_bcast_cost(double n, double p, double s, const ModelParams& m) {
+  s = std::max(s, 1.0);
+  return (p - 2.0 + s) * (m.alpha_us + m.beta_us_per_byte * n / s);
+}
+
+double predict_cost(Algorithm alg, CollOp op, double n, double p, double k,
+                    const ModelParams& m) {
+  const double radix = core::effective_radix(alg, static_cast<int>(k));
+  if (op == CollOp::kBarrier) return dissemination_barrier_cost(p, radix, m);
+  if (op == CollOp::kAlltoall) return alltoall_cost(n, p, m);
+  if (op == CollOp::kScan) {
+    return alg == Algorithm::kLinear
+               ? linear_scan_cost(n, p, m)
+               : hillis_steele_scan_cost(n, p, std::max(radix, 2.0), m);
+  }
+  if (alg == Algorithm::kPipeline) return pipeline_bcast_cost(n, p, radix, m);
+  if (op == CollOp::kReduceScatter) {
+    return alg == Algorithm::kRecursiveHalving
+               ? rechalving_reduce_scatter_cost(n, p, m)
+               : ring_reduce_scatter_cost(n, p, m);
+  }
+  if (alg == Algorithm::kBruck) return bruck_allgather_cost(n, p, m);
+  if (op == CollOp::kScatter && alg != Algorithm::kLinear) {
+    // Same form as the k-nomial gather (Eq. 3's gather row).
+    return knomial_cost(CollOp::kGather, n, p, std::max(radix, 2.0), m);
+  }
+  switch (core::generalized_counterpart(alg)) {
+    case Algorithm::kKnomial:
+      return knomial_cost(op, n, p, radix, m);
+    case Algorithm::kRecursiveMultiplying:
+      return recursive_multiplying_cost(op, n, p, radix, m);
+    case Algorithm::kKring:
+      return kring_cost(op, n, p, radix, m);
+    case Algorithm::kLinear:
+      // Naive sequential model from §III-B: tau = p(alpha + beta n).
+      return p * (m.alpha_us + m.beta_us_per_byte * n);
+    case Algorithm::kRabenseifner:
+      // Standard reduce-scatter + allgather model (Thakur et al.).
+      return 2.0 * log_base(p, 2.0) * m.alpha_us +
+             2.0 * (p - 1.0) / std::max(p, 1.0) * n * m.beta_us_per_byte +
+             (p - 1.0) / std::max(p, 1.0) * n * m.gamma_us_per_byte;
+    default:
+      throw std::invalid_argument("predict_cost: bad algorithm");
+  }
+}
+
+int model_optimal_radix(Algorithm alg, CollOp op, double n, int p, const ModelParams& m) {
+  double best_cost = std::numeric_limits<double>::infinity();
+  int best_k = core::effective_radix(alg, 2);
+  for (int k : core::candidate_radixes(op, alg, p)) {
+    const double cost = predict_cost(alg, op, n, static_cast<double>(p),
+                                     static_cast<double>(k), m);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_k = k;
+    }
+  }
+  return best_k;
+}
+
+}  // namespace gencoll::model

@@ -1,0 +1,96 @@
+// Analytical (alpha, beta, gamma) cost models — paper Eqs. (1)-(14).
+//
+// T is predicted time for one collective of n payload bytes over p
+// processes with radix k. alpha is per-message latency (us), beta inverse
+// bandwidth (us/byte), gamma per-byte reduction cost (us/byte). These are
+// the *system-agnostic* models of §III-V: they deliberately ignore port
+// counts and link heterogeneity — §VI compares them against the simulator
+// to reproduce the paper's "where the models are accurate, and where
+// hardware features overtake our theory" analysis.
+#pragma once
+
+#include <cstddef>
+
+#include "core/coll_params.hpp"
+#include "netsim/machine.hpp"
+
+namespace gencoll::model {
+
+struct ModelParams {
+  double alpha_us = 1.0;
+  double beta_us_per_byte = 0.0;
+  double gamma_us_per_byte = 0.0;
+};
+
+/// Derive model parameters from a machine description: alpha/beta follow the
+/// internode link (the paper's models are single-link-class), gamma the
+/// reduction rate. Per-message software overhead folds into alpha.
+ModelParams params_from_machine(const netsim::MachineConfig& machine);
+
+/// Real-valued log_k(p), with log of p <= 1 clamped to 0 (the paper's models
+/// use continuous logs; p = 1 collectives are free).
+double log_base(double p, double k);
+
+// --- Paper Eq. (1)/(2): binomial tree ---
+double binomial_cost(core::CollOp op, double n, double p, const ModelParams& m);
+
+// --- Paper Eq. (3): k-nomial tree ---
+double knomial_cost(core::CollOp op, double n, double p, double k, const ModelParams& m);
+
+// --- Paper Eq. (4)/(5): recursive doubling ---
+double recursive_doubling_cost(core::CollOp op, double n, double p, const ModelParams& m);
+double recursive_doubling_round_cost(core::CollOp op, double n, double p, int round,
+                                     const ModelParams& m);
+
+// --- Paper Eq. (6)/(7): recursive multiplying ---
+double recursive_multiplying_cost(core::CollOp op, double n, double p, double k,
+                                  const ModelParams& m);
+double recursive_multiplying_round_cost(core::CollOp op, double n, double p, double k,
+                                        int round, const ModelParams& m);
+
+// --- Paper Eq. (8)/(9)/(10): ring ---
+double ring_round_cost(core::CollOp op, double n, double p, const ModelParams& m);
+double ring_cost(core::CollOp op, double n, double p, const ModelParams& m);
+/// Eq. (10): large-n limit, independent of latency and p.
+double ring_cost_large_n(core::CollOp op, double n, const ModelParams& m);
+
+// --- Paper Eq. (11)/(12): k-ring (same homogeneous-link total as ring) ---
+double kring_intra_cost(core::CollOp op, double n, double p, double k,
+                        const ModelParams& m);
+double kring_inter_cost(core::CollOp op, double n, double p, double k,
+                        const ModelParams& m);
+double kring_cost(core::CollOp op, double n, double p, double k, const ModelParams& m);
+
+// --- Paper Eq. (13)/(14): inter-group data volume ---
+double kring_intergroup_bytes(double n, double p, double k);
+double ring_intergroup_bytes(double n, double p);
+
+// --- Extended-surface models (beyond the paper's equations; standard
+// Thakur/Hoefler forms for the substrate's additional collectives) ---
+/// K-dissemination barrier: ceil(log_k p) latency rounds.
+double dissemination_barrier_cost(double p, double k, const ModelParams& m);
+/// Bruck allgather: ceil(log2 p) rounds moving n(p-1)/p bytes total.
+double bruck_allgather_cost(double n, double p, const ModelParams& m);
+/// Reduce-scatter: ring ((p-1) rounds of n/p) or recursive halving.
+double ring_reduce_scatter_cost(double n, double p, const ModelParams& m);
+double rechalving_reduce_scatter_cost(double n, double p, const ModelParams& m);
+/// Alltoall with per-pair payload n: p-1 exchanges of n bytes.
+double alltoall_cost(double n, double p, const ModelParams& m);
+/// K-ary Hillis-Steele scan: ceil(log_k p) rounds folding k-1 partials.
+double hillis_steele_scan_cost(double n, double p, double k, const ModelParams& m);
+/// Sequential prefix chain: p-1 dependent hops.
+double linear_scan_cost(double n, double p, const ModelParams& m);
+/// Pipelined chain bcast with s segments: (p - 2 + s) hops of n/s bytes.
+double pipeline_bcast_cost(double n, double p, double s, const ModelParams& m);
+
+/// Dispatch by algorithm; fixed-radix baselines pin k as in the registry.
+/// Throws std::invalid_argument for unimplemented (op, alg) pairs.
+double predict_cost(core::Algorithm alg, core::CollOp op, double n, double p, double k,
+                    const ModelParams& m);
+
+/// argmin over integer k in [2, p] (or divisors of p for k-ring) of
+/// predict_cost — the model-optimal radix of §III-D/§IV-D.
+int model_optimal_radix(core::Algorithm alg, core::CollOp op, double n, int p,
+                        const ModelParams& m);
+
+}  // namespace gencoll::model

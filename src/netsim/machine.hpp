@@ -1,0 +1,100 @@
+// Machine models for the network simulator.
+//
+// A machine is described by the hardware features the paper identifies as
+// decisive for collective performance (§II-B):
+//   * multi-port NICs  — `ports_per_node` tx and rx ports; each port carries
+//     one message at a time (extra concurrent messages queue), with a
+//     per-message processing cost `port_msg_overhead_us` that models the
+//     finite message rate of the NIC / software buffering,
+//   * per-message CPU overheads — `send_overhead_us` / `recv_overhead_us`
+//     model the non-blocking send/receive posting cost,
+//   * heterogeneous links — `intra` (NVLink / Infinity-Fabric class) vs
+//     `inter` (Slingshot class) alpha/beta parameters; ranks are mapped to
+//     nodes in consecutive blocks of `ppn`,
+//   * reduction compute — `gamma_us_per_byte` charged by RecvReduce steps.
+//
+// The shipped configurations are *-like models, not calibrated digital twins:
+// parameters are derived from published per-node figures (4x200 Gb/s NICs on
+// Frontier, 2 Slingshot ports on Polaris, ...) and exist to reproduce the
+// paper's trends, not its absolute microseconds (see DESIGN.md §2).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace gencoll::netsim {
+
+struct LinkParams {
+  double alpha_us = 1.0;          ///< per-message wire latency
+  double beta_us_per_byte = 0.0;  ///< inverse bandwidth
+};
+
+struct MachineConfig {
+  std::string name = "generic";
+  int nodes = 1;
+  int ppn = 1;             ///< MPI processes per node
+  int ports_per_node = 1;  ///< NIC ports (tx and rx pools of this size)
+
+  LinkParams inter;  ///< internode (NIC) link
+  LinkParams intra;  ///< intranode (GPU fabric) link
+
+  /// Dragonfly topology (paper §II-B1): nodes are grouped into fully
+  /// connected dragonfly groups of `nodes_per_group`; messages crossing a
+  /// group boundary take one global hop whose alpha/beta are the inter
+  /// parameters scaled by `global_link_factor`. 0 disables grouping (flat
+  /// network). The paper's algorithms are deliberately topology-agnostic;
+  /// this knob exists to *test* that design decision (minimal adaptive
+  /// routing keeps the penalty small — see bench/ablation_dragonfly).
+  int nodes_per_group = 0;
+  double global_link_factor = 1.0;
+
+  double gamma_us_per_byte = 0.0;     ///< reduction cost at the receiver
+  double send_overhead_us = 0.0;      ///< CPU cost to post a send
+  double recv_overhead_us = 0.0;      ///< CPU cost to complete a receive
+  double port_msg_overhead_us = 0.0;  ///< NIC per-message processing cost
+  double copy_us_per_byte = 0.0;      ///< local CopyInput bandwidth cost
+
+  [[nodiscard]] int total_ranks() const { return nodes * ppn; }
+  [[nodiscard]] int node_of(int rank) const { return rank / ppn; }
+  [[nodiscard]] bool same_node(int a, int b) const { return node_of(a) == node_of(b); }
+  /// Dragonfly group of a rank (0 when grouping is disabled).
+  [[nodiscard]] int group_of(int rank) const {
+    return nodes_per_group > 0 ? node_of(rank) / nodes_per_group : 0;
+  }
+  [[nodiscard]] bool same_group(int a, int b) const {
+    return group_of(a) == group_of(b);
+  }
+
+  /// Effective internode link parameters between two ranks (global-hop
+  /// scaling applied for cross-group pairs).
+  [[nodiscard]] LinkParams inter_link(int a, int b) const {
+    if (nodes_per_group <= 0 || same_group(a, b)) return inter;
+    return LinkParams{inter.alpha_us * global_link_factor,
+                      inter.beta_us_per_byte * global_link_factor};
+  }
+
+  /// Throws std::invalid_argument on non-positive counts or negative costs.
+  void check() const;
+};
+
+/// Frontier-like: 4 NIC ports/node (one 200 Gb/s link per 2 GPUs), strong
+/// Infinity-Fabric-class intranode links (~8x the per-port internode
+/// bandwidth), 64-core EPYC host. Defaults to the paper's 8 PPN layout.
+MachineConfig frontier_like(int nodes, int ppn = 8);
+
+/// Polaris-like: 2 Slingshot ports/node via PCIe Gen4, NVLink-full-connected
+/// 4-GPU nodes. The full-connected switch shares bandwidth across pairs, so
+/// the *per-neighbor-pair* intranode advantage a ring can exploit is small —
+/// modeled as intra beta close to inter beta (paper §VI-E).
+MachineConfig polaris_like(int nodes, int ppn = 4);
+
+/// Small homogeneous model for unit tests and laptop experiments: single
+/// port, identical intra/inter links, round numbers.
+MachineConfig generic_cluster(int nodes, int ppn = 1);
+
+/// Named lookup: "frontier", "polaris", "generic" (nullopt otherwise).
+std::optional<MachineConfig> machine_by_name(std::string_view name, int nodes, int ppn);
+
+}  // namespace gencoll::netsim

@@ -1,0 +1,350 @@
+#include "netsim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "core/validate.hpp"
+#include "util/rng.hpp"
+
+namespace gencoll::netsim {
+
+namespace {
+
+using core::Step;
+using core::StepKind;
+
+struct Event {
+  double time;
+  std::uint64_t seq;  // tie-breaker: push order
+  int rank;
+};
+
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+/// One tx + rx port pool per node, with NIC-to-rank binding: when ppn
+/// exceeds the port count, each rank is pinned to the port serving its GPU
+/// group (Frontier's "one 200 Gb/s link per 2 GPUs"); when a node runs fewer
+/// ranks than ports, a rank stripes across its share of the ports (multi-
+/// rail, e.g. the 1-PPN programming model drives all 4 NICs).
+class PortPools {
+ public:
+  explicit PortPools(const MachineConfig& machine)
+      : ports_(machine.ports_per_node),
+        ppn_(machine.ppn),
+        tx_(static_cast<std::size_t>(machine.nodes) * static_cast<std::size_t>(ports_),
+            0.0),
+        rx_(tx_.size(), 0.0) {}
+
+  /// Claim the earliest-free bound tx port of src_rank and rx port of
+  /// dst_rank at or after `request`; occupy both for `occupancy`. Returns
+  /// the transfer start time.
+  double claim(int src_rank, int dst_rank, double request, double occupancy) {
+    double* tx = earliest(tx_, src_rank);
+    double* rx = earliest(rx_, dst_rank);
+    const double start = std::max({request, *tx, *rx});
+    *tx = start + occupancy;
+    *rx = start + occupancy;
+    return start;
+  }
+
+ private:
+  // Bound port index range [lo, hi) for a rank within its node's pool.
+  void bound_range(int rank, std::ptrdiff_t* lo, std::ptrdiff_t* hi) const {
+    const std::ptrdiff_t local = rank % ppn_;
+    *lo = local * ports_ / ppn_;
+    *hi = std::max(*lo + 1, (local + 1) * ports_ / ppn_);
+  }
+
+  double* earliest(std::vector<double>& pool, int rank) {
+    std::ptrdiff_t lo = 0;
+    std::ptrdiff_t hi = 0;
+    bound_range(rank, &lo, &hi);
+    const std::ptrdiff_t node = rank / ppn_;
+    const auto begin = pool.begin() + node * ports_;
+    return &*std::min_element(begin + lo, begin + hi);
+  }
+
+  std::ptrdiff_t ports_;
+  std::ptrdiff_t ppn_;
+  std::vector<double> tx_;
+  std::vector<double> rx_;
+};
+
+/// Deterministic per-message jitter factor in [1, 1+jitter].
+class Jitter {
+ public:
+  Jitter(double magnitude, std::uint64_t seed) : magnitude_(magnitude), rng_(seed) {}
+  double next() {
+    if (magnitude_ <= 0.0) return 1.0;
+    return 1.0 + magnitude_ * rng_.uniform();
+  }
+
+ private:
+  double magnitude_;
+  util::SplitMix64 rng_;
+};
+
+/// FIFO of pending send step-indices on one channel (matching pass only).
+struct PendingSends {
+  std::uint32_t head = 0;
+  std::vector<std::int32_t> items;
+
+  [[nodiscard]] bool empty() const { return head == items.size(); }
+  void push(std::int32_t v) { items.push_back(v); }
+  std::int32_t pop() { return items[head++]; }
+};
+
+constexpr double kNotSent = -1.0;
+
+}  // namespace
+
+CompiledSchedule::CompiledSchedule(const core::Schedule& sched) : sched_(&sched) {
+  const core::CollParams& pr = sched.params;
+  core::check_params(pr);
+  const int p = pr.p;
+  if (sched.ranks.size() != static_cast<std::size_t>(p)) {
+    throw std::logic_error("CompiledSchedule: schedule rank count != p");
+  }
+
+  peer_step_.resize(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    const auto ur = static_cast<std::size_t>(r);
+    peer_step_[ur].assign(sched.ranks[ur].steps.size(), -1);
+    for (const Step& s : sched.ranks[ur].steps) {
+      if (s.kind == StepKind::kCopyInput) continue;
+      if (s.peer < 0 || s.peer >= p || s.peer == r) {
+        throw std::logic_error("CompiledSchedule: bad peer");
+      }
+      if (s.tag < 0 || s.tag >= (1 << 24)) {
+        throw std::logic_error("CompiledSchedule: tag out of range");
+      }
+    }
+  }
+
+  // Matching pass: logical execution with a worklist (sends never block;
+  // receives park on their channel until the matching send is recorded).
+  const auto channel_key = [p](int src, int dst, int tag) {
+    return (static_cast<std::uint64_t>(src) * static_cast<std::uint64_t>(p) +
+            static_cast<std::uint64_t>(dst)) << 24 |
+           static_cast<std::uint64_t>(tag);
+  };
+  std::unordered_map<std::uint64_t, PendingSends> channels;
+  channels.reserve(static_cast<std::size_t>(p) * 4);
+  std::unordered_map<std::uint64_t, int> parked;  // channel -> receiver rank
+  std::vector<std::size_t> pc(static_cast<std::size_t>(p), 0);
+  std::vector<int> worklist;
+  worklist.reserve(static_cast<std::size_t>(p));
+  for (int r = p - 1; r >= 0; --r) worklist.push_back(r);
+
+  while (!worklist.empty()) {
+    const int r = worklist.back();
+    worklist.pop_back();
+    const auto ur = static_cast<std::size_t>(r);
+    const auto& steps = sched.ranks[ur].steps;
+    while (pc[ur] < steps.size()) {
+      const std::size_t i = pc[ur];
+      const Step& s = steps[i];
+      if (s.kind == StepKind::kCopyInput) {
+        ++pc[ur];
+        continue;
+      }
+      if (s.kind == StepKind::kSend || s.kind == StepKind::kSendInput) {
+        const std::uint64_t key = channel_key(r, s.peer, s.tag);
+        channels[key].push(static_cast<std::int32_t>(i));
+        if (const auto it = parked.find(key); it != parked.end()) {
+          worklist.push_back(it->second);
+          parked.erase(it);
+        }
+        ++pc[ur];
+        continue;
+      }
+      const std::uint64_t key = channel_key(s.peer, r, s.tag);
+      auto it = channels.find(key);
+      if (it == channels.end() || it->second.empty()) {
+        parked[key] = r;
+        break;
+      }
+      const std::int32_t send_index = it->second.pop();
+      const Step& send_step =
+          sched.ranks[static_cast<std::size_t>(s.peer)].steps[static_cast<std::size_t>(
+              send_index)];
+      if (send_step.bytes != s.bytes) {
+        throw std::logic_error("CompiledSchedule: send/recv size mismatch");
+      }
+      peer_step_[ur][i] = send_index;
+      peer_step_[static_cast<std::size_t>(s.peer)][static_cast<std::size_t>(send_index)] =
+          static_cast<std::int32_t>(i);
+      ++pc[ur];
+    }
+  }
+
+  for (int r = 0; r < p; ++r) {
+    const auto ur = static_cast<std::size_t>(r);
+    if (pc[ur] != sched.ranks[ur].steps.size()) {
+      throw std::logic_error("CompiledSchedule: deadlock — receive never matched "
+                             "(rank " + std::to_string(r) + ")");
+    }
+  }
+  for (const auto& [key, queue] : channels) {
+    (void)key;
+    if (!queue.empty()) {
+      throw std::logic_error("CompiledSchedule: unconsumed message(s) on a channel");
+    }
+  }
+}
+
+SimResult CompiledSchedule::run(const MachineConfig& machine,
+                                const SimOptions& options) const {
+  machine.check();
+  const core::Schedule& sched = *sched_;
+  if (options.validate) core::validate_schedule(sched);
+  const int p = sched.params.p;
+  if (p > machine.total_ranks()) {
+    throw std::invalid_argument("simulate: schedule needs more ranks than machine has");
+  }
+
+  SimResult result;
+  result.rank_time_us.assign(static_cast<std::size_t>(p), 0.0);
+
+  PortPools ports(machine);
+  std::unordered_map<std::uint64_t, double> pair_links;  // intranode (src,dst)
+  // Arrival time of each send step's message, kNotSent until it executes.
+  std::vector<std::vector<double>> arrivals(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    arrivals[static_cast<std::size_t>(r)].assign(
+        sched.ranks[static_cast<std::size_t>(r)].steps.size(), kNotSent);
+  }
+  std::vector<bool> blocked(static_cast<std::size_t>(p), false);
+  std::vector<std::size_t> pc(static_cast<std::size_t>(p), 0);
+  Jitter jitter(options.jitter, options.jitter_seed);
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue;
+  std::uint64_t seq = 0;
+  auto push = [&](double time, int rank) { queue.push(Event{time, seq++, rank}); };
+
+  for (int r = 0; r < p; ++r) {
+    if (!sched.ranks[static_cast<std::size_t>(r)].steps.empty()) push(0.0, r);
+  }
+
+  auto& clocks = result.rank_time_us;
+
+  while (!queue.empty()) {
+    const Event ev = queue.top();
+    queue.pop();
+    const int r = ev.rank;
+    const auto ur = static_cast<std::size_t>(r);
+    if (blocked[ur]) blocked[ur] = false;  // wake-up event
+    const auto& steps = sched.ranks[ur].steps;
+    if (clocks[ur] < ev.time) clocks[ur] = ev.time;
+
+    // Execute steps inline while this rank's clock does not run ahead of any
+    // queued event — global processing stays in nondecreasing time order, so
+    // port queueing remains causal while priority-queue churn stays low.
+    while (pc[ur] < steps.size()) {
+      const Step& s = steps[pc[ur]];
+      const double now = clocks[ur];
+
+      if (s.kind == StepKind::kCopyInput) {
+        clocks[ur] = now + (options.charge_copies
+                                ? machine.copy_us_per_byte * static_cast<double>(s.bytes)
+                                : 0.0);
+        ++pc[ur];
+      } else if (s.kind == StepKind::kSend || s.kind == StepKind::kSendInput) {
+        clocks[ur] = now + machine.send_overhead_us;
+        const double request = clocks[ur];
+        const bool intra = machine.same_node(r, s.peer);
+        const double factor = jitter.next();
+        double arrival = 0.0;
+        double start = 0.0;
+        if (intra) {
+          const std::uint64_t key = static_cast<std::uint64_t>(r) * 1000003ULL +
+                                    static_cast<std::uint64_t>(s.peer);
+          double& link_free = pair_links[key];
+          start = std::max(request, link_free);
+          const double transfer =
+              machine.intra.beta_us_per_byte * static_cast<double>(s.bytes) * factor;
+          link_free = start + transfer;
+          arrival = start + machine.intra.alpha_us + transfer;
+          result.port_wait_us += start - request;
+          ++result.messages_intra;
+          result.bytes_intra += s.bytes;
+        } else {
+          const LinkParams link = machine.inter_link(r, s.peer);
+          const double occupancy =
+              (machine.port_msg_overhead_us +
+               link.beta_us_per_byte * static_cast<double>(s.bytes)) *
+              factor;
+          start = ports.claim(r, s.peer, request, occupancy);
+          arrival = start + occupancy + link.alpha_us;
+          result.port_wait_us += start - request;
+          ++result.messages_inter;
+          if (!machine.same_group(r, s.peer)) ++result.messages_global;
+          result.bytes_inter += s.bytes;
+        }
+        if (options.trace) {
+          result.trace.push_back(
+              MessageTrace{r, s.peer, s.bytes, request, start, arrival, intra});
+        }
+        arrivals[ur][pc[ur]] = arrival;
+        // Wake the receiver if it is parked on exactly this message.
+        const auto up = static_cast<std::size_t>(s.peer);
+        const std::int32_t recv_index = peer_step_[ur][pc[ur]];
+        if (blocked[up] && pc[up] == static_cast<std::size_t>(recv_index)) {
+          push(std::max(arrival, clocks[up]), s.peer);
+        }
+        ++pc[ur];
+      } else {  // kRecv / kRecvReduce
+        const std::int32_t send_index = peer_step_[ur][pc[ur]];
+        const double arrival =
+            arrivals[static_cast<std::size_t>(s.peer)][static_cast<std::size_t>(
+                send_index)];
+        if (arrival == kNotSent) {
+          blocked[ur] = true;  // clock already records the park time
+          break;
+        }
+        double done = std::max(now, arrival) + machine.recv_overhead_us;
+        if (s.kind == StepKind::kRecvReduce) {
+          done += machine.gamma_us_per_byte * static_cast<double>(s.bytes);
+        }
+        clocks[ur] = done;
+        ++pc[ur];
+      }
+
+      if (pc[ur] < steps.size() && !queue.empty() && queue.top().time < clocks[ur]) {
+        push(clocks[ur], r);  // yield to an earlier event elsewhere
+        break;
+      }
+    }
+  }
+
+  for (int r = 0; r < p; ++r) {
+    const auto ur = static_cast<std::size_t>(r);
+    if (pc[ur] != sched.ranks[ur].steps.size()) {
+      // The matching pass guarantees this cannot happen; belt and braces.
+      throw std::logic_error("simulate: rank did not complete its program");
+    }
+  }
+  result.time_us = 0.0;
+  for (double t : clocks) result.time_us = std::max(result.time_us, t);
+  return result;
+}
+
+SimResult simulate(const core::Schedule& sched, const MachineConfig& machine,
+                   const SimOptions& options) {
+  return CompiledSchedule(sched).run(machine, options);
+}
+
+double simulate_us(const core::Schedule& sched, const MachineConfig& machine,
+                   const SimOptions& options) {
+  return CompiledSchedule(sched).run(machine, options).time_us;
+}
+
+}  // namespace gencoll::netsim

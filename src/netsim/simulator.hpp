@@ -1,0 +1,104 @@
+// Discrete-event simulation of a collective schedule on a machine model.
+//
+// The simulator executes exactly the Schedule objects the threaded executor
+// runs, so the latency it reports belongs to a data-movement pattern that is
+// independently proven correct. Event semantics:
+//   * CopyInput    — advances the rank clock by copy bandwidth cost.
+//   * Send         — rank pays send_overhead_us, then the message claims the
+//                    earliest-free tx port on its node and rx port on the
+//                    destination node (internode) or the dedicated pair link
+//                    (intranode); the port/link is occupied for
+//                    port_msg_overhead + bytes*beta, and the message arrives
+//                    after an additional alpha. Sends never block the rank
+//                    beyond the posting overhead — this is the multiport /
+//                    message-buffering overlap of paper §II-B2.
+//   * Recv         — rank blocks until the matching message's arrival time,
+//                    then pays recv_overhead_us.
+//   * RecvReduce   — Recv plus gamma*bytes of reduction compute.
+// Events are processed in strict global time order (ties broken
+// deterministically), so port queueing is causal and runs are reproducible.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "netsim/machine.hpp"
+
+namespace gencoll::netsim {
+
+struct SimOptions {
+  /// Multiplicative deterministic jitter on per-message link times, in
+  /// [1, 1+jitter]; 0 disables. Models the run-to-run variance of §VI-H
+  /// while keeping simulations reproducible for a fixed seed.
+  double jitter = 0.0;
+  std::uint64_t jitter_seed = 1;
+  /// Charge CopyInput steps (off reproduces pure-communication models).
+  bool charge_copies = true;
+  /// Structurally validate the schedule before simulating. Leave on except
+  /// when re-simulating a schedule already validated this process (e.g.
+  /// jittered trials of one build).
+  bool validate = true;
+  /// Record every message's post/start/arrival times in SimResult::trace
+  /// (memory: one record per message; leave off for large sweeps).
+  bool trace = false;
+};
+
+/// One message's lifecycle, recorded when SimOptions::trace is set.
+struct MessageTrace {
+  int src = 0;
+  int dst = 0;
+  std::size_t bytes = 0;
+  double post_us = 0.0;     ///< when the sender requested the transfer
+  double start_us = 0.0;    ///< when a port/link became available
+  double arrival_us = 0.0;  ///< delivery at the receiver
+  bool intra = false;       ///< used the intranode fabric
+};
+
+struct SimResult {
+  double time_us = 0.0;                ///< completion time (max over ranks)
+  std::vector<double> rank_time_us;    ///< per-rank completion
+  std::size_t messages_inter = 0;      ///< internode message count
+  std::size_t messages_intra = 0;
+  std::size_t messages_global = 0;     ///< cross-dragonfly-group subset of inter
+  std::size_t bytes_inter = 0;
+  std::size_t bytes_intra = 0;
+  double port_wait_us = 0.0;           ///< total time messages queued on ports
+  std::vector<MessageTrace> trace;     ///< populated when SimOptions::trace
+};
+
+/// A schedule pre-compiled for simulation: send/recv pairs are matched once
+/// (a structural-validation pass that throws std::logic_error on malformed
+/// schedules), so repeated runs — jittered trials, machine-parameter
+/// ablations — skip all matching work. The referenced Schedule must outlive
+/// the CompiledSchedule.
+class CompiledSchedule {
+ public:
+  explicit CompiledSchedule(const core::Schedule& sched);
+
+  [[nodiscard]] SimResult run(const MachineConfig& machine,
+                              const SimOptions& options = {}) const;
+
+  [[nodiscard]] const core::Schedule& schedule() const { return *sched_; }
+
+ private:
+  const core::Schedule* sched_;
+  // For every Send/Recv/RecvReduce step: the index of the matching step in
+  // the peer's program (-1 for CopyInput).
+  std::vector<std::vector<std::int32_t>> peer_step_;
+};
+
+/// Simulate `sched` on `machine`. Requires params.p <= machine.total_ranks()
+/// (ranks map to nodes in consecutive blocks of ppn) and a schedule that
+/// passes validation (malformed schedules throw). One-shot convenience for
+/// CompiledSchedule(sched).run(machine, options); options.validate adds the
+/// full static validator pass on top of the matching pass.
+SimResult simulate(const core::Schedule& sched, const MachineConfig& machine,
+                   const SimOptions& options = {});
+
+/// Convenience: latency in microseconds.
+double simulate_us(const core::Schedule& sched, const MachineConfig& machine,
+                   const SimOptions& options = {});
+
+}  // namespace gencoll::netsim

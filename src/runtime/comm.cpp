@@ -1,0 +1,60 @@
+#include "runtime/comm.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "runtime/world.hpp"
+
+namespace gencoll::runtime {
+
+Communicator::Communicator(World* world, int rank) : world_(world), rank_(rank) {
+  if (world == nullptr) throw std::invalid_argument("Communicator: null world");
+  if (rank < 0 || rank >= world->size()) {
+    throw std::out_of_range("Communicator: rank out of range");
+  }
+}
+
+int Communicator::size() const { return world_->size(); }
+
+void Communicator::send(int dest, int tag, std::span<const std::byte> data) {
+  if (dest < 0 || dest >= size()) {
+    throw std::out_of_range("send: destination rank out of range");
+  }
+  Message m;
+  m.source = rank_;
+  m.tag = tag;
+  m.payload.assign(data.begin(), data.end());
+  world_->mailbox(dest).post(std::move(m));
+}
+
+void Communicator::recv(int source, int tag, std::span<std::byte> out) {
+  if (source < 0 || source >= size()) {
+    throw std::out_of_range("recv: source rank out of range");
+  }
+  Message m = world_->mailbox(rank_).match(source, tag, timeout_);
+  if (m.payload.size() != out.size()) {
+    throw std::runtime_error(
+        "recv: size mismatch (expected " + std::to_string(out.size()) + ", got " +
+        std::to_string(m.payload.size()) + ") from rank " + std::to_string(source) +
+        " tag " + std::to_string(tag));
+  }
+  std::copy(m.payload.begin(), m.payload.end(), out.begin());
+}
+
+std::vector<std::byte> Communicator::recv_any_size(int source, int tag) {
+  if (source < 0 || source >= size()) {
+    throw std::out_of_range("recv_any_size: source rank out of range");
+  }
+  Message m = world_->mailbox(rank_).match(source, tag, timeout_);
+  return std::move(m.payload);
+}
+
+void Communicator::sendrecv(int dest, int send_tag, std::span<const std::byte> send_data,
+                            int source, int recv_tag, std::span<std::byte> recv_out) {
+  send(dest, send_tag, send_data);
+  recv(source, recv_tag, recv_out);
+}
+
+void Communicator::barrier() { world_->barrier_wait(); }
+
+}  // namespace gencoll::runtime

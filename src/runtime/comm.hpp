@@ -1,0 +1,51 @@
+// Communicator: one rank's handle onto the shared World.
+//
+// This is the MPI-like point-to-point surface the collectives are executed
+// against. Sends are buffered/non-blocking; receives block with a deadline.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace gencoll::runtime {
+
+class World;  // defined in world.hpp
+
+class Communicator {
+ public:
+  Communicator(World* world, int rank);
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const;
+
+  /// Buffered non-blocking send: copies `data` and returns immediately.
+  void send(int dest, int tag, std::span<const std::byte> data);
+
+  /// Blocking receive into `out`. The matched message's payload must have
+  /// exactly out.size() bytes (collective schedules know sizes precisely;
+  /// a mismatch indicates a schedule bug and throws).
+  void recv(int source, int tag, std::span<std::byte> out);
+
+  /// Blocking receive returning the payload (size determined by sender).
+  std::vector<std::byte> recv_any_size(int source, int tag);
+
+  /// Simultaneous exchange helper (no deadlock: sends are buffered).
+  void sendrecv(int dest, int send_tag, std::span<const std::byte> send_data,
+                int source, int recv_tag, std::span<std::byte> recv_out);
+
+  /// Rendezvous with all ranks in the world.
+  void barrier();
+
+  /// Deadline applied to every blocking receive.
+  void set_recv_timeout(std::chrono::milliseconds timeout) { timeout_ = timeout; }
+  [[nodiscard]] std::chrono::milliseconds recv_timeout() const { return timeout_; }
+
+ private:
+  World* world_;  // non-owning; World outlives its Communicators
+  int rank_;
+  std::chrono::milliseconds timeout_{std::chrono::seconds(60)};
+};
+
+}  // namespace gencoll::runtime

@@ -1,0 +1,39 @@
+#include "runtime/datatype.hpp"
+
+namespace gencoll::runtime {
+
+std::size_t datatype_size(DataType type) {
+  switch (type) {
+    case DataType::kByte: return 1;
+    case DataType::kInt32: return 4;
+    case DataType::kInt64: return 8;
+    case DataType::kUInt64: return 8;
+    case DataType::kFloat: return 4;
+    case DataType::kDouble: return 8;
+  }
+  return 1;
+}
+
+const char* datatype_name(DataType type) {
+  switch (type) {
+    case DataType::kByte: return "byte";
+    case DataType::kInt32: return "int32";
+    case DataType::kInt64: return "int64";
+    case DataType::kUInt64: return "uint64";
+    case DataType::kFloat: return "float";
+    case DataType::kDouble: return "double";
+  }
+  return "?";
+}
+
+std::optional<DataType> parse_datatype(std::string_view name) {
+  if (name == "byte") return DataType::kByte;
+  if (name == "int32") return DataType::kInt32;
+  if (name == "int64") return DataType::kInt64;
+  if (name == "uint64") return DataType::kUInt64;
+  if (name == "float") return DataType::kFloat;
+  if (name == "double") return DataType::kDouble;
+  return std::nullopt;
+}
+
+}  // namespace gencoll::runtime

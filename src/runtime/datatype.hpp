@@ -1,0 +1,36 @@
+// Element datatypes carried by the collectives.
+//
+// The runtime moves raw bytes; datatypes matter only to reduction operators,
+// which must reinterpret buffers element-wise (mirrors MPI_Datatype).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string_view>
+
+namespace gencoll::runtime {
+
+enum class DataType {
+  kByte,
+  kInt32,
+  kInt64,
+  kUInt64,
+  kFloat,
+  kDouble,
+};
+
+/// Size in bytes of one element.
+std::size_t datatype_size(DataType type);
+
+const char* datatype_name(DataType type);
+
+/// Parse "byte" / "int32" / "int64" / "uint64" / "float" / "double".
+std::optional<DataType> parse_datatype(std::string_view name);
+
+/// All datatypes, for parameterized tests.
+inline constexpr DataType kAllDataTypes[] = {
+    DataType::kByte,  DataType::kInt32, DataType::kInt64,
+    DataType::kUInt64, DataType::kFloat, DataType::kDouble,
+};
+
+}  // namespace gencoll::runtime

@@ -1,0 +1,54 @@
+#include "runtime/mailbox.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace gencoll::runtime {
+
+void Mailbox::post(Message message) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(message));
+  }
+  cv_.notify_all();
+}
+
+Message Mailbox::match(int source, int tag, std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+
+  auto find = [&] {
+    return std::find_if(queue_.begin(), queue_.end(), [&](const Message& m) {
+      return m.source == source && m.tag == tag;
+    });
+  };
+
+  auto it = find();
+  while (it == queue_.end()) {
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      it = find();
+      if (it != queue_.end()) break;
+      throw std::runtime_error("Mailbox::match timed out waiting for source=" +
+                               std::to_string(source) + " tag=" + std::to_string(tag));
+    }
+    it = find();
+  }
+  Message out = std::move(*it);
+  queue_.erase(it);
+  return out;
+}
+
+bool Mailbox::probe(int source, int tag) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::any_of(queue_.begin(), queue_.end(), [&](const Message& m) {
+    return m.source == source && m.tag == tag;
+  });
+}
+
+std::size_t Mailbox::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace gencoll::runtime

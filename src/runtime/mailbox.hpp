@@ -1,0 +1,49 @@
+// Tag-matched mailbox: the delivery endpoint of one rank.
+//
+// Sends are buffered (the payload is copied into the mailbox), so a send
+// never blocks — this mirrors MPI's eager protocol for the message sizes the
+// tests exercise and guarantees that schedule execution cannot deadlock on
+// send ordering. Receives block until a message with matching (source, tag)
+// arrives, with a deadline so broken schedules fail tests instead of hanging.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace gencoll::runtime {
+
+struct Message {
+  int source = -1;
+  int tag = 0;
+  std::vector<std::byte> payload;
+};
+
+class Mailbox {
+ public:
+  /// Deposit a message (called by the sending rank's thread).
+  void post(Message message);
+
+  /// Block until a message from `source` with `tag` is available, remove it
+  /// from the queue, and return it. Matching is by exact (source, tag);
+  /// among matches, delivery is FIFO in post order (MPI non-overtaking).
+  /// Throws std::runtime_error on timeout.
+  Message match(int source, int tag, std::chrono::milliseconds timeout);
+
+  /// Non-blocking probe: true if a matching message is queued.
+  bool probe(int source, int tag);
+
+  /// Number of queued (undelivered) messages; used by leak checks in tests.
+  std::size_t pending() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+};
+
+}  // namespace gencoll::runtime

@@ -1,0 +1,109 @@
+#include "runtime/reduce_op.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+
+namespace gencoll::runtime {
+
+const char* reduce_op_name(ReduceOp op) {
+  switch (op) {
+    case ReduceOp::kSum: return "sum";
+    case ReduceOp::kProd: return "prod";
+    case ReduceOp::kMax: return "max";
+    case ReduceOp::kMin: return "min";
+    case ReduceOp::kBand: return "band";
+    case ReduceOp::kBor: return "bor";
+  }
+  return "?";
+}
+
+std::optional<ReduceOp> parse_reduce_op(std::string_view name) {
+  if (name == "sum") return ReduceOp::kSum;
+  if (name == "prod") return ReduceOp::kProd;
+  if (name == "max") return ReduceOp::kMax;
+  if (name == "min") return ReduceOp::kMin;
+  if (name == "band") return ReduceOp::kBand;
+  if (name == "bor") return ReduceOp::kBor;
+  return std::nullopt;
+}
+
+bool op_supports(ReduceOp op, DataType type) {
+  const bool is_float = type == DataType::kFloat || type == DataType::kDouble;
+  if (is_float && (op == ReduceOp::kBand || op == ReduceOp::kBor)) return false;
+  return true;
+}
+
+namespace {
+
+// Element-wise kernel. Elements are memcpy'd in and out so the byte buffers
+// need no alignment guarantee (schedules slice buffers at arbitrary offsets).
+template <typename T, typename Fn>
+void apply_typed(std::span<std::byte> inout, std::span<const std::byte> in,
+                 std::size_t count, Fn fn) {
+  for (std::size_t i = 0; i < count; ++i) {
+    T a;
+    T b;
+    std::memcpy(&a, inout.data() + i * sizeof(T), sizeof(T));
+    std::memcpy(&b, in.data() + i * sizeof(T), sizeof(T));
+    const T r = fn(a, b);
+    std::memcpy(inout.data() + i * sizeof(T), &r, sizeof(T));
+  }
+}
+
+template <typename T>
+void dispatch_op(ReduceOp op, std::span<std::byte> inout,
+                 std::span<const std::byte> in, std::size_t count) {
+  switch (op) {
+    case ReduceOp::kSum:
+      apply_typed<T>(inout, in, count, [](T a, T b) { return static_cast<T>(a + b); });
+      return;
+    case ReduceOp::kProd:
+      apply_typed<T>(inout, in, count, [](T a, T b) { return static_cast<T>(a * b); });
+      return;
+    case ReduceOp::kMax:
+      apply_typed<T>(inout, in, count, [](T a, T b) { return std::max(a, b); });
+      return;
+    case ReduceOp::kMin:
+      apply_typed<T>(inout, in, count, [](T a, T b) { return std::min(a, b); });
+      return;
+    case ReduceOp::kBand:
+      if constexpr (std::is_integral_v<T>) {
+        apply_typed<T>(inout, in, count, [](T a, T b) { return static_cast<T>(a & b); });
+        return;
+      }
+      break;
+    case ReduceOp::kBor:
+      if constexpr (std::is_integral_v<T>) {
+        apply_typed<T>(inout, in, count, [](T a, T b) { return static_cast<T>(a | b); });
+        return;
+      }
+      break;
+  }
+  throw std::invalid_argument("unsupported reduce op for datatype");
+}
+
+}  // namespace
+
+void apply_reduce(ReduceOp op, DataType type, std::span<std::byte> inout,
+                  std::span<const std::byte> in, std::size_t count) {
+  const std::size_t bytes = count * datatype_size(type);
+  if (inout.size() < bytes || in.size() < bytes) {
+    throw std::invalid_argument("apply_reduce: buffer shorter than count elements");
+  }
+  if (!op_supports(op, type)) {
+    throw std::invalid_argument("apply_reduce: op not defined for datatype");
+  }
+  switch (type) {
+    case DataType::kByte: dispatch_op<std::uint8_t>(op, inout, in, count); return;
+    case DataType::kInt32: dispatch_op<std::int32_t>(op, inout, in, count); return;
+    case DataType::kInt64: dispatch_op<std::int64_t>(op, inout, in, count); return;
+    case DataType::kUInt64: dispatch_op<std::uint64_t>(op, inout, in, count); return;
+    case DataType::kFloat: dispatch_op<float>(op, inout, in, count); return;
+    case DataType::kDouble: dispatch_op<double>(op, inout, in, count); return;
+  }
+  throw std::invalid_argument("apply_reduce: unknown datatype");
+}
+
+}  // namespace gencoll::runtime

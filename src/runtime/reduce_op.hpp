@@ -1,0 +1,43 @@
+// Reduction operators (subset of MPI_Op) applied element-wise over typed
+// buffers. All operators here are associative and commutative, which the
+// generalized algorithms rely on when they reorder contributions.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "runtime/datatype.hpp"
+
+namespace gencoll::runtime {
+
+enum class ReduceOp {
+  kSum,
+  kProd,
+  kMax,
+  kMin,
+  kBand,  ///< bitwise AND (integer/byte types only)
+  kBor,   ///< bitwise OR  (integer/byte types only)
+};
+
+const char* reduce_op_name(ReduceOp op);
+std::optional<ReduceOp> parse_reduce_op(std::string_view name);
+
+/// True if `op` is defined for `type` (bitwise ops reject floating point,
+/// matching MPI semantics).
+bool op_supports(ReduceOp op, DataType type);
+
+/// inout[i] = op(inout[i], in[i]) for each of the `count` elements.
+/// Buffer byte lengths must be >= count * datatype_size(type).
+/// Throws std::invalid_argument on unsupported (op, type) pairs or short
+/// buffers.
+void apply_reduce(ReduceOp op, DataType type, std::span<std::byte> inout,
+                  std::span<const std::byte> in, std::size_t count);
+
+inline constexpr ReduceOp kAllReduceOps[] = {
+    ReduceOp::kSum, ReduceOp::kProd, ReduceOp::kMax,
+    ReduceOp::kMin, ReduceOp::kBand, ReduceOp::kBor,
+};
+
+}  // namespace gencoll::runtime

@@ -1,0 +1,62 @@
+#include "runtime/world.hpp"
+
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+namespace gencoll::runtime {
+
+World::World(int size) : size_(size) {
+  if (size <= 0) throw std::invalid_argument("World: size must be positive");
+  mailboxes_.reserve(static_cast<std::size_t>(size));
+  for (int i = 0; i < size; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+Mailbox& World::mailbox(int rank) {
+  return *mailboxes_.at(static_cast<std::size_t>(rank));
+}
+
+void World::barrier_wait() {
+  std::unique_lock<std::mutex> lock(barrier_mu_);
+  const bool sense = barrier_sense_;
+  if (++barrier_arrived_ == size_) {
+    barrier_arrived_ = 0;
+    barrier_sense_ = !barrier_sense_;
+    barrier_cv_.notify_all();
+  } else {
+    barrier_cv_.wait(lock, [&] { return barrier_sense_ != sense; });
+  }
+}
+
+std::size_t World::pending_messages() const {
+  std::size_t total = 0;
+  for (const auto& mb : mailboxes_) total += mb->pending();
+  return total;
+}
+
+void World::run(int size, const std::function<void(Communicator&)>& fn) {
+  World world(size);
+
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(size));
+  for (int r = 0; r < size; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        Communicator comm(&world, r);
+        fn(comm);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace gencoll::runtime

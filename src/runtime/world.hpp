@@ -1,0 +1,50 @@
+// World: a fixed-size group of ranks executed as threads in this process.
+//
+// World::run(p, fn) spawns p threads, hands each a Communicator, and joins.
+// The first exception thrown by any rank is re-thrown to the caller after all
+// threads finish, so tests see rank failures as ordinary test failures.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "runtime/comm.hpp"
+#include "runtime/mailbox.hpp"
+
+namespace gencoll::runtime {
+
+class World {
+ public:
+  explicit World(int size);
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  [[nodiscard]] int size() const { return size_; }
+
+  Mailbox& mailbox(int rank);
+
+  /// Sense-reversing barrier across all `size` ranks.
+  void barrier_wait();
+
+  /// Total undelivered messages across all mailboxes (leak check).
+  [[nodiscard]] std::size_t pending_messages() const;
+
+  /// Convenience: construct a World of `size` ranks, run `fn(comm)` on a
+  /// thread per rank, join, and re-throw the first rank exception (if any).
+  static void run(int size, const std::function<void(Communicator&)>& fn);
+
+ private:
+  int size_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+
+  std::mutex barrier_mu_;
+  std::condition_variable barrier_cv_;
+  int barrier_arrived_ = 0;
+  bool barrier_sense_ = false;
+};
+
+}  // namespace gencoll::runtime

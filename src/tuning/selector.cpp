@@ -1,0 +1,103 @@
+#include "tuning/selector.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace gencoll::tuning {
+
+std::optional<AlgorithmChoice> SelectionConfig::lookup(core::CollOp op,
+                                                       std::size_t nbytes) const {
+  for (const SelectionRule& rule : rules_) {
+    if (rule.matches(op, nbytes)) return AlgorithmChoice{rule.algorithm, rule.k};
+  }
+  return std::nullopt;
+}
+
+AlgorithmChoice SelectionConfig::choose(core::CollOp op, int p,
+                                        std::size_t nbytes) const {
+  if (const auto choice = lookup(op, nbytes)) return *choice;
+  return vendor_default(op, p, nbytes);
+}
+
+void SelectionConfig::save(std::ostream& os) const {
+  os << "# gencoll selection config v1\n";
+  if (!machine.empty()) {
+    os << "machine " << machine << " nodes " << nodes << " ppn " << ppn << "\n";
+  }
+  for (const SelectionRule& rule : rules_) {
+    os << "rule " << core::coll_op_name(rule.op) << ' ' << rule.min_bytes << ' ';
+    if (rule.max_bytes == SIZE_MAX) {
+      os << "inf";
+    } else {
+      os << rule.max_bytes;
+    }
+    os << ' ' << core::algorithm_name(rule.algorithm) << ' ' << rule.k << "\n";
+  }
+}
+
+SelectionConfig SelectionConfig::load(std::istream& is) {
+  SelectionConfig config;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto fail = [&](const std::string& why) {
+      throw std::runtime_error("selection config line " + std::to_string(line_no) +
+                               ": " + why);
+    };
+    std::istringstream ls(line);
+    std::string word;
+    if (!(ls >> word) || word[0] == '#') continue;
+    if (word == "machine") {
+      std::string nodes_kw;
+      std::string ppn_kw;
+      if (!(ls >> config.machine >> nodes_kw >> config.nodes >> ppn_kw >> config.ppn) ||
+          nodes_kw != "nodes" || ppn_kw != "ppn") {
+        fail("malformed machine header");
+      }
+      continue;
+    }
+    if (word != "rule") fail("unknown directive '" + word + "'");
+
+    SelectionRule rule;
+    std::string op_name;
+    std::string max_text;
+    std::string alg_name;
+    if (!(ls >> op_name >> rule.min_bytes >> max_text >> alg_name >> rule.k)) {
+      fail("malformed rule");
+    }
+    const auto op = core::parse_coll_op(op_name);
+    if (!op) fail("unknown op '" + op_name + "'");
+    rule.op = *op;
+    if (max_text == "inf") {
+      rule.max_bytes = SIZE_MAX;
+    } else {
+      try {
+        rule.max_bytes = std::stoull(max_text);
+      } catch (...) {
+        fail("bad max_bytes '" + max_text + "'");
+      }
+    }
+    const auto alg = core::parse_algorithm(alg_name);
+    if (!alg) fail("unknown algorithm '" + alg_name + "'");
+    rule.algorithm = *alg;
+    if (rule.k < 1) fail("k must be >= 1");
+    config.add_rule(rule);
+  }
+  return config;
+}
+
+void SelectionConfig::save_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open for write: " + path);
+  save(os);
+}
+
+SelectionConfig SelectionConfig::load_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open for read: " + path);
+  return load(is);
+}
+
+}  // namespace gencoll::tuning

@@ -1,0 +1,67 @@
+// Selection configuration: the gencoll analogue of MPICH's collective
+// tuning file (paper §VI-G). A config is an ordered rule list mapping
+// (operation, message-size range) to (algorithm, radix); lookup returns the
+// first matching rule. Configs round-trip through a line-oriented text file
+// so one environment-variable-style switch re-tunes a whole application.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/coll_params.hpp"
+#include "tuning/vendor_policy.hpp"
+
+namespace gencoll::tuning {
+
+struct SelectionRule {
+  core::CollOp op = core::CollOp::kBcast;
+  std::size_t min_bytes = 0;                    ///< inclusive
+  std::size_t max_bytes = SIZE_MAX;             ///< exclusive; SIZE_MAX = open
+  core::Algorithm algorithm = core::Algorithm::kBinomial;
+  int k = 2;
+
+  [[nodiscard]] bool matches(core::CollOp o, std::size_t nbytes) const {
+    return o == op && nbytes >= min_bytes && nbytes < max_bytes;
+  }
+};
+
+class SelectionConfig {
+ public:
+  SelectionConfig() = default;
+
+  void add_rule(SelectionRule rule) { rules_.push_back(rule); }
+  [[nodiscard]] const std::vector<SelectionRule>& rules() const { return rules_; }
+  /// Mutable access for post-processing (e.g. the autotuner's rule merging).
+  [[nodiscard]] std::vector<SelectionRule>& mutable_rules() { return rules_; }
+
+  /// Descriptive header fields (machine name / scale the config was tuned
+  /// for); informational only.
+  std::string machine;
+  int nodes = 0;
+  int ppn = 0;
+
+  /// First matching rule, or nullopt (caller falls back to vendor_default).
+  [[nodiscard]] std::optional<AlgorithmChoice> lookup(core::CollOp op,
+                                                      std::size_t nbytes) const;
+
+  /// Resolve with fallback: config rule if present, else vendor_default.
+  [[nodiscard]] AlgorithmChoice choose(core::CollOp op, int p, std::size_t nbytes) const;
+
+  /// Line-oriented serialization:
+  ///   # comments
+  ///   machine <name> nodes <n> ppn <n>
+  ///   rule <op> <min_bytes> <max_bytes|inf> <algorithm> <k>
+  void save(std::ostream& os) const;
+  static SelectionConfig load(std::istream& is);  ///< throws on parse errors
+
+  void save_file(const std::string& path) const;
+  static SelectionConfig load_file(const std::string& path);
+
+ private:
+  std::vector<SelectionRule> rules_;
+};
+
+}  // namespace gencoll::tuning

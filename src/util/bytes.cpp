@@ -1,0 +1,79 @@
+#include "util/bytes.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace gencoll::util {
+
+std::optional<std::uint64_t> parse_bytes(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  std::size_t i = 0;
+  bool any_digit = false;
+  for (; i < text.size() && std::isdigit(static_cast<unsigned char>(text[i])); ++i) {
+    const auto digit = static_cast<std::uint64_t>(text[i] - '0');
+    if (value > (UINT64_MAX - digit) / 10) return std::nullopt;  // overflow
+    value = value * 10 + digit;
+    any_digit = true;
+  }
+  if (!any_digit) return std::nullopt;
+
+  std::uint64_t multiplier = 1;
+  if (i < text.size()) {
+    switch (std::toupper(static_cast<unsigned char>(text[i]))) {
+      case 'K': multiplier = 1ULL << 10; ++i; break;
+      case 'M': multiplier = 1ULL << 20; ++i; break;
+      case 'G': multiplier = 1ULL << 30; ++i; break;
+      case 'B': break;  // plain "128B"
+      default: return std::nullopt;
+    }
+    // Accept optional trailing "B" / "iB" after a suffix.
+    if (i < text.size() && std::toupper(static_cast<unsigned char>(text[i])) == 'I') ++i;
+    if (i < text.size() && std::toupper(static_cast<unsigned char>(text[i])) == 'B') ++i;
+    if (i != text.size()) return std::nullopt;
+  }
+  if (multiplier != 1 && value > UINT64_MAX / multiplier) return std::nullopt;
+  return value * multiplier;
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  struct Unit {
+    std::uint64_t scale;
+    const char* suffix;
+  };
+  static constexpr Unit kUnits[] = {
+      {1ULL << 30, "GB"}, {1ULL << 20, "MB"}, {1ULL << 10, "KB"}};
+  for (const auto& unit : kUnits) {
+    if (bytes >= unit.scale) {
+      const double scaled = static_cast<double>(bytes) / static_cast<double>(unit.scale);
+      char buf[32];
+      if (bytes % unit.scale == 0) {
+        std::snprintf(buf, sizeof(buf), "%llu%s",
+                      static_cast<unsigned long long>(bytes / unit.scale), unit.suffix);
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.1f%s", scaled, unit.suffix);
+      }
+      return buf;
+    }
+  }
+  return std::to_string(bytes) + "B";
+}
+
+std::vector<std::uint64_t> pow2_sizes(std::uint64_t lo, std::uint64_t hi) {
+  std::vector<std::uint64_t> sizes;
+  if (lo == 0) lo = 1;
+  // Round lo up to a power of two.
+  std::uint64_t s = 1;
+  while (s < lo) s <<= 1;
+  for (; s <= hi; s <<= 1) {
+    sizes.push_back(s);
+    if (s > (UINT64_MAX >> 1)) break;
+  }
+  return sizes;
+}
+
+std::vector<std::uint64_t> osu_message_sizes() {
+  return pow2_sizes(8, 4ULL << 20);
+}
+
+}  // namespace gencoll::util

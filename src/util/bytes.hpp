@@ -1,0 +1,29 @@
+// Byte-size parsing and formatting ("8", "4K", "1M", "2G" — binary powers),
+// plus the message-size sweep generators the benchmark harnesses share.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gencoll::util {
+
+/// Parse a human byte size: plain digits plus optional K/M/G suffix
+/// (case-insensitive, binary powers, optional trailing 'B' or 'iB').
+/// Returns nullopt on malformed input or overflow.
+std::optional<std::uint64_t> parse_bytes(std::string_view text);
+
+/// Format a byte count compactly: 512 -> "512B", 4096 -> "4KB",
+/// 1572864 -> "1.5MB". Exact binary multiples drop the fraction.
+std::string format_bytes(std::uint64_t bytes);
+
+/// Powers-of-two sweep [lo, hi], both inclusive when powers of two;
+/// otherwise hi is the last power of two <= hi. lo must be >= 1.
+std::vector<std::uint64_t> pow2_sizes(std::uint64_t lo, std::uint64_t hi);
+
+/// The OSU-style default sweep used across the paper's figures: 8 B .. 4 MB.
+std::vector<std::uint64_t> osu_message_sizes();
+
+}  // namespace gencoll::util

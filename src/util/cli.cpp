@@ -1,0 +1,112 @@
+#include "util/cli.hpp"
+
+#include <charconv>
+#include <sstream>
+
+namespace gencoll::util {
+
+void Cli::add_flag(std::string name, std::string help, std::string default_value) {
+  flags_[std::move(name)] = Flag{std::move(help), std::move(default_value)};
+}
+
+bool Cli::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (!arg.starts_with("--")) {
+      error_ = "unexpected positional argument: " + std::string(arg);
+      return false;
+    }
+    arg.remove_prefix(2);
+
+    std::string name;
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+      name = std::string(arg.substr(0, eq));
+      value = std::string(arg.substr(eq + 1));
+      has_value = true;
+    } else {
+      name = std::string(arg);
+    }
+
+    const auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      error_ = "unknown flag: --" + name;
+      return false;
+    }
+    if (!has_value) {
+      // Boolean-style flag, or "--name value" form.
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    it->second.value = value;
+  }
+  return true;
+}
+
+std::string Cli::get(std::string_view name) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? std::string() : it->second.value;
+}
+
+std::optional<std::int64_t> Cli::get_int(std::string_view name) const {
+  const std::string value = get(name);
+  std::int64_t out = 0;
+  const auto [ptr, ec] = std::from_chars(value.data(), value.data() + value.size(), out);
+  if (ec != std::errc() || ptr != value.data() + value.size()) return std::nullopt;
+  return out;
+}
+
+std::optional<double> Cli::get_double(std::string_view name) const {
+  const std::string value = get(name);
+  if (value.empty()) return std::nullopt;
+  try {
+    std::size_t idx = 0;
+    const double out = std::stod(value, &idx);
+    if (idx != value.size()) return std::nullopt;
+    return out;
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+bool Cli::get_bool(std::string_view name) const {
+  const std::string value = get(name);
+  return value == "true" || value == "1" || value == "yes" || value == "on";
+}
+
+std::vector<std::int64_t> Cli::get_int_list(std::string_view name) const {
+  std::vector<std::int64_t> out;
+  const std::string value = get(name);
+  std::size_t start = 0;
+  while (start < value.size()) {
+    std::size_t end = value.find(',', start);
+    if (end == std::string::npos) end = value.size();
+    std::int64_t item = 0;
+    const auto [ptr, ec] =
+        std::from_chars(value.data() + start, value.data() + end, item);
+    if (ec == std::errc() && ptr == value.data() + end) out.push_back(item);
+    start = end + 1;
+  }
+  return out;
+}
+
+std::string Cli::usage(std::string_view program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name;
+    if (!flag.value.empty()) os << " (default: " << flag.value << ")";
+    os << "\n      " << flag.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace gencoll::util

@@ -1,0 +1,47 @@
+// Tiny flag parser for the benchmark / example executables.
+//
+// Supports "--name value" and "--name=value" plus boolean "--flag".
+// Unrecognized flags are an error so typos in sweep scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gencoll::util {
+
+class Cli {
+ public:
+  /// Declare flags before parse(); `help` is printed by usage().
+  void add_flag(std::string name, std::string help, std::string default_value = "");
+
+  /// Parse argv. Returns false (and fills error()) on unknown flags or a
+  /// missing value. "--help" sets help_requested().
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] bool help_requested() const { return help_requested_; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+  [[nodiscard]] std::string get(std::string_view name) const;
+  [[nodiscard]] std::optional<std::int64_t> get_int(std::string_view name) const;
+  [[nodiscard]] std::optional<double> get_double(std::string_view name) const;
+  [[nodiscard]] bool get_bool(std::string_view name) const;
+  /// Comma-separated list of ints ("2,4,8"); empty string -> empty vector.
+  [[nodiscard]] std::vector<std::int64_t> get_int_list(std::string_view name) const;
+
+  [[nodiscard]] std::string usage(std::string_view program) const;
+
+ private:
+  struct Flag {
+    std::string help;
+    std::string value;
+  };
+  std::map<std::string, Flag, std::less<>> flags_;
+  std::string error_;
+  bool help_requested_ = false;
+};
+
+}  // namespace gencoll::util

@@ -1,0 +1,55 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+#include <mutex>
+
+namespace gencoll::util {
+
+namespace detail {
+
+std::atomic<int>& level_storage() {
+  static std::atomic<int> level{static_cast<int>(LogLevel::kWarn)};
+  return level;
+}
+
+void emit(LogLevel level, const std::string& message) {
+  // Serialize whole lines; interleaved characters from rank threads are
+  // worse than a brief lock on a cold path.
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  std::fprintf(stderr, "[gencoll:%s] %s\n", log_level_name(level), message.c_str());
+}
+
+}  // namespace detail
+
+void set_log_level(LogLevel level) {
+  detail::level_storage().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(detail::level_storage().load(std::memory_order_relaxed));
+}
+
+LogLevel parse_log_level(std::string_view name) {
+  if (name == "trace") return LogLevel::kTrace;
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "trace";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+}  // namespace gencoll::util

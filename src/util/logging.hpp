@@ -1,0 +1,68 @@
+// Minimal leveled logger for the gencoll library.
+//
+// Logging is intentionally tiny: benchmarks and the discrete-event simulator
+// are hot paths, so anything below the active level compiles down to a single
+// branch on an atomic load. Output goes to stderr so benchmark tables on
+// stdout stay machine-parsable.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace gencoll::util {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Parse "trace" / "debug" / "info" / "warn" / "error" / "off".
+/// Returns kInfo for unrecognized names.
+LogLevel parse_log_level(std::string_view name);
+
+const char* log_level_name(LogLevel level);
+
+namespace detail {
+void emit(LogLevel level, const std::string& message);
+std::atomic<int>& level_storage();
+}  // namespace detail
+
+inline bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >= detail::level_storage().load(std::memory_order_relaxed);
+}
+
+/// Stream-style log statement: GENCOLL_LOG(kInfo) << "p=" << p;
+/// The stream body is only evaluated when the level is enabled.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { detail::emit(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace gencoll::util
+
+#define GENCOLL_LOG(level)                                                 \
+  if (!::gencoll::util::log_enabled(::gencoll::util::LogLevel::level)) {} \
+  else ::gencoll::util::LogLine(::gencoll::util::LogLevel::level)

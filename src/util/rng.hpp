@@ -1,0 +1,43 @@
+// Deterministic RNG for tests and workload generators.
+//
+// splitmix64 — tiny, fast, and identical across platforms, so property tests
+// and synthetic workloads reproduce bit-exactly everywhere.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace gencoll::util {
+
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
+
+  result_type operator()() {
+    std::uint64_t z = (state_ += 0x9E3779B97f4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound) via Lemire's multiply-shift (bound > 0).
+  std::uint64_t below(std::uint64_t bound) {
+    const auto wide = static_cast<unsigned __int128>(operator()()) * bound;
+    return static_cast<std::uint64_t>(wide >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace gencoll::util

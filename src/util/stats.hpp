@@ -1,0 +1,53 @@
+// Summary statistics over latency samples.
+//
+// The benchmark harnesses follow the paper's methodology (§VI-H): each
+// microbenchmark point is measured repeatedly and summarized. Samples are
+// microseconds (double), matching the OSU convention.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace gencoll::util {
+
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+  double p95 = 0.0;
+};
+
+/// Compute summary statistics. An empty span yields an all-zero Summary.
+Summary summarize(std::span<const double> samples);
+
+/// Linear-interpolated percentile, q in [0, 1]. Empty input returns 0.
+double percentile(std::span<const double> samples, double q);
+
+/// Incremental accumulator for streaming samples (Welford's algorithm for
+/// numerically stable mean/variance; min/max tracked directly).
+class Accumulator {
+ public:
+  void add(double sample);
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double variance() const;  ///< sample variance; 0 if count < 2
+  [[nodiscard]] double stddev() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Geometric mean of strictly positive values; returns 0 for empty input.
+double geometric_mean(std::span<const double> values);
+
+}  // namespace gencoll::util

@@ -1,0 +1,37 @@
+// Console table / CSV emitters used by the benchmark harnesses.
+//
+// Every figure-reproduction binary prints (a) an aligned human-readable table
+// and (b) optionally a CSV block, so results can be eyeballed and re-plotted.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gencoll::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; the row is padded/truncated to the header width.
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const { return headers_.size(); }
+
+  /// Aligned fixed-width rendering with a header separator.
+  void print(std::ostream& os) const;
+
+  /// RFC-4180-ish CSV (fields containing comma/quote/newline get quoted).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (default matches latency tables).
+std::string fmt(double value, int precision = 2);
+
+}  // namespace gencoll::util

@@ -1,0 +1,122 @@
+// The MPI-flavored facade must be a zero-behavior wrapper: every call
+// produces the same results as the underlying Collectives methods.
+#include "api/mpi_compat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "core/partition.hpp"
+
+namespace gencoll::mpi {
+namespace {
+
+TEST(MpiCompat, Allreduce) {
+  run_ranks(6, [](Collectives& comm) {
+    std::vector<std::int32_t> send(16, comm.rank());
+    std::vector<std::int32_t> recv(16, -1);
+    Allreduce(send.data(), recv.data(), 16, DataType::kInt32, ReduceOp::kSum, comm);
+    for (auto v : recv) ASSERT_EQ(v, 15);  // 0+1+..+5
+  });
+}
+
+TEST(MpiCompat, BcastWithSpec) {
+  run_ranks(5, [](Collectives& comm) {
+    std::vector<double> buf(9, comm.rank() == 1 ? 3.5 : 0.0);
+    AlgSpec spec;
+    spec.algorithm = Algorithm::kKnomial;
+    spec.k = 4;
+    Bcast(buf.data(), 9, DataType::kDouble, /*root=*/1, comm, spec);
+    for (double v : buf) ASSERT_DOUBLE_EQ(v, 3.5);
+  });
+}
+
+TEST(MpiCompat, ReduceNullRecvOnNonRoot) {
+  run_ranks(4, [](Collectives& comm) {
+    std::vector<std::int64_t> send(5, 2);
+    std::vector<std::int64_t> recv(5, 0);
+    Reduce(send.data(), comm.rank() == 0 ? recv.data() : nullptr, 5,
+           DataType::kInt64, ReduceOp::kProd, 0, comm);
+    if (comm.rank() == 0) {
+      for (auto v : recv) ASSERT_EQ(v, 16);  // 2^4
+    }
+  });
+}
+
+TEST(MpiCompat, GatherAllgatherRoundTrip) {
+  constexpr int kRanks = 4;
+  run_ranks(kRanks, [](Collectives& comm) {
+    const core::Block mine = core::block_of(10, kRanks, comm.rank());
+    std::vector<std::int32_t> send(mine.elem_len);
+    std::iota(send.begin(), send.end(), static_cast<std::int32_t>(mine.elem_off));
+    std::vector<std::int32_t> recv(10, -1);
+    Allgather(send.data(), send.size(), recv.data(), 10, DataType::kInt32, comm);
+    for (int i = 0; i < 10; ++i) ASSERT_EQ(recv[static_cast<std::size_t>(i)], i);
+
+    std::vector<std::int32_t> gathered(10, -1);
+    Gather(send.data(), send.size(), gathered.data(), 10, DataType::kInt32, 2, comm);
+    if (comm.rank() == 2) {
+      for (int i = 0; i < 10; ++i) ASSERT_EQ(gathered[static_cast<std::size_t>(i)], i);
+    }
+  });
+}
+
+TEST(MpiCompat, ScatterAndReduceScatter) {
+  constexpr int kRanks = 3;
+  run_ranks(kRanks, [](Collectives& comm) {
+    std::vector<std::int32_t> all(9);
+    std::iota(all.begin(), all.end(), 100);
+    std::vector<std::int32_t> recv(9, -1);
+    Scatter(comm.rank() == 0 ? all.data() : nullptr, recv.data(), 9,
+            DataType::kInt32, 0, comm);
+    const core::Block mine = core::block_of(9, kRanks, comm.rank());
+    for (std::size_t e = 0; e < mine.elem_len; ++e) {
+      ASSERT_EQ(recv[mine.elem_off + e],
+                100 + static_cast<std::int32_t>(mine.elem_off + e));
+    }
+
+    std::vector<std::int32_t> contrib(9, comm.rank() + 1);
+    std::vector<std::int32_t> reduced(9, 0);
+    ReduceScatter(contrib.data(), reduced.data(), 9, DataType::kInt32,
+                  ReduceOp::kSum, comm);
+    for (std::size_t e = 0; e < mine.elem_len; ++e) {
+      ASSERT_EQ(reduced[mine.elem_off + e], 6);  // 1+2+3
+    }
+  });
+}
+
+TEST(MpiCompat, AlltoallAndScan) {
+  constexpr int kRanks = 4;
+  run_ranks(kRanks, [](Collectives& comm) {
+    std::vector<std::int32_t> send(kRanks * 2);
+    for (int d = 0; d < kRanks; ++d) {
+      send[static_cast<std::size_t>(2 * d)] = comm.rank() * 10 + d;
+      send[static_cast<std::size_t>(2 * d + 1)] = -1;
+    }
+    std::vector<std::int32_t> recv(kRanks * 2, 0);
+    Alltoall(send.data(), 2, recv.data(), DataType::kInt32, comm);
+    for (int s = 0; s < kRanks; ++s) {
+      ASSERT_EQ(recv[static_cast<std::size_t>(2 * s)], s * 10 + comm.rank());
+    }
+
+    std::vector<std::int32_t> ones(3, 1);
+    std::vector<std::int32_t> prefix(3, 0);
+    Scan(ones.data(), prefix.data(), 3, DataType::kInt32, ReduceOp::kSum, comm);
+    for (auto v : prefix) ASSERT_EQ(v, comm.rank() + 1);
+  });
+}
+
+TEST(MpiCompat, Barrier) {
+  run_ranks(6, [](Collectives& comm) {
+    Barrier(comm);
+    AlgSpec spec;
+    spec.algorithm = Algorithm::kDissemination;
+    spec.k = 6;
+    Barrier(comm, spec);
+    SUCCEED();
+  });
+}
+
+}  // namespace
+}  // namespace gencoll::mpi

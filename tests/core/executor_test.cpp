@@ -1,0 +1,137 @@
+// Executor-level tests: argument validation, direct per-rank execution on a
+// long-lived communicator, and workspace semantics.
+#include "core/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/reference.hpp"
+#include "core/registry.hpp"
+#include "runtime/world.hpp"
+
+namespace gencoll::core {
+namespace {
+
+using runtime::DataType;
+using runtime::ReduceOp;
+
+CollParams allreduce_params(int p) {
+  CollParams params;
+  params.op = CollOp::kAllreduce;
+  params.p = p;
+  params.count = 16;
+  params.elem_size = 4;
+  params.k = 2;
+  return params;
+}
+
+TEST(Executor, RejectsWrongInputCount) {
+  const CollParams params = allreduce_params(4);
+  const Schedule sched = build_schedule(Algorithm::kRecursiveDoubling, params);
+  std::vector<std::vector<std::byte>> too_few(3);
+  EXPECT_THROW(execute_threaded(sched, too_few, DataType::kInt32, ReduceOp::kSum),
+               std::invalid_argument);
+}
+
+TEST(Executor, RejectsWrongInputSize) {
+  const CollParams params = allreduce_params(2);
+  const Schedule sched = build_schedule(Algorithm::kRecursiveDoubling, params);
+  std::vector<std::vector<std::byte>> inputs(2);
+  inputs[0].resize(64);
+  inputs[1].resize(63);  // one byte short
+  EXPECT_THROW(execute_threaded(sched, inputs, DataType::kInt32, ReduceOp::kSum),
+               std::invalid_argument);
+}
+
+TEST(Executor, RejectsDatatypeElemSizeMismatch) {
+  const CollParams params = allreduce_params(2);
+  const Schedule sched = build_schedule(Algorithm::kRecursiveDoubling, params);
+  const auto inputs = make_inputs(params, DataType::kInt32, 1);
+  // elem_size 4 but datatype int64 (8 bytes): must be rejected up front.
+  EXPECT_THROW(execute_threaded(sched, inputs, DataType::kInt64, ReduceOp::kSum),
+               std::invalid_argument);
+}
+
+TEST(Executor, RankProgramRunsOnLongLivedCommunicator) {
+  // The API path: one communicator, several collectives back to back,
+  // including repeated use of the same schedule (tag reuse across calls
+  // must not cross-match because each call fully drains its messages).
+  const CollParams params = allreduce_params(4);
+  const Schedule sched = build_schedule(Algorithm::kRecursiveMultiplying, params);
+  const auto inputs = make_inputs(params, DataType::kInt32, 7);
+  const auto want = reference_outputs(params, inputs, DataType::kInt32, ReduceOp::kSum);
+
+  runtime::World::run(4, [&](runtime::Communicator& comm) {
+    const auto r = static_cast<std::size_t>(comm.rank());
+    for (int repeat = 0; repeat < 3; ++repeat) {
+      std::vector<std::byte> out(output_bytes(params));
+      execute_rank_program(sched, comm, inputs[r], out, DataType::kInt32,
+                           ReduceOp::kSum);
+      ASSERT_EQ(std::memcmp(out.data(), want[r].data(), out.size()), 0)
+          << "repeat " << repeat << " rank " << r;
+    }
+  });
+}
+
+TEST(Executor, InterleavedDifferentCollectivesOnOneCommunicator) {
+  CollParams ar = allreduce_params(4);
+  CollParams bc = ar;
+  bc.op = CollOp::kBcast;
+  bc.root = 2;
+  const Schedule ar_sched = build_schedule(Algorithm::kRecursiveDoubling, ar);
+  const Schedule bc_sched = build_schedule(Algorithm::kKnomial, bc);
+  const auto ar_in = make_inputs(ar, DataType::kInt32, 3);
+  const auto bc_in = make_inputs(bc, DataType::kInt32, 4);
+  const auto ar_want = reference_outputs(ar, ar_in, DataType::kInt32, ReduceOp::kSum);
+  const auto bc_want = reference_outputs(bc, bc_in, DataType::kInt32, ReduceOp::kSum);
+
+  runtime::World::run(4, [&](runtime::Communicator& comm) {
+    const auto r = static_cast<std::size_t>(comm.rank());
+    std::vector<std::byte> out1(output_bytes(ar));
+    execute_rank_program(ar_sched, comm, ar_in[r], out1, DataType::kInt32,
+                         ReduceOp::kSum);
+    std::vector<std::byte> out2(output_bytes(bc));
+    execute_rank_program(bc_sched, comm, bc_in[r], out2, DataType::kInt32,
+                         ReduceOp::kSum);
+    ASSERT_EQ(std::memcmp(out1.data(), ar_want[r].data(), out1.size()), 0);
+    ASSERT_EQ(std::memcmp(out2.data(), bc_want[r].data(), out2.size()), 0);
+  });
+}
+
+TEST(Executor, OutputBufferTooSmallRejected) {
+  const CollParams params = allreduce_params(2);
+  const Schedule sched = build_schedule(Algorithm::kRecursiveDoubling, params);
+  const auto inputs = make_inputs(params, DataType::kInt32, 1);
+  runtime::World::run(2, [&](runtime::Communicator& comm) {
+    const auto r = static_cast<std::size_t>(comm.rank());
+    std::vector<std::byte> tiny(output_bytes(params) - 1);
+    EXPECT_THROW(execute_rank_program(sched, comm, inputs[r], tiny, DataType::kInt32,
+                                      ReduceOp::kSum),
+                 std::invalid_argument);
+  });
+}
+
+TEST(Executor, CommunicatorSizeMismatchRejected) {
+  const CollParams params = allreduce_params(4);
+  const Schedule sched = build_schedule(Algorithm::kRecursiveDoubling, params);
+  runtime::World::run(2, [&](runtime::Communicator& comm) {
+    std::vector<std::byte> in(64);
+    std::vector<std::byte> out(64);
+    EXPECT_THROW(
+        execute_rank_program(sched, comm, in, out, DataType::kInt32, ReduceOp::kSum),
+        std::invalid_argument);
+  });
+}
+
+TEST(Executor, ZeroCountCollectiveIsNoOp) {
+  CollParams params = allreduce_params(4);
+  params.count = 0;
+  const Schedule sched = build_schedule(Algorithm::kRecursiveMultiplying, params);
+  const std::vector<std::vector<std::byte>> inputs(4);
+  const auto outputs = execute_threaded(sched, inputs, DataType::kInt32, ReduceOp::kSum);
+  for (const auto& out : outputs) EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace gencoll::core

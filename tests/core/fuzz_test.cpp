@@ -1,0 +1,162 @@
+// Randomized property tests: hundreds of random (op, algorithm, p, k,
+// count, root, datatype, reduce-op) configurations, each structurally
+// validated and executed against the reference. Catches corner-case
+// interactions the deterministic sweeps miss (odd counts x folds x wrapped
+// roots x small blocks).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "core/executor.hpp"
+#include "core/reference.hpp"
+#include "core/registry.hpp"
+#include "core/validate.hpp"
+#include "util/rng.hpp"
+
+namespace gencoll::core {
+namespace {
+
+using runtime::DataType;
+using runtime::ReduceOp;
+
+struct FuzzConfig {
+  CollParams params;
+  Algorithm alg = Algorithm::kBinomial;
+  DataType type = DataType::kInt32;
+  ReduceOp rop = ReduceOp::kSum;
+};
+
+/// Draw a random-but-supported configuration.
+FuzzConfig draw(util::SplitMix64& rng) {
+  FuzzConfig cfg;
+  cfg.params.op = kAllCollOps[rng.below(std::size(kAllCollOps))];
+
+  cfg.params.p = static_cast<int>(rng.below(24)) + 1;  // 1..24
+  cfg.params.root = static_cast<int>(rng.below(static_cast<std::uint64_t>(cfg.params.p)));
+
+  // Pick an algorithm that has at least one valid radix for this p
+  // (recursive halving, for instance, needs a power of two).
+  const auto algs = algorithms_for(cfg.params.op);
+  std::vector<int> ks;
+  do {
+    cfg.alg = algs[rng.below(algs.size())];
+    ks = candidate_radixes(cfg.params.op, cfg.alg, cfg.params.p);
+  } while (ks.empty());
+  cfg.params.k = ks[rng.below(ks.size())];
+
+  // Sizes biased toward the nasty range: around p, odd, sometimes zero.
+  const std::uint64_t size_class = rng.below(5);
+  switch (size_class) {
+    case 0: cfg.params.count = 0; break;
+    case 1: cfg.params.count = rng.below(4) + 1; break;
+    case 2: cfg.params.count = static_cast<std::size_t>(cfg.params.p) + rng.below(7); break;
+    case 3: cfg.params.count = rng.below(200) + 1; break;
+    default: cfg.params.count = rng.below(5000) + 1; break;
+  }
+
+  // Integer types keep comparisons exact; sum/max/min/bor cover the
+  // reduction paths (prod overflows are fine for integers — both sides
+  // wrap identically — but keep values sane anyway).
+  const DataType types[] = {DataType::kByte, DataType::kInt32, DataType::kInt64,
+                            DataType::kUInt64};
+  cfg.type = types[rng.below(std::size(types))];
+  const ReduceOp rops[] = {ReduceOp::kSum, ReduceOp::kMax, ReduceOp::kMin,
+                           ReduceOp::kBor};
+  cfg.rop = rops[rng.below(std::size(rops))];
+  cfg.params.elem_size = runtime::datatype_size(cfg.type);
+  if (cfg.params.op == CollOp::kBarrier) {
+    cfg.params.count = 0;
+    cfg.params.elem_size = 1;
+    cfg.type = DataType::kByte;
+  }
+  if (cfg.params.op == CollOp::kAlltoall) {
+    // count is per-destination; keep total buffers modest.
+    cfg.params.count %= 300;
+  }
+  return cfg;
+}
+
+class CollectiveFuzz : public testing::TestWithParam<int> {};
+
+TEST_P(CollectiveFuzz, RandomConfigsMatchReference) {
+  util::SplitMix64 rng(0x5EED0000ULL + static_cast<std::uint64_t>(GetParam()));
+  for (int i = 0; i < 25; ++i) {
+    const FuzzConfig cfg = draw(rng);
+    SCOPED_TRACE(std::string(algorithm_name(cfg.alg)) + " " + cfg.params.describe() +
+                 " type=" + runtime::datatype_name(cfg.type) + " rop=" +
+                 runtime::reduce_op_name(cfg.rop));
+    ASSERT_TRUE(supports_params(cfg.alg, cfg.params));
+
+    Schedule sched;
+    ASSERT_NO_THROW(sched = build_schedule(cfg.alg, cfg.params));
+    ASSERT_NO_THROW(validate_schedule_coverage(sched));
+
+    const auto inputs =
+        make_inputs(cfg.params, cfg.type, 0xABCDULL + static_cast<std::uint64_t>(i));
+    const auto want = reference_outputs(cfg.params, inputs, cfg.type, cfg.rop);
+    const auto got = execute_threaded(sched, inputs, cfg.type, cfg.rop);
+    for (int r = 0; r < cfg.params.p; ++r) {
+      const auto ur = static_cast<std::size_t>(r);
+      for (const Seg& seg : result_segments(cfg.params, r)) {
+        ASSERT_EQ(got[ur].size(), want[ur].size());
+        ASSERT_EQ(std::memcmp(got[ur].data() + seg.off, want[ur].data() + seg.off,
+                              seg.len),
+                  0)
+            << "rank " << r << " segment at " << seg.off;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CollectiveFuzz, testing::Range(0, 12));
+
+// Structural property over a broad parameter lattice: total bytes a
+// collective puts on the wire is bounded and coverage holds — no execution,
+// so this sweeps much wider than the executed fuzz above.
+class ScheduleProperty : public testing::TestWithParam<int> {};
+
+TEST_P(ScheduleProperty, TrafficInvariants) {
+  util::SplitMix64 rng(0xFACE0000ULL + static_cast<std::uint64_t>(GetParam()));
+  for (int i = 0; i < 60; ++i) {
+    const FuzzConfig cfg = draw(rng);
+    const Schedule sched = build_schedule(cfg.alg, cfg.params);
+    validate_schedule_coverage(sched);
+
+    const double n = static_cast<double>(cfg.params.nbytes());
+    const double p = cfg.params.p;
+    const auto total = static_cast<double>(sched.total_send_bytes());
+    // Loose upper bounds. Alltoall genuinely moves p*(p-1) per-pair chunks;
+    // everything else stays within ~(2 log_k p + 4) full payloads per rank
+    // aggregated (trees forward the whole payload per level; folds add up
+    // to 2n per extra rank). Barriers move p-1 tokens per dissemination
+    // round at radix k.
+    if (cfg.params.op == CollOp::kAlltoall) {
+      EXPECT_LE(total, n * p * (p - 1.0) + 1.0)
+          << algorithm_name(cfg.alg) << " " << cfg.params.describe();
+    } else if (cfg.params.op == CollOp::kBarrier) {
+      EXPECT_LE(total, p * (cfg.params.k - 1.0) * (std::log2(std::max(2.0, p)) + 2.0))
+          << algorithm_name(cfg.alg) << " " << cfg.params.describe();
+    } else if (cfg.params.op == CollOp::kScan) {
+      // Hillis-Steele ships up to (k-1) full payloads per rank per round.
+      const double k = std::max(2.0, static_cast<double>(cfg.params.k));
+      const double rounds = std::ceil(std::log(std::max(2.0, p)) / std::log(k)) + 1.0;
+      EXPECT_LE(total, n * p * (k - 1.0) * rounds + 1.0)
+          << algorithm_name(cfg.alg) << " " << cfg.params.describe();
+    } else {
+      const double levels = std::log2(std::max(2.0, p)) + 4.0;
+      EXPECT_LE(total, n * p * levels + 1.0)
+          << algorithm_name(cfg.alg) << " " << cfg.params.describe();
+    }
+    // Rooted single-destination collectives (gather/reduce) at least ship
+    // every non-root contribution once.
+    if (cfg.params.op == CollOp::kGather && n >= p) {
+      EXPECT_GE(total, n * (p - 1.0) / p - p * static_cast<double>(cfg.params.elem_size));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScheduleProperty, testing::Range(0, 8));
+
+}  // namespace
+}  // namespace gencoll::core

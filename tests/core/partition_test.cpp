@@ -1,0 +1,121 @@
+#include "core/partition.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gencoll::core {
+namespace {
+
+TEST(Partition, EvenSplit) {
+  const Block b = block_of(12, 4, 1);
+  EXPECT_EQ(b.elem_off, 3u);
+  EXPECT_EQ(b.elem_len, 3u);
+}
+
+TEST(Partition, RemainderGoesToFirstBlocks) {
+  // 10 elements over 4 parts: 3,3,2,2.
+  EXPECT_EQ(block_of(10, 4, 0).elem_len, 3u);
+  EXPECT_EQ(block_of(10, 4, 1).elem_len, 3u);
+  EXPECT_EQ(block_of(10, 4, 2).elem_len, 2u);
+  EXPECT_EQ(block_of(10, 4, 3).elem_len, 2u);
+  EXPECT_EQ(block_of(10, 4, 2).elem_off, 6u);
+}
+
+TEST(Partition, BlocksTileExactly) {
+  for (std::size_t count : {0u, 1u, 5u, 16u, 100u, 101u}) {
+    for (int parts : {1, 2, 3, 7, 16, 40}) {
+      std::size_t expect_off = 0;
+      for (int i = 0; i < parts; ++i) {
+        const Block b = block_of(count, parts, i);
+        EXPECT_EQ(b.elem_off, expect_off) << count << "/" << parts << "#" << i;
+        expect_off += b.elem_len;
+      }
+      EXPECT_EQ(expect_off, count);
+    }
+  }
+}
+
+TEST(Partition, EmptyBlocksWhenCountBelowParts) {
+  EXPECT_EQ(block_of(3, 5, 4).elem_len, 0u);
+  EXPECT_EQ(block_of(3, 5, 2).elem_len, 1u);
+}
+
+TEST(Partition, BadIndexThrows) {
+  EXPECT_THROW(block_of(10, 4, 4), std::invalid_argument);
+  EXPECT_THROW(block_of(10, 4, -1), std::invalid_argument);
+  EXPECT_THROW(block_of(10, 0, 0), std::invalid_argument);
+}
+
+TEST(SegOfBlocks, SpansAreContiguous) {
+  // 10 elements x 4 bytes over 4 parts: offsets 0,12,24,32.
+  const Seg s = seg_of_blocks(10, 4, 4, 1, 3);
+  EXPECT_EQ(s.off, 12u);
+  EXPECT_EQ(s.len, 20u);  // blocks 1 (3 elems) + 2 (2 elems) = 5 elems * 4
+}
+
+TEST(SegOfBlocks, EmptyRange) {
+  const Seg s = seg_of_blocks(10, 4, 4, 2, 2);
+  EXPECT_EQ(s.len, 0u);
+}
+
+TEST(SegOfBlocks, FullRangeCoversAll) {
+  const Seg s = seg_of_blocks(17, 8, 5, 0, 5);
+  EXPECT_EQ(s.off, 0u);
+  EXPECT_EQ(s.len, 17u * 8u);
+}
+
+TEST(WrapSegs, NoWrapSingleSegment) {
+  const auto segs = wrap_segs(12, 1, 4, 1, 2);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].off, 3u);
+  EXPECT_EQ(segs[0].len, 6u);
+}
+
+TEST(WrapSegs, WrapProducesTwoSegments) {
+  // 4 parts of 3 bytes each; range [3, 3+2) wraps to {block3, block0}.
+  const auto segs = wrap_segs(12, 1, 4, 3, 2);
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_EQ(segs[0].off, 9u);
+  EXPECT_EQ(segs[0].len, 3u);
+  EXPECT_EQ(segs[1].off, 0u);
+  EXPECT_EQ(segs[1].len, 3u);
+}
+
+TEST(WrapSegs, FullRingCoversEverything) {
+  const auto segs = wrap_segs(10, 2, 5, 2, 5);
+  const auto merged = merge_segs(segs);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].off, 0u);
+  EXPECT_EQ(merged[0].len, 20u);
+}
+
+TEST(WrapSegs, ZeroLengthEmpty) {
+  EXPECT_TRUE(wrap_segs(10, 1, 5, 2, 0).empty());
+}
+
+TEST(WrapSegs, DropsEmptyBlocks) {
+  // count=2, parts=4: blocks 2,3 are empty; range [2,2+2)={2,3} -> no segs.
+  EXPECT_TRUE(wrap_segs(2, 4, 4, 2, 2).empty());
+}
+
+TEST(WrapSegs, NegativeLoNormalized) {
+  const auto a = wrap_segs(12, 1, 4, -1, 2);
+  const auto b = wrap_segs(12, 1, 4, 3, 2);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a[0], b[0]);
+}
+
+TEST(MergeSegs, CoalescesAdjacent) {
+  const auto merged = merge_segs({{0, 4}, {4, 4}, {10, 2}});
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0], (Seg{0, 8}));
+  EXPECT_EQ(merged[1], (Seg{10, 2}));
+}
+
+TEST(MergeSegs, HandlesOverlapAndOrder) {
+  const auto merged = merge_segs({{8, 4}, {0, 10}});
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0], (Seg{0, 12}));
+}
+
+}  // namespace
+}  // namespace gencoll::core

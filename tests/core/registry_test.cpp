@@ -1,0 +1,140 @@
+#include "core/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/algorithms.hpp"
+#include "core/validate.hpp"
+
+namespace gencoll::core {
+namespace {
+
+CollParams basic(CollOp op, int p, int k) {
+  CollParams params;
+  params.op = op;
+  params.p = p;
+  params.count = 16;
+  params.elem_size = 4;
+  params.k = k;
+  return params;
+}
+
+TEST(Registry, TableIMatchesPaper) {
+  const auto table = kernel_table();
+  ASSERT_EQ(table.size(), 3u);
+  EXPECT_EQ(table[0].base, Algorithm::kBinomial);
+  EXPECT_EQ(table[0].generalized, Algorithm::kKnomial);
+  EXPECT_EQ(table[1].base, Algorithm::kRecursiveDoubling);
+  EXPECT_EQ(table[1].generalized, Algorithm::kRecursiveMultiplying);
+  EXPECT_EQ(table[2].base, Algorithm::kRing);
+  EXPECT_EQ(table[2].generalized, Algorithm::kKring);
+  // 10 generalized (kernel, collective) implementations in total (Table I).
+  std::size_t impls = 0;
+  for (const auto& row : table) impls += row.ops.size();
+  EXPECT_EQ(impls, 10u);
+  // Every advertised pair must actually be buildable.
+  for (const auto& row : table) {
+    for (CollOp op : row.ops) {
+      EXPECT_TRUE(supports(op, row.generalized))
+          << coll_op_name(op) << "/" << algorithm_name(row.generalized);
+    }
+  }
+}
+
+TEST(Registry, EveryAdvertisedAlgorithmBuilds) {
+  for (CollOp op : kAllCollOps) {
+    for (Algorithm alg : algorithms_for(op)) {
+      const CollParams params = basic(op, 8, 2);
+      ASSERT_TRUE(supports_params(alg, params))
+          << coll_op_name(op) << "/" << algorithm_name(alg);
+      const Schedule sched = build_schedule(alg, params);
+      EXPECT_NO_THROW(validate_schedule_coverage(sched))
+          << coll_op_name(op) << "/" << algorithm_name(alg);
+    }
+  }
+}
+
+TEST(Registry, UnimplementedPairThrows) {
+  EXPECT_THROW(build_schedule(Algorithm::kRing, basic(CollOp::kReduce, 4, 1)),
+               std::invalid_argument);
+  EXPECT_THROW(build_schedule(Algorithm::kRabenseifner, basic(CollOp::kBcast, 4, 2)),
+               std::invalid_argument);
+  EXPECT_FALSE(supports(CollOp::kGather, Algorithm::kKring));
+}
+
+TEST(Registry, KringAcceptsNonUniformGroups) {
+  // Non-dividing group sizes are supported (the paper's non-uniform-groups
+  // corner case: the last group is smaller).
+  EXPECT_TRUE(supports_params(Algorithm::kKring, basic(CollOp::kAllgather, 10, 3)));
+  EXPECT_TRUE(supports_params(Algorithm::kKring, basic(CollOp::kAllgather, 10, 5)));
+  EXPECT_FALSE(supports_params(Algorithm::kKring, basic(CollOp::kAllgather, 10, 11)));
+  EXPECT_THROW(build_schedule(Algorithm::kKring, basic(CollOp::kAllgather, 10, 11)),
+               UnsupportedParams);
+  EXPECT_NO_THROW(build_schedule(Algorithm::kKring, basic(CollOp::kAllgather, 10, 3)));
+}
+
+TEST(Registry, FixedRadixBaselinesIgnoreRequestedK) {
+  // Binomial must build the k=2 tree even when params.k says otherwise.
+  const Schedule binom = build_schedule(Algorithm::kBinomial, basic(CollOp::kBcast, 9, 5));
+  const Schedule knom2 = build_schedule(Algorithm::kKnomial, basic(CollOp::kBcast, 9, 2));
+  ASSERT_EQ(binom.ranks.size(), knom2.ranks.size());
+  for (std::size_t r = 0; r < binom.ranks.size(); ++r) {
+    ASSERT_EQ(binom.ranks[r].steps.size(), knom2.ranks[r].steps.size()) << r;
+    for (std::size_t i = 0; i < binom.ranks[r].steps.size(); ++i) {
+      EXPECT_EQ(binom.ranks[r].steps[i].peer, knom2.ranks[r].steps[i].peer);
+      EXPECT_EQ(binom.ranks[r].steps[i].bytes, knom2.ranks[r].steps[i].bytes);
+    }
+  }
+  EXPECT_EQ(binom.name, "binomial");
+}
+
+TEST(Registry, RingEqualsKringAtK1) {
+  const Schedule ring = build_schedule(Algorithm::kRing, basic(CollOp::kAllgather, 6, 9));
+  const Schedule kring1 = build_schedule(Algorithm::kKring, basic(CollOp::kAllgather, 6, 1));
+  ASSERT_EQ(ring.ranks.size(), kring1.ranks.size());
+  for (std::size_t r = 0; r < ring.ranks.size(); ++r) {
+    ASSERT_EQ(ring.ranks[r].steps.size(), kring1.ranks[r].steps.size());
+  }
+}
+
+TEST(Registry, EffectiveRadixPinsBaselines) {
+  EXPECT_EQ(effective_radix(Algorithm::kBinomial, 7), 2);
+  EXPECT_EQ(effective_radix(Algorithm::kRecursiveDoubling, 7), 2);
+  EXPECT_EQ(effective_radix(Algorithm::kRing, 7), 1);
+  EXPECT_EQ(effective_radix(Algorithm::kKnomial, 7), 7);
+}
+
+TEST(Registry, GeneralizedCounterpartMapping) {
+  EXPECT_EQ(generalized_counterpart(Algorithm::kBinomial), Algorithm::kKnomial);
+  EXPECT_EQ(generalized_counterpart(Algorithm::kRecursiveDoubling),
+            Algorithm::kRecursiveMultiplying);
+  EXPECT_EQ(generalized_counterpart(Algorithm::kRing), Algorithm::kKring);
+  EXPECT_EQ(generalized_counterpart(Algorithm::kLinear), Algorithm::kLinear);
+}
+
+TEST(Registry, CandidateRadixesShape) {
+  const auto knomial_ks = candidate_radixes(CollOp::kBcast, Algorithm::kKnomial, 8);
+  ASSERT_FALSE(knomial_ks.empty());
+  EXPECT_EQ(knomial_ks.front(), 2);
+  EXPECT_EQ(knomial_ks.back(), 8);
+
+  const auto kring_ks = candidate_radixes(CollOp::kAllgather, Algorithm::kKring, 12);
+  ASSERT_EQ(kring_ks.size(), 12u);
+  EXPECT_EQ(kring_ks.front(), 1);
+  EXPECT_EQ(kring_ks.back(), 12);
+
+  const auto ring_ks = candidate_radixes(CollOp::kAllgather, Algorithm::kRing, 12);
+  EXPECT_EQ(ring_ks, (std::vector<int>{1}));
+
+  EXPECT_TRUE(candidate_radixes(CollOp::kReduce, Algorithm::kKring, 8).empty());
+}
+
+TEST(Registry, SupportsParamsRejectsBadRadix) {
+  CollParams params = basic(CollOp::kBcast, 8, 1);
+  EXPECT_FALSE(supports_params(Algorithm::kKnomial, params));
+  EXPECT_FALSE(supports_params(Algorithm::kRecursiveMultiplying, params));
+  params.k = 2;
+  EXPECT_TRUE(supports_params(Algorithm::kKnomial, params));
+}
+
+}  // namespace
+}  // namespace gencoll::core

@@ -1,0 +1,123 @@
+#include "core/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/coll_params.hpp"
+
+namespace gencoll::core {
+namespace {
+
+TEST(RankProgram, ZeroByteStepsAreSkipped) {
+  RankProgram prog;
+  prog.send(1, 0, 0, 0);
+  prog.recv(1, 0, 0, 0);
+  prog.recv_reduce(1, 0, 0, 0);
+  prog.copy_input(0, 0, 0);
+  EXPECT_TRUE(prog.steps.empty());
+}
+
+TEST(RankProgram, BuildersRecordFields) {
+  RankProgram prog;
+  prog.copy_input(4, 8, 16);
+  prog.send(3, 7, 32, 64);
+  prog.recv(2, 9, 0, 8);
+  prog.recv_reduce(1, 5, 8, 8);
+  ASSERT_EQ(prog.steps.size(), 4u);
+  EXPECT_EQ(prog.steps[0].kind, StepKind::kCopyInput);
+  EXPECT_EQ(prog.steps[0].src_off, 4u);
+  EXPECT_EQ(prog.steps[0].off, 8u);
+  EXPECT_EQ(prog.steps[1].peer, 3);
+  EXPECT_EQ(prog.steps[1].tag, 7);
+  EXPECT_EQ(prog.steps[2].kind, StepKind::kRecv);
+  EXPECT_EQ(prog.steps[3].kind, StepKind::kRecvReduce);
+}
+
+TEST(Schedule, TotalsAggregate) {
+  Schedule sched;
+  sched.params.p = 2;
+  sched.ranks.resize(2);
+  sched.ranks[0].send(1, 0, 0, 100);
+  sched.ranks[0].copy_input(0, 0, 10);
+  sched.ranks[1].recv(0, 0, 0, 100);
+  sched.ranks[1].send(0, 1, 0, 50);
+  sched.ranks[0].recv(1, 1, 0, 50);
+  EXPECT_EQ(sched.total_steps(), 5u);
+  EXPECT_EQ(sched.total_send_bytes(), 150u);
+}
+
+TEST(Schedule, DumpMentionsEveryRank) {
+  Schedule sched;
+  sched.name = "demo";
+  sched.params.p = 2;
+  sched.ranks.resize(2);
+  sched.ranks[0].send(1, 0, 0, 8);
+  sched.ranks[1].recv(0, 0, 0, 8);
+  const std::string dump = sched.dump();
+  EXPECT_NE(dump.find("demo"), std::string::npos);
+  EXPECT_NE(dump.find("rank 0"), std::string::npos);
+  EXPECT_NE(dump.find("rank 1"), std::string::npos);
+  EXPECT_NE(dump.find("send"), std::string::npos);
+}
+
+TEST(CollParams, InputSizesFollowLayout) {
+  CollParams params;
+  params.p = 4;
+  params.count = 10;
+  params.elem_size = 4;
+
+  params.op = CollOp::kBcast;
+  params.root = 2;
+  EXPECT_EQ(input_bytes(params, 2), 40u);
+  EXPECT_EQ(input_bytes(params, 0), 0u);
+
+  params.op = CollOp::kAllreduce;
+  EXPECT_EQ(input_bytes(params, 3), 40u);
+
+  params.op = CollOp::kAllgather;
+  EXPECT_EQ(input_bytes(params, 0), 12u);  // 3 elems
+  EXPECT_EQ(input_bytes(params, 3), 8u);   // 2 elems
+  EXPECT_EQ(output_bytes(params), 40u);
+}
+
+TEST(CollParams, HasResultSemantics) {
+  CollParams params;
+  params.p = 3;
+  params.root = 1;
+  params.count = 1;
+  params.op = CollOp::kReduce;
+  EXPECT_TRUE(has_result(params, 1));
+  EXPECT_FALSE(has_result(params, 0));
+  params.op = CollOp::kAllgather;
+  EXPECT_TRUE(has_result(params, 0));
+}
+
+TEST(CollParams, CheckRejectsBadValues) {
+  CollParams params;
+  params.p = 0;
+  EXPECT_THROW(check_params(params), std::invalid_argument);
+  params.p = 4;
+  params.root = 4;
+  EXPECT_THROW(check_params(params), std::invalid_argument);
+  params.root = 0;
+  params.elem_size = 0;
+  EXPECT_THROW(check_params(params), std::invalid_argument);
+  params.elem_size = 4;
+  params.k = 0;
+  EXPECT_THROW(check_params(params), std::invalid_argument);
+  params.k = 2;
+  EXPECT_NO_THROW(check_params(params));
+}
+
+TEST(CollParams, NamesParseRoundTrip) {
+  for (CollOp op : kAllCollOps) {
+    EXPECT_EQ(parse_coll_op(coll_op_name(op)), op);
+  }
+  for (Algorithm alg : kAllAlgorithms) {
+    EXPECT_EQ(parse_algorithm(algorithm_name(alg)), alg);
+  }
+  EXPECT_FALSE(parse_coll_op("exscan").has_value());
+  EXPECT_FALSE(parse_algorithm("warp_drive").has_value());
+}
+
+}  // namespace
+}  // namespace gencoll::core

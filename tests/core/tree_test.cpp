@@ -1,0 +1,125 @@
+#include "core/tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace gencoll::core {
+namespace {
+
+TEST(KnomialTree, BinomialParentMatchesLowestSetBit) {
+  const KnomialTree t(8, 2);
+  EXPECT_EQ(t.parent(0), -1);
+  EXPECT_EQ(t.parent(1), 0);
+  EXPECT_EQ(t.parent(2), 0);
+  EXPECT_EQ(t.parent(3), 2);
+  EXPECT_EQ(t.parent(4), 0);
+  EXPECT_EQ(t.parent(6), 4);
+  EXPECT_EQ(t.parent(7), 6);
+}
+
+TEST(KnomialTree, PaperFigure2Trinomial) {
+  // Paper Fig. 2: p=6, k=3 — root 0 has children 3, 1, 2; node 3 has 4, 5.
+  const KnomialTree t(6, 3);
+  EXPECT_EQ(t.parent(1), 0);
+  EXPECT_EQ(t.parent(2), 0);
+  EXPECT_EQ(t.parent(3), 0);
+  EXPECT_EQ(t.parent(4), 3);
+  EXPECT_EQ(t.parent(5), 3);
+  EXPECT_EQ(t.children_desc(0), (std::vector<int>{3, 1, 2}));
+  EXPECT_EQ(t.children_desc(3), (std::vector<int>{4, 5}));
+  EXPECT_TRUE(t.children_desc(5).empty());
+}
+
+TEST(KnomialTree, ChildrenAscOrderedBySubtreeSizeThenIndex) {
+  const KnomialTree t(27, 3);
+  for (int vr : {0, 9}) {
+    auto desc = t.children_desc(vr);
+    auto asc = t.children_asc(vr);
+    // Same children either way.
+    std::sort(desc.begin(), desc.end());
+    auto sorted_asc = asc;
+    std::sort(sorted_asc.begin(), sorted_asc.end());
+    EXPECT_EQ(desc, sorted_asc);
+    // Ascending: subtree sizes never decrease, and within one level the
+    // child index ascends (arrival order for simultaneous senders).
+    for (std::size_t i = 1; i < asc.size(); ++i) {
+      const int prev = t.subtree_size(asc[i - 1]);
+      const int cur = t.subtree_size(asc[i]);
+      EXPECT_LE(prev, cur);
+      if (prev == cur) EXPECT_LT(asc[i - 1], asc[i]);
+    }
+  }
+}
+
+TEST(KnomialTree, ParentChildConsistency) {
+  for (int p : {1, 2, 3, 5, 8, 9, 16, 17, 26, 27, 40}) {
+    for (int k : {2, 3, 4, 5, 7}) {
+      const KnomialTree t(p, k);
+      std::set<int> reached{0};
+      for (int vr = 0; vr < p; ++vr) {
+        for (int child : t.children_desc(vr)) {
+          EXPECT_EQ(t.parent(child), vr) << "p=" << p << " k=" << k;
+          EXPECT_TRUE(reached.insert(child).second)
+              << "duplicate child " << child << " p=" << p << " k=" << k;
+        }
+      }
+      EXPECT_EQ(reached.size(), static_cast<std::size_t>(p))
+          << "tree must span all vranks p=" << p << " k=" << k;
+    }
+  }
+}
+
+TEST(KnomialTree, SubtreeSizesSumToParentSubtree) {
+  for (int p : {6, 7, 9, 13, 16, 27, 31}) {
+    for (int k : {2, 3, 4}) {
+      const KnomialTree t(p, k);
+      for (int vr = 0; vr < p; ++vr) {
+        int total = 1;
+        for (int child : t.children_desc(vr)) total += t.subtree_size(child);
+        EXPECT_EQ(total, t.subtree_size(vr)) << "p=" << p << " k=" << k << " vr=" << vr;
+      }
+      EXPECT_EQ(t.subtree_size(0), p);
+    }
+  }
+}
+
+TEST(KnomialTree, SubtreeIsContiguousRange) {
+  const KnomialTree t(20, 3);
+  for (int vr = 0; vr < 20; ++vr) {
+    const int size = t.subtree_size(vr);
+    // Every vrank in [vr, vr+size) must have its ancestor chain pass vr.
+    for (int u = vr; u < vr + size && u < 20; ++u) {
+      int a = u;
+      while (a != vr && a != -1) a = t.parent(a);
+      EXPECT_EQ(a, vr) << "u=" << u << " not under vr=" << vr;
+    }
+  }
+}
+
+TEST(KnomialTree, DepthIsCeilLogK) {
+  EXPECT_EQ(KnomialTree(1, 2).depth(), 0);
+  EXPECT_EQ(KnomialTree(2, 2).depth(), 1);
+  EXPECT_EQ(KnomialTree(8, 2).depth(), 3);
+  EXPECT_EQ(KnomialTree(9, 2).depth(), 4);
+  EXPECT_EQ(KnomialTree(9, 3).depth(), 2);
+  EXPECT_EQ(KnomialTree(10, 3).depth(), 3);
+  EXPECT_EQ(KnomialTree(64, 64).depth(), 1);
+}
+
+TEST(KnomialTree, FlatTreeWhenKAtLeastP) {
+  const KnomialTree t(5, 8);
+  for (int vr = 1; vr < 5; ++vr) EXPECT_EQ(t.parent(vr), 0);
+  EXPECT_EQ(t.children_desc(0).size(), 4u);
+}
+
+TEST(KnomialTree, InvalidArgsThrow) {
+  EXPECT_THROW(KnomialTree(0, 2), std::invalid_argument);
+  EXPECT_THROW(KnomialTree(4, 1), std::invalid_argument);
+  const KnomialTree t(4, 2);
+  EXPECT_THROW(t.parent(4), std::out_of_range);
+  EXPECT_THROW(t.children_desc(-1), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace gencoll::core

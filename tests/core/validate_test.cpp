@@ -1,0 +1,137 @@
+#include "core/validate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gencoll::core {
+namespace {
+
+Schedule base_schedule(int p, std::size_t count) {
+  Schedule sched;
+  sched.name = "test";
+  sched.params.op = CollOp::kBcast;
+  sched.params.p = p;
+  sched.params.count = count;
+  sched.params.elem_size = 1;
+  sched.ranks.resize(static_cast<std::size_t>(p));
+  return sched;
+}
+
+TEST(Validate, AcceptsMatchedExchange) {
+  Schedule sched = base_schedule(2, 8);
+  sched.ranks[0].copy_input(0, 0, 8);
+  sched.ranks[0].send(1, 0, 0, 8);
+  sched.ranks[1].recv(0, 0, 0, 8);
+  EXPECT_NO_THROW(validate_schedule(sched));
+}
+
+TEST(Validate, DetectsUnmatchedRecvDeadlock) {
+  Schedule sched = base_schedule(2, 8);
+  sched.ranks[1].recv(0, 0, 0, 8);
+  EXPECT_THROW(validate_schedule(sched), std::logic_error);
+}
+
+TEST(Validate, DetectsUnconsumedSend) {
+  Schedule sched = base_schedule(2, 8);
+  sched.ranks[0].send(1, 0, 0, 8);
+  EXPECT_THROW(validate_schedule(sched), std::logic_error);
+}
+
+TEST(Validate, DetectsSizeMismatch) {
+  Schedule sched = base_schedule(2, 8);
+  sched.ranks[0].send(1, 0, 0, 8);
+  sched.ranks[1].recv(0, 0, 0, 4);
+  EXPECT_THROW(validate_schedule(sched), std::logic_error);
+}
+
+TEST(Validate, DetectsCyclicWait) {
+  // 0 waits for 1's message before sending; 1 does the same: deadlock.
+  Schedule sched = base_schedule(2, 8);
+  sched.ranks[0].recv(1, 0, 0, 8);
+  sched.ranks[0].send(1, 1, 0, 8);
+  sched.ranks[1].recv(0, 1, 0, 8);
+  sched.ranks[1].send(0, 0, 0, 8);
+  EXPECT_THROW(validate_schedule(sched), std::logic_error);
+}
+
+TEST(Validate, AcceptsSendBeforeRecvCycle) {
+  // Same pairs, but sends posted first (buffered sends): fine.
+  Schedule sched = base_schedule(2, 8);
+  sched.ranks[0].send(1, 1, 0, 8);
+  sched.ranks[0].recv(1, 0, 0, 8);
+  sched.ranks[1].send(0, 0, 0, 8);
+  sched.ranks[1].recv(0, 1, 0, 8);
+  EXPECT_NO_THROW(validate_schedule(sched));
+}
+
+TEST(Validate, DetectsOutOfBoundsOutput) {
+  Schedule sched = base_schedule(2, 8);
+  sched.ranks[0].send(1, 0, 4, 8);  // 4+8 > 8
+  sched.ranks[1].recv(0, 0, 0, 8);
+  EXPECT_THROW(validate_schedule(sched), std::logic_error);
+}
+
+TEST(Validate, DetectsOutOfBoundsInput) {
+  Schedule sched = base_schedule(2, 8);
+  sched.ranks[1].copy_input(0, 0, 8);  // rank 1 has no bcast input
+  EXPECT_THROW(validate_schedule(sched), std::logic_error);
+}
+
+TEST(Validate, DetectsSelfMessage) {
+  Schedule sched = base_schedule(2, 8);
+  sched.ranks[0].send(0, 0, 0, 8);
+  EXPECT_THROW(validate_schedule(sched), std::logic_error);
+}
+
+TEST(Validate, DetectsPeerOutOfRange) {
+  Schedule sched = base_schedule(2, 8);
+  sched.ranks[0].send(7, 0, 0, 8);
+  EXPECT_THROW(validate_schedule(sched), std::logic_error);
+}
+
+TEST(Validate, DetectsMisalignedRecvReduce) {
+  Schedule sched = base_schedule(2, 8);
+  sched.params.op = CollOp::kAllreduce;
+  sched.params.elem_size = 4;
+  sched.params.count = 2;
+  sched.ranks[0].send(1, 0, 0, 6);
+  sched.ranks[1].recv_reduce(0, 0, 0, 6);  // 6 % 4 != 0
+  EXPECT_THROW(validate_schedule(sched), std::logic_error);
+}
+
+TEST(Validate, CoverageDetectsHole) {
+  Schedule sched = base_schedule(2, 8);
+  sched.ranks[0].copy_input(0, 0, 8);
+  sched.ranks[0].send(1, 0, 0, 4);
+  sched.ranks[1].recv(0, 0, 0, 4);  // rank 1 never fills bytes [4, 8)
+  EXPECT_NO_THROW(validate_schedule(sched));
+  EXPECT_THROW(validate_schedule_coverage(sched), std::logic_error);
+}
+
+TEST(Validate, CoveragePassesWhenFilled) {
+  Schedule sched = base_schedule(2, 8);
+  sched.ranks[0].copy_input(0, 0, 8);
+  sched.ranks[0].send(1, 0, 0, 8);
+  sched.ranks[1].recv(0, 0, 0, 8);
+  EXPECT_NO_THROW(validate_schedule_coverage(sched));
+}
+
+TEST(Validate, RankCountMismatchThrows) {
+  Schedule sched = base_schedule(3, 8);
+  sched.ranks.resize(2);
+  EXPECT_THROW(validate_schedule(sched), std::logic_error);
+}
+
+TEST(Validate, ChannelOrderMismatchDetected) {
+  // Two same-tag messages 0->1 received in swapped size order: FIFO per
+  // (src, tag) makes the first recv see the 8-byte message.
+  Schedule sched = base_schedule(2, 16);
+  sched.ranks[0].copy_input(0, 0, 16);
+  sched.ranks[0].send(1, 0, 0, 8);
+  sched.ranks[0].send(1, 0, 8, 4);
+  sched.ranks[1].recv(0, 0, 8, 4);
+  sched.ranks[1].recv(0, 0, 0, 8);
+  EXPECT_THROW(validate_schedule(sched), std::logic_error);
+}
+
+}  // namespace
+}  // namespace gencoll::core

@@ -1,0 +1,238 @@
+// Algebraic properties of the analytical models (paper Eqs. 1-14).
+#include "model/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gencoll::model {
+namespace {
+
+using core::Algorithm;
+using core::CollOp;
+
+ModelParams basic() {
+  ModelParams m;
+  m.alpha_us = 2.0;
+  m.beta_us_per_byte = 4.0e-5;
+  m.gamma_us_per_byte = 1.0e-5;
+  return m;
+}
+
+TEST(CostModel, LogBase) {
+  EXPECT_DOUBLE_EQ(log_base(8, 2), 3.0);
+  EXPECT_DOUBLE_EQ(log_base(9, 3), 2.0);
+  EXPECT_DOUBLE_EQ(log_base(1, 2), 0.0);
+  EXPECT_DOUBLE_EQ(log_base(0.5, 2), 0.0);
+  EXPECT_THROW(log_base(8, 1), std::invalid_argument);
+}
+
+TEST(CostModel, KnomialAtK2EqualsBinomial) {
+  const ModelParams m = basic();
+  for (CollOp op : {CollOp::kBcast, CollOp::kReduce, CollOp::kGather,
+                    CollOp::kAllgather, CollOp::kAllreduce}) {
+    for (double p : {2.0, 16.0, 128.0}) {
+      for (double n : {8.0, 65536.0}) {
+        EXPECT_NEAR(knomial_cost(op, n, p, 2.0, m), binomial_cost(op, n, p, m),
+                    1e-9 * binomial_cost(op, n, p, m) + 1e-12)
+            << core::coll_op_name(op) << " p=" << p;
+      }
+    }
+  }
+}
+
+TEST(CostModel, RecmulAtK2EqualsRecursiveDoubling) {
+  const ModelParams m = basic();
+  for (CollOp op : {CollOp::kBcast, CollOp::kAllgather, CollOp::kAllreduce}) {
+    EXPECT_NEAR(recursive_multiplying_cost(op, 4096.0, 64.0, 2.0, m),
+                recursive_doubling_cost(op, 4096.0, 64.0, m), 1e-9);
+  }
+}
+
+TEST(CostModel, KringTotalEqualsRing) {
+  // Eq. (12): under homogeneous links, the k-ring total equals ring's.
+  const ModelParams m = basic();
+  for (double k : {1.0, 2.0, 4.0, 8.0}) {
+    EXPECT_NEAR(kring_cost(CollOp::kAllgather, 1.0e6, 32.0, k, m),
+                ring_cost(CollOp::kAllgather, 1.0e6, 32.0, m), 1e-6);
+  }
+}
+
+TEST(CostModel, KringRoundSplit) {
+  // g(k-1) intra + (g-1) inter rounds = p-1 rounds (Eq. 11).
+  const ModelParams m = basic();
+  const double per_round = ring_round_cost(CollOp::kAllgather, 1.0e6, 32.0, m);
+  EXPECT_NEAR(kring_intra_cost(CollOp::kAllgather, 1.0e6, 32.0, 8.0, m),
+              4.0 * 7.0 * per_round, 1e-9);
+  EXPECT_NEAR(kring_inter_cost(CollOp::kAllgather, 1.0e6, 32.0, 8.0, m),
+              3.0 * per_round, 1e-9);
+}
+
+TEST(CostModel, IntergroupBytesReduceToRingAtK1) {
+  // Eq. (13) at k=1 must reduce to Eq. (14).
+  EXPECT_DOUBLE_EQ(kring_intergroup_bytes(1.0e6, 24.0, 1.0),
+                   ring_intergroup_bytes(1.0e6, 24.0));
+}
+
+TEST(CostModel, IntergroupBytesDecreaseWithK) {
+  // Larger groups exchange less inter-group data (§V-D).
+  double prev = kring_intergroup_bytes(1.0e6, 64.0, 1.0);
+  for (double k : {2.0, 4.0, 8.0, 16.0}) {
+    const double cur = kring_intergroup_bytes(1.0e6, 64.0, k);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+  // Paper's worked example (Fig. 6): p=6, k=3 — 6 partitions vs 10.
+  const double phi = 1.0 / 6.0;  // one partition of a unit payload
+  EXPECT_NEAR(kring_intergroup_bytes(1.0, 6.0, 3.0), 6.0 * phi, 1e-12);
+  EXPECT_NEAR(ring_intergroup_bytes(1.0, 6.0), 10.0 * phi, 1e-12);
+}
+
+TEST(CostModel, KnomialAlphaTermShrinksWithK) {
+  // §III-D: larger k decreases the latency term, increases bandwidth term.
+  ModelParams latency_only = basic();
+  latency_only.beta_us_per_byte = 0.0;
+  latency_only.gamma_us_per_byte = 0.0;
+  double prev = knomial_cost(CollOp::kBcast, 8.0, 256.0, 2.0, latency_only);
+  for (double k : {4.0, 16.0, 256.0}) {
+    const double cur = knomial_cost(CollOp::kBcast, 8.0, 256.0, k, latency_only);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+
+  ModelParams bw_only = basic();
+  bw_only.alpha_us = 0.0;
+  bw_only.gamma_us_per_byte = 0.0;
+  EXPECT_LT(knomial_cost(CollOp::kBcast, 1.0e6, 256.0, 2.0, bw_only),
+            knomial_cost(CollOp::kBcast, 1.0e6, 256.0, 16.0, bw_only));
+}
+
+TEST(CostModel, ModelOptimalRadixShiftsWithMessageSize) {
+  const ModelParams m = basic();
+  const int small = model_optimal_radix(Algorithm::kKnomial, CollOp::kBcast, 8.0, 128, m);
+  const int large = model_optimal_radix(Algorithm::kKnomial, CollOp::kBcast,
+                                        4.0 * 1024 * 1024, 128, m);
+  EXPECT_GT(small, large);  // tiny messages want flat trees
+  EXPECT_EQ(large, 2);      // huge messages want the binomial shape
+  // Ideal-overlap model: optimal small-message radix at or near p (§III-D).
+  EXPECT_EQ(small, 128);
+}
+
+TEST(CostModel, RecmulAllreduceModelPrefersSmallKForLargeN) {
+  // Eq. (6) allreduce: per-round cost grows with (k-1)n, so the model's
+  // optimum falls toward 2 as n grows (the paper's empirical result then
+  // contradicts this — ports dominate — which is the point of §VI-C).
+  const ModelParams m = basic();
+  const int k_large = model_optimal_radix(Algorithm::kRecursiveMultiplying,
+                                          CollOp::kAllreduce, 1.0e6, 64, m);
+  EXPECT_EQ(k_large, 2);
+}
+
+TEST(CostModel, RingLargeNLimit) {
+  const ModelParams m = basic();
+  const double full = ring_cost(CollOp::kAllgather, 1.0e9, 64.0, m);
+  const double limit = ring_cost_large_n(CollOp::kAllgather, 1.0e9, m);
+  EXPECT_NEAR(full / limit, 1.0, 0.02);  // alpha negligible at 1GB
+  EXPECT_NEAR(ring_cost_large_n(CollOp::kAllreduce, 1.0e6, m),
+              (m.beta_us_per_byte + m.gamma_us_per_byte) * 1.0e6, 1e-9);
+}
+
+TEST(CostModel, RoundCostsSumToTotal) {
+  // Eq. (5)/(7) rounds must add up to Eq. (4)/(6) for power-of-k p.
+  const ModelParams m = basic();
+  const double n = 4096.0;
+  double total = 0.0;
+  for (int i = 1; i <= 3; ++i) {
+    total += recursive_multiplying_round_cost(CollOp::kAllgather, n, 64.0, 4.0, i, m);
+  }
+  const double expect = recursive_multiplying_cost(CollOp::kAllgather, n, 64.0, 4.0, m);
+  // Rounds send (k-1)k^{i-1}/p of n: 3/64 + 12/64 + 48/64 = 63/64 = (p-1)/p.
+  EXPECT_NEAR(total, expect, 1e-9);
+}
+
+TEST(CostModel, PredictDispatchesAndPinsBaselines) {
+  const ModelParams m = basic();
+  EXPECT_DOUBLE_EQ(predict_cost(Algorithm::kBinomial, CollOp::kBcast, 1024, 64, 9, m),
+                   binomial_cost(CollOp::kBcast, 1024, 64, m));
+  EXPECT_DOUBLE_EQ(predict_cost(Algorithm::kRing, CollOp::kAllgather, 1024, 64, 9, m),
+                   ring_cost(CollOp::kAllgather, 1024, 64, m));
+  EXPECT_DOUBLE_EQ(predict_cost(Algorithm::kKnomial, CollOp::kBcast, 1024, 64, 4, m),
+                   knomial_cost(CollOp::kBcast, 1024, 64, 4, m));
+  EXPECT_GT(predict_cost(Algorithm::kLinear, CollOp::kBcast, 1024, 64, 1, m),
+            predict_cost(Algorithm::kBinomial, CollOp::kBcast, 1024, 64, 2, m));
+}
+
+TEST(CostModel, DisseminationBarrierRounds) {
+  const ModelParams m = basic();
+  EXPECT_DOUBLE_EQ(dissemination_barrier_cost(8, 2, m), 3.0 * m.alpha_us);
+  EXPECT_DOUBLE_EQ(dissemination_barrier_cost(9, 3, m), 2.0 * m.alpha_us);
+  EXPECT_DOUBLE_EQ(dissemination_barrier_cost(1, 2, m), 0.0);
+  // Larger radix never needs more rounds.
+  for (double p : {16.0, 100.0}) {
+    double prev = dissemination_barrier_cost(p, 2, m);
+    for (double k : {4.0, 8.0, 16.0}) {
+      const double cur = dissemination_barrier_cost(p, k, m);
+      EXPECT_LE(cur, prev + 1e-12);
+      prev = cur;
+    }
+  }
+}
+
+TEST(CostModel, BruckMatchesRecursiveDoublingAtPowersOfTwo) {
+  const ModelParams m = basic();
+  EXPECT_NEAR(bruck_allgather_cost(4096.0, 64.0, m),
+              recursive_doubling_cost(CollOp::kAllgather, 4096.0, 64.0, m), 1e-9);
+  // At non-powers of two Bruck still takes ceil(log2 p) rounds.
+  EXPECT_NEAR(bruck_allgather_cost(4096.0, 65.0, m) -
+                  bruck_allgather_cost(4096.0, 64.0, m),
+              m.alpha_us + 4096.0 * (1.0 / 65.0 - 1.0 / 64.0) * 0.0, 1e-2);
+}
+
+TEST(CostModel, ReduceScatterFormulas) {
+  const ModelParams m = basic();
+  const double n = 1.0e6;
+  // Ring: (p-1) rounds of n/p with compute.
+  EXPECT_NEAR(ring_reduce_scatter_cost(n, 16.0, m),
+              15.0 * (m.alpha_us +
+                      (m.beta_us_per_byte + m.gamma_us_per_byte) * n / 16.0),
+              1e-9);
+  // Halving beats ring on latency for large p.
+  EXPECT_LT(rechalving_reduce_scatter_cost(64.0, 256.0, m),
+            ring_reduce_scatter_cost(64.0, 256.0, m));
+}
+
+TEST(CostModel, AlltoallScalesWithPeers) {
+  const ModelParams m = basic();
+  EXPECT_NEAR(alltoall_cost(1024.0, 9.0, m),
+              8.0 * (m.alpha_us + m.beta_us_per_byte * 1024.0), 1e-9);
+}
+
+TEST(CostModel, PredictRoutesExtendedOps) {
+  const ModelParams m = basic();
+  EXPECT_DOUBLE_EQ(
+      predict_cost(Algorithm::kDissemination, CollOp::kBarrier, 0, 16, 4, m),
+      dissemination_barrier_cost(16, 4, m));
+  EXPECT_DOUBLE_EQ(predict_cost(Algorithm::kPairwise, CollOp::kAlltoall, 512, 8, 1, m),
+                   alltoall_cost(512, 8, m));
+  EXPECT_DOUBLE_EQ(
+      predict_cost(Algorithm::kRing, CollOp::kReduceScatter, 4096, 8, 1, m),
+      ring_reduce_scatter_cost(4096, 8, m));
+  EXPECT_DOUBLE_EQ(
+      predict_cost(Algorithm::kRecursiveHalving, CollOp::kReduceScatter, 4096, 8, 1, m),
+      rechalving_reduce_scatter_cost(4096, 8, m));
+  EXPECT_DOUBLE_EQ(predict_cost(Algorithm::kBruck, CollOp::kAllgather, 4096, 12, 1, m),
+                   bruck_allgather_cost(4096, 12, m));
+  EXPECT_DOUBLE_EQ(predict_cost(Algorithm::kKnomial, CollOp::kScatter, 4096, 9, 3, m),
+                   knomial_cost(CollOp::kGather, 4096, 9, 3, m));
+}
+
+TEST(CostModel, ParamsFromMachineFoldOverheads) {
+  const auto machine = netsim::frontier_like(8, 1);
+  const ModelParams m = params_from_machine(machine);
+  EXPECT_GT(m.alpha_us, machine.inter.alpha_us);
+  EXPECT_DOUBLE_EQ(m.beta_us_per_byte, machine.inter.beta_us_per_byte);
+  EXPECT_DOUBLE_EQ(m.gamma_us_per_byte, machine.gamma_us_per_byte);
+}
+
+}  // namespace
+}  // namespace gencoll::model

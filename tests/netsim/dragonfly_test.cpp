@@ -1,0 +1,135 @@
+// Dragonfly grouping and message tracing.
+#include <gtest/gtest.h>
+
+#include "core/registry.hpp"
+#include "netsim/simulator.hpp"
+
+namespace gencoll::netsim {
+namespace {
+
+core::Schedule transfer(int p, int src, int dst, std::size_t bytes) {
+  core::Schedule sched;
+  sched.params.op = core::CollOp::kBcast;
+  sched.params.p = p;
+  sched.params.root = src;
+  sched.params.count = bytes;
+  sched.params.elem_size = 1;
+  sched.ranks.resize(static_cast<std::size_t>(p));
+  sched.ranks[static_cast<std::size_t>(src)].copy_input(0, 0, bytes);
+  sched.ranks[static_cast<std::size_t>(src)].send(dst, 0, 0, bytes);
+  sched.ranks[static_cast<std::size_t>(dst)].recv(src, 0, 0, bytes);
+  return sched;
+}
+
+MachineConfig grouped_machine() {
+  MachineConfig m = generic_cluster(8, 1);
+  m.inter = LinkParams{1.0, 1.0e-3};
+  m.nodes_per_group = 4;
+  m.global_link_factor = 2.0;
+  return m;
+}
+
+TEST(Dragonfly, GroupMembership) {
+  const MachineConfig m = grouped_machine();
+  EXPECT_EQ(m.group_of(0), 0);
+  EXPECT_EQ(m.group_of(3), 0);
+  EXPECT_EQ(m.group_of(4), 1);
+  EXPECT_TRUE(m.same_group(1, 2));
+  EXPECT_FALSE(m.same_group(3, 4));
+  // Flat machines have one implicit group.
+  const MachineConfig flat = generic_cluster(8, 1);
+  EXPECT_TRUE(flat.same_group(0, 7));
+}
+
+TEST(Dragonfly, GlobalHopsCostMore) {
+  const MachineConfig m = grouped_machine();
+  const double local = simulate_us(transfer(8, 0, 3, 1000), m);
+  const double global = simulate_us(transfer(8, 0, 4, 1000), m);
+  EXPECT_NEAR(local, 2.0, 1e-9);   // alpha + beta*n
+  EXPECT_NEAR(global, 4.0, 1e-9);  // both scaled by the factor
+}
+
+TEST(Dragonfly, GlobalMessagesCounted) {
+  const MachineConfig m = grouped_machine();
+  core::CollParams params;
+  params.op = core::CollOp::kAllgather;
+  params.p = 8;
+  params.count = 800;
+  params.elem_size = 1;
+  params.k = 1;
+  const SimResult r =
+      simulate(core::build_schedule(core::Algorithm::kRing, params), m);
+  // Ring over 2 groups of 4: exactly 2 boundary edges per round (3<->4 and
+  // 7<->0), 7 rounds.
+  EXPECT_EQ(r.messages_global, 14u);
+  EXPECT_EQ(r.messages_inter, 56u);
+}
+
+TEST(Dragonfly, InterLinkSelection) {
+  const MachineConfig m = grouped_machine();
+  EXPECT_DOUBLE_EQ(m.inter_link(0, 1).alpha_us, 1.0);
+  EXPECT_DOUBLE_EQ(m.inter_link(0, 5).alpha_us, 2.0);
+  EXPECT_DOUBLE_EQ(m.inter_link(0, 5).beta_us_per_byte, 2.0e-3);
+}
+
+TEST(Dragonfly, CheckRejectsBadGrouping) {
+  MachineConfig m = grouped_machine();
+  m.nodes_per_group = -1;
+  EXPECT_THROW(m.check(), std::invalid_argument);
+  m = grouped_machine();
+  m.global_link_factor = 0.5;
+  EXPECT_THROW(m.check(), std::invalid_argument);
+}
+
+TEST(Trace, RecordsEveryMessage) {
+  const MachineConfig m = grouped_machine();
+  core::CollParams params;
+  params.op = core::CollOp::kAllreduce;
+  params.p = 8;
+  params.count = 64;
+  params.elem_size = 1;
+  params.k = 2;
+  const auto sched =
+      core::build_schedule(core::Algorithm::kRecursiveDoubling, params);
+  SimOptions opts;
+  opts.trace = true;
+  const SimResult r = simulate(sched, m, opts);
+  EXPECT_EQ(r.trace.size(), r.messages_inter + r.messages_intra);
+  for (const MessageTrace& t : r.trace) {
+    EXPECT_LE(t.post_us, t.start_us);
+    EXPECT_LT(t.start_us, t.arrival_us);
+    EXPECT_GE(t.bytes, 1u);
+    EXPECT_NE(t.src, t.dst);
+  }
+}
+
+TEST(Trace, OffByDefault) {
+  const MachineConfig m = grouped_machine();
+  const SimResult r = simulate(transfer(8, 0, 1, 64), m);
+  EXPECT_TRUE(r.trace.empty());
+}
+
+TEST(Dragonfly, MildFactorBarelyChangesCollectives) {
+  // The paper's §II-B1 design decision: with minimal adaptive routing
+  // (small global penalty) topology-agnostic algorithms lose little.
+  core::CollParams params;
+  params.op = core::CollOp::kAllreduce;
+  params.p = 64;
+  params.count = 4096;
+  params.elem_size = 1;
+  params.k = 4;
+  const auto sched =
+      core::build_schedule(core::Algorithm::kRecursiveMultiplying, params);
+  MachineConfig flat = frontier_like(64, 1);
+  flat.nodes_per_group = 0;
+  MachineConfig grouped = frontier_like(64, 1);
+  grouped.nodes_per_group = 16;
+  grouped.global_link_factor = 1.15;
+  const double t_flat = simulate_us(sched, flat);
+  const double t_grouped = simulate_us(sched, grouped);
+  EXPECT_GE(t_grouped, t_flat);
+  EXPECT_LE(t_grouped, t_flat * 1.2);
+}
+
+}  // namespace
+}  // namespace gencoll::netsim

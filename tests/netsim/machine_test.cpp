@@ -1,0 +1,67 @@
+#include "netsim/machine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gencoll::netsim {
+namespace {
+
+TEST(Machine, FrontierShape) {
+  const MachineConfig m = frontier_like(128);
+  EXPECT_EQ(m.nodes, 128);
+  EXPECT_EQ(m.ppn, 8);
+  EXPECT_EQ(m.ports_per_node, 4);
+  EXPECT_EQ(m.total_ranks(), 1024);
+  // Paper §II-B3: intranode links significantly faster than internode.
+  EXPECT_LT(m.intra.beta_us_per_byte, m.inter.beta_us_per_byte / 2.0);
+  EXPECT_LT(m.intra.alpha_us, m.inter.alpha_us);
+}
+
+TEST(Machine, PolarisShape) {
+  const MachineConfig m = polaris_like(64);
+  EXPECT_EQ(m.ppn, 4);
+  EXPECT_EQ(m.ports_per_node, 2);
+  // Paper §VI-E: per-pair intranode advantage is modest on Polaris.
+  EXPECT_GT(m.intra.beta_us_per_byte, m.inter.beta_us_per_byte / 4.0);
+}
+
+TEST(Machine, NodeMapping) {
+  const MachineConfig m = frontier_like(4, 8);
+  EXPECT_EQ(m.node_of(0), 0);
+  EXPECT_EQ(m.node_of(7), 0);
+  EXPECT_EQ(m.node_of(8), 1);
+  EXPECT_EQ(m.node_of(31), 3);
+  EXPECT_TRUE(m.same_node(0, 7));
+  EXPECT_FALSE(m.same_node(7, 8));
+}
+
+TEST(Machine, OnePpnMapping) {
+  const MachineConfig m = frontier_like(128, 1);
+  EXPECT_EQ(m.total_ranks(), 128);
+  EXPECT_FALSE(m.same_node(0, 1));
+}
+
+TEST(Machine, CheckRejectsBadConfigs) {
+  MachineConfig m = generic_cluster(4);
+  m.nodes = 0;
+  EXPECT_THROW(m.check(), std::invalid_argument);
+  m = generic_cluster(4);
+  m.ppn = -1;
+  EXPECT_THROW(m.check(), std::invalid_argument);
+  m = generic_cluster(4);
+  m.ports_per_node = 0;
+  EXPECT_THROW(m.check(), std::invalid_argument);
+  m = generic_cluster(4);
+  m.inter.alpha_us = -1.0;
+  EXPECT_THROW(m.check(), std::invalid_argument);
+}
+
+TEST(Machine, ByNameLookup) {
+  EXPECT_TRUE(machine_by_name("frontier", 8, 8).has_value());
+  EXPECT_TRUE(machine_by_name("polaris", 8, 4).has_value());
+  EXPECT_TRUE(machine_by_name("generic", 2, 1).has_value());
+  EXPECT_FALSE(machine_by_name("summit", 8, 8).has_value());
+  EXPECT_EQ(machine_by_name("frontier", 32, 1)->total_ranks(), 32);
+}
+
+}  // namespace
+}  // namespace gencoll::netsim

@@ -1,0 +1,143 @@
+// NIC port binding and CompiledSchedule semantics.
+#include <gtest/gtest.h>
+
+#include "core/registry.hpp"
+#include "netsim/simulator.hpp"
+
+namespace gencoll::netsim {
+namespace {
+
+/// Schedule where `senders` ranks on node 0 each send one `bytes` message to
+/// their counterpart on node 1 simultaneously.
+core::Schedule fanout(int ppn, int senders, std::size_t bytes) {
+  core::Schedule sched;
+  sched.params.op = core::CollOp::kBcast;
+  sched.params.p = 2 * ppn;
+  sched.params.count = bytes;
+  sched.params.elem_size = 1;
+  sched.params.root = 0;
+  sched.ranks.resize(static_cast<std::size_t>(2 * ppn));
+  for (int i = 0; i < senders; ++i) {
+    sched.ranks[static_cast<std::size_t>(i)].send(ppn + i, 0, 0, bytes);
+    sched.ranks[static_cast<std::size_t>(ppn + i)].recv(i, 0, 0, bytes);
+  }
+  return sched;
+}
+
+MachineConfig machine(int ppn, int ports) {
+  MachineConfig m = generic_cluster(2, ppn);
+  m.ports_per_node = ports;
+  m.inter = LinkParams{1.0, 1.0e-3};
+  m.intra = LinkParams{0.1, 1.0e-5};
+  return m;
+}
+
+TEST(PortBinding, RanksPinnedToSharedPortsSerialize) {
+  // 8 ppn, 4 ports: ranks 0 and 1 share port 0. Two concurrent 1000-byte
+  // transfers through one port serialize; ranks 0 and 2 (different ports)
+  // run in parallel.
+  const MachineConfig m = machine(8, 4);
+
+  core::Schedule shared = fanout(8, 2, 1000);  // ranks 0,1 -> port 0
+  const double t_shared = simulate_us(shared, m);
+
+  core::Schedule spread = fanout(8, 1, 1000);
+  // Add a second transfer from rank 2 (bound to port 1).
+  spread.ranks[2].send(8 + 2, 0, 0, 1000);
+  spread.ranks[8 + 2].recv(2, 0, 0, 1000);
+  const double t_spread = simulate_us(spread, m);
+
+  EXPECT_NEAR(t_spread, 2.0, 1e-9);         // fully parallel: beta*n + alpha
+  EXPECT_NEAR(t_shared, 3.0, 1e-9);         // serialized transfer + alpha
+}
+
+TEST(PortBinding, OnePpnStripesAcrossAllPorts) {
+  // 1 ppn, 4 ports: a single rank's 4 concurrent messages use all 4 ports.
+  const MachineConfig m = machine(1, 4);
+  core::Schedule sched;
+  sched.params.op = core::CollOp::kBcast;
+  sched.params.p = 2;
+  sched.params.count = 4000;
+  sched.params.elem_size = 1;
+  sched.ranks.resize(2);
+  for (int i = 0; i < 4; ++i) {
+    sched.ranks[0].send(1, i, static_cast<std::size_t>(i) * 1000, 1000);
+    sched.ranks[1].recv(0, i, static_cast<std::size_t>(i) * 1000, 1000);
+  }
+  EXPECT_NEAR(simulate_us(sched, m), 2.0, 1e-9);  // all parallel
+  MachineConfig one_port = machine(1, 1);
+  EXPECT_NEAR(simulate_us(sched, one_port), 5.0, 1e-9);  // 4 serial + alpha
+}
+
+TEST(PortBinding, MorePortsNeverSlower) {
+  core::CollParams params;
+  params.op = core::CollOp::kAllreduce;
+  params.p = 32;
+  params.count = 65536;
+  params.elem_size = 1;
+  params.k = 8;
+  const auto sched =
+      core::build_schedule(core::Algorithm::kRecursiveMultiplying, params);
+  double prev = std::numeric_limits<double>::infinity();
+  for (int ports : {1, 2, 4, 8}) {
+    MachineConfig m = frontier_like(32, 1);
+    m.ports_per_node = ports;
+    const double t = simulate_us(sched, m);
+    EXPECT_LE(t, prev * (1.0 + 1e-9)) << ports << " ports";
+    prev = t;
+  }
+}
+
+TEST(CompiledSchedule, RunMatchesOneShotSimulate) {
+  core::CollParams params;
+  params.op = core::CollOp::kAllgather;
+  params.p = 24;
+  params.count = 999;
+  params.elem_size = 1;
+  params.k = 3;
+  const auto sched =
+      core::build_schedule(core::Algorithm::kRecursiveMultiplying, params);
+  const MachineConfig m = frontier_like(3, 8);
+  const CompiledSchedule compiled(sched);
+  SimOptions opts;
+  opts.validate = false;
+  const SimResult a = compiled.run(m, opts);
+  const SimResult b = simulate(sched, m);
+  EXPECT_EQ(a.time_us, b.time_us);
+  EXPECT_EQ(a.messages_inter, b.messages_inter);
+  EXPECT_EQ(a.bytes_intra, b.bytes_intra);
+}
+
+TEST(CompiledSchedule, ReusableAcrossMachines) {
+  core::CollParams params;
+  params.op = core::CollOp::kAllreduce;
+  params.p = 16;
+  params.count = 4096;
+  params.elem_size = 4;
+  params.k = 4;
+  const auto sched =
+      core::build_schedule(core::Algorithm::kRecursiveMultiplying, params);
+  const CompiledSchedule compiled(sched);
+  const double frontier = compiled.run(frontier_like(16, 1)).time_us;
+  const double polaris = compiled.run(polaris_like(4, 4)).time_us;
+  EXPECT_GT(frontier, 0.0);
+  EXPECT_GT(polaris, 0.0);
+  EXPECT_NE(frontier, polaris);
+}
+
+TEST(CompiledSchedule, RejectsMalformedSchedules) {
+  core::Schedule sched = fanout(1, 1, 100);
+  sched.ranks[1].steps.clear();  // orphan send
+  EXPECT_THROW(CompiledSchedule{sched}, std::logic_error);
+
+  core::Schedule deadlock = fanout(1, 1, 100);
+  deadlock.ranks[0].steps.clear();  // orphan recv
+  EXPECT_THROW(CompiledSchedule{deadlock}, std::logic_error);
+
+  core::Schedule mismatch = fanout(1, 1, 100);
+  mismatch.ranks[1].steps[0].bytes = 50;
+  EXPECT_THROW(CompiledSchedule{mismatch}, std::logic_error);
+}
+
+}  // namespace
+}  // namespace gencoll::netsim

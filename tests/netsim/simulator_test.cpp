@@ -1,0 +1,182 @@
+// Mechanics of the discrete-event simulator: causality, port contention,
+// link selection, determinism, accounting.
+#include "netsim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/registry.hpp"
+
+namespace gencoll::netsim {
+namespace {
+
+core::Schedule two_rank_transfer(std::size_t bytes, int sends = 1) {
+  core::Schedule sched;
+  sched.name = "transfer";
+  sched.params.op = core::CollOp::kBcast;
+  sched.params.p = 2;
+  sched.params.count = bytes * static_cast<std::size_t>(sends);
+  sched.params.elem_size = 1;
+  sched.ranks.resize(2);
+  sched.ranks[0].copy_input(0, 0, bytes * static_cast<std::size_t>(sends));
+  for (int i = 0; i < sends; ++i) {
+    sched.ranks[0].send(1, i, bytes * static_cast<std::size_t>(i), bytes);
+    sched.ranks[1].recv(0, i, bytes * static_cast<std::size_t>(i), bytes);
+  }
+  return sched;
+}
+
+MachineConfig plain_machine(int nodes, int ppn, int ports) {
+  MachineConfig m = generic_cluster(nodes, ppn);
+  m.ports_per_node = ports;
+  m.inter = LinkParams{1.0, 1.0e-3};
+  m.intra = LinkParams{0.25, 1.0e-4};
+  m.copy_us_per_byte = 0.0;
+  return m;
+}
+
+TEST(Simulator, SingleMessageCostIsAlphaPlusBetaN) {
+  const auto sched = two_rank_transfer(1000);
+  MachineConfig m = plain_machine(2, 1, 1);
+  const double t = simulate_us(sched, m);
+  // alpha (1.0) + beta*n (1.0) + zero overheads.
+  EXPECT_NEAR(t, 2.0, 1e-9);
+}
+
+TEST(Simulator, OverheadsCharged) {
+  const auto sched = two_rank_transfer(1000);
+  MachineConfig m = plain_machine(2, 1, 1);
+  m.send_overhead_us = 0.5;
+  m.recv_overhead_us = 0.25;
+  m.port_msg_overhead_us = 0.1;
+  EXPECT_NEAR(simulate_us(sched, m), 2.0 + 0.5 + 0.25 + 0.1, 1e-9);
+}
+
+TEST(Simulator, IntranodeUsesFastLink) {
+  const auto sched = two_rank_transfer(1000);
+  MachineConfig m = plain_machine(1, 2, 1);  // both ranks on one node
+  const double t = simulate_us(sched, m);
+  // intra alpha (0.25) + intra beta*n (0.1).
+  EXPECT_NEAR(t, 0.35, 1e-9);
+}
+
+TEST(Simulator, PortContentionSerializesTransfers) {
+  // 4 concurrent 1000-byte messages; 1 port: transfers serialize at the NIC
+  // (1us each) while alphas overlap; 4 ports: fully parallel.
+  const auto sched = two_rank_transfer(1000, 4);
+  MachineConfig one_port = plain_machine(2, 1, 1);
+  MachineConfig four_ports = plain_machine(2, 1, 4);
+  const double serial = simulate_us(sched, one_port);
+  const double parallel = simulate_us(sched, four_ports);
+  EXPECT_NEAR(serial, 4.0 * 1.0 + 1.0, 1e-9);     // 4 transfers + final alpha
+  EXPECT_NEAR(parallel, 1.0 + 1.0, 1e-9);         // one transfer + alpha
+  EXPECT_GT(serial, parallel * 1.5);
+}
+
+TEST(Simulator, PortWaitAccounted) {
+  const auto sched = two_rank_transfer(1000, 4);
+  const SimResult r = simulate(two_rank_transfer(1000, 4), plain_machine(2, 1, 1));
+  EXPECT_GT(r.port_wait_us, 0.0);
+  const SimResult r4 = simulate(sched, plain_machine(2, 1, 4));
+  EXPECT_NEAR(r4.port_wait_us, 0.0, 1e-9);
+}
+
+TEST(Simulator, TrafficAccounting) {
+  core::CollParams params;
+  params.op = core::CollOp::kAllgather;
+  params.p = 8;
+  params.count = 800;
+  params.elem_size = 1;
+  params.k = 1;
+  const auto sched = core::build_schedule(core::Algorithm::kRing, params);
+  // 4 nodes x 2 ppn: ring neighbors alternate intra/inter.
+  const SimResult r = simulate(sched, plain_machine(4, 2, 1));
+  EXPECT_EQ(r.messages_intra + r.messages_inter, 8u * 7u);
+  EXPECT_EQ(r.bytes_intra + r.bytes_inter, sched.total_send_bytes());
+  EXPECT_GT(r.messages_intra, 0u);
+  EXPECT_GT(r.messages_inter, 0u);
+}
+
+TEST(Simulator, DeterministicAcrossRuns) {
+  core::CollParams params;
+  params.op = core::CollOp::kAllreduce;
+  params.p = 16;
+  params.count = 256;
+  params.elem_size = 4;
+  params.k = 4;
+  const auto sched =
+      core::build_schedule(core::Algorithm::kRecursiveMultiplying, params);
+  const MachineConfig m = frontier_like(16, 1);
+  const double a = simulate_us(sched, m);
+  const double b = simulate_us(sched, m);
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a, 0.0);
+}
+
+TEST(Simulator, JitterDeterministicPerSeedAndBounded) {
+  const auto sched = two_rank_transfer(1000, 8);
+  const MachineConfig m = plain_machine(2, 1, 2);
+  SimOptions opts;
+  opts.jitter = 0.3;
+  opts.jitter_seed = 7;
+  const double a = simulate_us(sched, m, opts);
+  const double b = simulate_us(sched, m, opts);
+  EXPECT_EQ(a, b);
+  opts.jitter_seed = 8;
+  const double c = simulate_us(sched, m, opts);
+  EXPECT_NE(a, c);
+  const double clean = simulate_us(sched, m);
+  EXPECT_GE(a, clean);                 // jitter only slows down
+  EXPECT_LE(a, clean * 1.3 + 1e-9);    // bounded by the magnitude
+}
+
+TEST(Simulator, CopyChargeToggle) {
+  auto sched = two_rank_transfer(1000);
+  MachineConfig m = plain_machine(2, 1, 1);
+  m.copy_us_per_byte = 1.0e-2;
+  SimOptions no_copies;
+  no_copies.charge_copies = false;
+  const double with_copy = simulate_us(sched, m);
+  const double without = simulate_us(sched, m, no_copies);
+  EXPECT_NEAR(with_copy - without, 10.0, 1e-9);
+}
+
+TEST(Simulator, RejectsTooManyRanks) {
+  const auto sched = two_rank_transfer(8);
+  const MachineConfig m = plain_machine(1, 1, 1);
+  EXPECT_THROW(simulate(sched, m), std::invalid_argument);
+}
+
+TEST(Simulator, RejectsMalformedSchedule) {
+  core::Schedule sched = two_rank_transfer(8);
+  sched.ranks[1].steps.clear();  // orphan send
+  EXPECT_THROW(simulate(sched, plain_machine(2, 1, 1)), std::logic_error);
+}
+
+TEST(Simulator, BlockedReceiverWakesOnArrival) {
+  // Receiver posts its recv long before the sender sends (sender burns time
+  // on copies): completion equals sender-side path, not receiver post time.
+  core::Schedule sched;
+  sched.params.op = core::CollOp::kBcast;
+  sched.params.p = 2;
+  sched.params.count = 4000;
+  sched.params.elem_size = 1;
+  sched.ranks.resize(2);
+  sched.ranks[0].copy_input(0, 0, 4000);
+  sched.ranks[0].send(1, 0, 0, 1000);
+  sched.ranks[1].recv(0, 0, 0, 1000);
+  MachineConfig m = plain_machine(2, 1, 1);
+  m.copy_us_per_byte = 1.0e-3;  // 4us of copying before the send
+  EXPECT_NEAR(simulate_us(sched, m), 4.0 + 1.0 + 1.0, 1e-9);
+}
+
+TEST(Simulator, PerRankTimesPopulated) {
+  const auto sched = two_rank_transfer(1000);
+  const SimResult r = simulate(sched, plain_machine(2, 1, 1));
+  ASSERT_EQ(r.rank_time_us.size(), 2u);
+  EXPECT_EQ(r.time_us, std::max(r.rank_time_us[0], r.rank_time_us[1]));
+  // Receiver finishes last.
+  EXPECT_GT(r.rank_time_us[1], r.rank_time_us[0]);
+}
+
+}  // namespace
+}  // namespace gencoll::netsim

@@ -1,0 +1,140 @@
+#include "runtime/comm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "runtime/world.hpp"
+
+namespace gencoll::runtime {
+namespace {
+
+std::vector<std::byte> bytes_of(std::initializer_list<int> values) {
+  std::vector<std::byte> out;
+  for (int v : values) out.push_back(static_cast<std::byte>(v));
+  return out;
+}
+
+TEST(World, RejectsNonPositiveSize) {
+  EXPECT_THROW(World w(0), std::invalid_argument);
+  EXPECT_THROW(World w(-3), std::invalid_argument);
+}
+
+TEST(Comm, PingPong) {
+  World::run(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      const auto payload = bytes_of({1, 2, 3});
+      comm.send(1, 0, payload);
+      std::vector<std::byte> back(3);
+      comm.recv(1, 1, back);
+      EXPECT_EQ(back, bytes_of({4, 5, 6}));
+    } else {
+      std::vector<std::byte> got(3);
+      comm.recv(0, 0, got);
+      EXPECT_EQ(got, bytes_of({1, 2, 3}));
+      comm.send(0, 1, bytes_of({4, 5, 6}));
+    }
+  });
+}
+
+TEST(Comm, SizeMismatchThrows) {
+  EXPECT_THROW(World::run(2,
+                          [](Communicator& comm) {
+                            if (comm.rank() == 0) {
+                              comm.send(1, 0, bytes_of({1, 2, 3}));
+                            } else {
+                              std::vector<std::byte> too_small(2);
+                              comm.recv(0, 0, too_small);
+                            }
+                          }),
+               std::runtime_error);
+}
+
+TEST(Comm, RecvAnySize) {
+  World::run(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 3, bytes_of({9, 8}));
+    } else {
+      const auto got = comm.recv_any_size(0, 3);
+      EXPECT_EQ(got.size(), 2u);
+    }
+  });
+}
+
+TEST(Comm, SendRecvExchange) {
+  World::run(2, [](Communicator& comm) {
+    const int peer = 1 - comm.rank();
+    const auto mine = bytes_of({comm.rank(), comm.rank()});
+    std::vector<std::byte> theirs(2);
+    comm.sendrecv(peer, 0, mine, peer, 0, theirs);
+    EXPECT_EQ(theirs, bytes_of({peer, peer}));
+  });
+}
+
+TEST(Comm, OutOfRangePeersThrow) {
+  World::run(1, [](Communicator& comm) {
+    EXPECT_THROW(comm.send(5, 0, {}), std::out_of_range);
+    std::vector<std::byte> buf(1);
+    EXPECT_THROW(comm.recv(-1, 0, buf), std::out_of_range);
+  });
+}
+
+TEST(Comm, BarrierSynchronizesPhases) {
+  constexpr int kRanks = 8;
+  std::atomic<int> counter{0};
+  World::run(kRanks, [&](Communicator& comm) {
+    counter.fetch_add(1);
+    comm.barrier();
+    // After the barrier every rank must observe all arrivals.
+    EXPECT_EQ(counter.load(), kRanks);
+    comm.barrier();
+    counter.fetch_sub(1);
+    comm.barrier();
+    EXPECT_EQ(counter.load(), 0);
+  });
+}
+
+TEST(Comm, RankExceptionPropagates) {
+  EXPECT_THROW(World::run(4,
+                          [](Communicator& comm) {
+                            if (comm.rank() == 2) {
+                              throw std::logic_error("rank 2 failed");
+                            }
+                          }),
+               std::logic_error);
+}
+
+TEST(Comm, ManyToOneSum) {
+  constexpr int kRanks = 12;
+  World::run(kRanks, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      int total = 0;
+      for (int src = 1; src < comm.size(); ++src) {
+        std::vector<std::byte> buf(sizeof(int));
+        comm.recv(src, 0, buf);
+        int v = 0;
+        std::memcpy(&v, buf.data(), sizeof(int));
+        total += v;
+      }
+      EXPECT_EQ(total, (kRanks - 1) * kRanks / 2);
+    } else {
+      const int v = comm.rank();
+      std::vector<std::byte> buf(sizeof(int));
+      std::memcpy(buf.data(), &v, sizeof(int));
+      comm.send(0, 0, buf);
+    }
+  });
+}
+
+TEST(Comm, RecvTimeoutConfigurable) {
+  World::run(1, [](Communicator& comm) {
+    comm.set_recv_timeout(std::chrono::milliseconds(50));
+    EXPECT_EQ(comm.recv_timeout(), std::chrono::milliseconds(50));
+  });
+}
+
+}  // namespace
+}  // namespace gencoll::runtime

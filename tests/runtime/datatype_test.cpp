@@ -1,0 +1,29 @@
+#include "runtime/datatype.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gencoll::runtime {
+namespace {
+
+TEST(DataType, Sizes) {
+  EXPECT_EQ(datatype_size(DataType::kByte), 1u);
+  EXPECT_EQ(datatype_size(DataType::kInt32), 4u);
+  EXPECT_EQ(datatype_size(DataType::kInt64), 8u);
+  EXPECT_EQ(datatype_size(DataType::kUInt64), 8u);
+  EXPECT_EQ(datatype_size(DataType::kFloat), 4u);
+  EXPECT_EQ(datatype_size(DataType::kDouble), 8u);
+}
+
+TEST(DataType, NamesRoundTrip) {
+  for (DataType type : kAllDataTypes) {
+    EXPECT_EQ(parse_datatype(datatype_name(type)), type);
+  }
+}
+
+TEST(DataType, ParseRejectsUnknown) {
+  EXPECT_FALSE(parse_datatype("int128").has_value());
+  EXPECT_FALSE(parse_datatype("").has_value());
+}
+
+}  // namespace
+}  // namespace gencoll::runtime

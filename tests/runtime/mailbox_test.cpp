@@ -1,0 +1,109 @@
+#include "runtime/mailbox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace gencoll::runtime {
+namespace {
+
+using namespace std::chrono_literals;
+
+Message make_msg(int src, int tag, std::size_t bytes) {
+  Message m;
+  m.source = src;
+  m.tag = tag;
+  m.payload.resize(bytes, std::byte{0xAB});
+  return m;
+}
+
+TEST(Mailbox, MatchDeliversPostedMessage) {
+  Mailbox mb;
+  mb.post(make_msg(3, 7, 16));
+  const Message m = mb.match(3, 7, 100ms);
+  EXPECT_EQ(m.source, 3);
+  EXPECT_EQ(m.tag, 7);
+  EXPECT_EQ(m.payload.size(), 16u);
+}
+
+TEST(Mailbox, MatchFiltersBySourceAndTag) {
+  Mailbox mb;
+  mb.post(make_msg(1, 0, 1));
+  mb.post(make_msg(2, 0, 2));
+  mb.post(make_msg(1, 5, 3));
+  EXPECT_EQ(mb.match(1, 5, 100ms).payload.size(), 3u);
+  EXPECT_EQ(mb.match(2, 0, 100ms).payload.size(), 2u);
+  EXPECT_EQ(mb.match(1, 0, 100ms).payload.size(), 1u);
+  EXPECT_EQ(mb.pending(), 0u);
+}
+
+TEST(Mailbox, FifoAmongMatches) {
+  Mailbox mb;
+  Message first = make_msg(0, 9, 4);
+  first.payload.assign(4, std::byte{1});
+  Message second = make_msg(0, 9, 4);
+  second.payload.assign(4, std::byte{2});
+  mb.post(std::move(first));
+  mb.post(std::move(second));
+  EXPECT_EQ(mb.match(0, 9, 100ms).payload[0], std::byte{1});
+  EXPECT_EQ(mb.match(0, 9, 100ms).payload[0], std::byte{2});
+}
+
+TEST(Mailbox, TimeoutThrows) {
+  Mailbox mb;
+  mb.post(make_msg(1, 1, 1));
+  EXPECT_THROW(mb.match(1, 2, 50ms), std::runtime_error);
+  // The non-matching message is untouched.
+  EXPECT_EQ(mb.pending(), 1u);
+}
+
+TEST(Mailbox, BlockingMatchWakesOnPost) {
+  Mailbox mb;
+  std::atomic<bool> got{false};
+  std::thread receiver([&] {
+    const Message m = mb.match(4, 2, 2000ms);
+    got = m.payload.size() == 8;
+  });
+  std::this_thread::sleep_for(20ms);
+  mb.post(make_msg(4, 2, 8));
+  receiver.join();
+  EXPECT_TRUE(got);
+}
+
+TEST(Mailbox, ProbeNonBlocking) {
+  Mailbox mb;
+  EXPECT_FALSE(mb.probe(0, 0));
+  mb.post(make_msg(0, 0, 1));
+  EXPECT_TRUE(mb.probe(0, 0));
+  EXPECT_FALSE(mb.probe(0, 1));
+}
+
+TEST(Mailbox, ManyProducersOneConsumer) {
+  Mailbox mb;
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 50;
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int s = 0; s < kProducers; ++s) {
+    producers.emplace_back([&mb, s] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        mb.post(make_msg(s, i, static_cast<std::size_t>(s + 1)));
+      }
+    });
+  }
+  std::size_t received = 0;
+  for (int i = 0; i < kPerProducer; ++i) {
+    for (int s = 0; s < kProducers; ++s) {
+      const Message m = mb.match(s, i, 2000ms);
+      EXPECT_EQ(m.payload.size(), static_cast<std::size_t>(s + 1));
+      ++received;
+    }
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(received, static_cast<std::size_t>(kProducers * kPerProducer));
+  EXPECT_EQ(mb.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace gencoll::runtime

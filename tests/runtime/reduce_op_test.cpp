@@ -1,0 +1,126 @@
+#include "runtime/reduce_op.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+namespace gencoll::runtime {
+namespace {
+
+template <typename T>
+std::vector<std::byte> pack(const std::vector<T>& values) {
+  std::vector<std::byte> out(values.size() * sizeof(T));
+  std::memcpy(out.data(), values.data(), out.size());
+  return out;
+}
+
+template <typename T>
+std::vector<T> unpack(const std::vector<std::byte>& bytes) {
+  std::vector<T> out(bytes.size() / sizeof(T));
+  std::memcpy(out.data(), bytes.data(), bytes.size());
+  return out;
+}
+
+template <typename T>
+std::vector<T> run_op(ReduceOp op, DataType type, std::vector<T> a,
+                      const std::vector<T>& b) {
+  auto inout = pack(a);
+  const auto in = pack(b);
+  apply_reduce(op, type, inout, in, a.size());
+  return unpack<T>(inout);
+}
+
+TEST(ReduceOp, SumInt32) {
+  const auto r = run_op<std::int32_t>(ReduceOp::kSum, DataType::kInt32, {1, -2, 3},
+                                      {10, 20, 30});
+  EXPECT_EQ(r, (std::vector<std::int32_t>{11, 18, 33}));
+}
+
+TEST(ReduceOp, ProdInt64) {
+  const auto r = run_op<std::int64_t>(ReduceOp::kProd, DataType::kInt64, {2, -3},
+                                      {5, 7});
+  EXPECT_EQ(r, (std::vector<std::int64_t>{10, -21}));
+}
+
+TEST(ReduceOp, MaxMinDouble) {
+  const auto mx = run_op<double>(ReduceOp::kMax, DataType::kDouble, {1.5, -2.0},
+                                 {0.5, 9.0});
+  EXPECT_EQ(mx, (std::vector<double>{1.5, 9.0}));
+  const auto mn = run_op<double>(ReduceOp::kMin, DataType::kDouble, {1.5, -2.0},
+                                 {0.5, 9.0});
+  EXPECT_EQ(mn, (std::vector<double>{0.5, -2.0}));
+}
+
+TEST(ReduceOp, BitwiseUint64) {
+  const auto band = run_op<std::uint64_t>(ReduceOp::kBand, DataType::kUInt64,
+                                          {0b1100}, {0b1010});
+  EXPECT_EQ(band[0], 0b1000u);
+  const auto bor = run_op<std::uint64_t>(ReduceOp::kBor, DataType::kUInt64,
+                                         {0b1100}, {0b1010});
+  EXPECT_EQ(bor[0], 0b1110u);
+}
+
+TEST(ReduceOp, ByteSum) {
+  const auto r = run_op<std::uint8_t>(ReduceOp::kSum, DataType::kByte, {200}, {100});
+  EXPECT_EQ(r[0], 44);  // wraps mod 256, as unsigned arithmetic
+}
+
+TEST(ReduceOp, FloatSum) {
+  const auto r = run_op<float>(ReduceOp::kSum, DataType::kFloat, {1.25f}, {2.5f});
+  EXPECT_FLOAT_EQ(r[0], 3.75f);
+}
+
+TEST(ReduceOp, BitwiseOnFloatRejected) {
+  EXPECT_FALSE(op_supports(ReduceOp::kBand, DataType::kFloat));
+  EXPECT_FALSE(op_supports(ReduceOp::kBor, DataType::kDouble));
+  std::vector<std::byte> buf(8);
+  EXPECT_THROW(apply_reduce(ReduceOp::kBand, DataType::kDouble, buf, buf, 1),
+               std::invalid_argument);
+}
+
+TEST(ReduceOp, ShortBufferRejected) {
+  std::vector<std::byte> four(4);
+  std::vector<std::byte> eight(8);
+  EXPECT_THROW(apply_reduce(ReduceOp::kSum, DataType::kInt64, four, eight, 1),
+               std::invalid_argument);
+  EXPECT_THROW(apply_reduce(ReduceOp::kSum, DataType::kInt64, eight, four, 1),
+               std::invalid_argument);
+}
+
+TEST(ReduceOp, UnalignedBuffersWork) {
+  // Schedules slice buffers at arbitrary byte offsets; apply_reduce must not
+  // assume alignment. Build a deliberately misaligned view.
+  std::vector<std::byte> raw(17);
+  std::vector<std::byte> in(8);
+  const std::int64_t a = 41;
+  const std::int64_t b = 1;
+  std::memcpy(raw.data() + 1, &a, 8);
+  std::memcpy(in.data(), &b, 8);
+  apply_reduce(ReduceOp::kSum, DataType::kInt64,
+               std::span<std::byte>(raw.data() + 1, 8), in, 1);
+  std::int64_t r = 0;
+  std::memcpy(&r, raw.data() + 1, 8);
+  EXPECT_EQ(r, 42);
+}
+
+TEST(ReduceOp, NamesRoundTrip) {
+  for (ReduceOp op : kAllReduceOps) {
+    EXPECT_EQ(parse_reduce_op(reduce_op_name(op)), op);
+  }
+  EXPECT_FALSE(parse_reduce_op("nope").has_value());
+}
+
+TEST(ReduceOp, AllSupportedCombinationsApply) {
+  for (ReduceOp op : kAllReduceOps) {
+    for (DataType type : kAllDataTypes) {
+      if (!op_supports(op, type)) continue;
+      std::vector<std::byte> a(datatype_size(type) * 3, std::byte{1});
+      std::vector<std::byte> b(datatype_size(type) * 3, std::byte{1});
+      EXPECT_NO_THROW(apply_reduce(op, type, a, b, 3));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gencoll::runtime

@@ -1,0 +1,107 @@
+#include "tuning/selector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace gencoll::tuning {
+namespace {
+
+using core::Algorithm;
+using core::CollOp;
+
+SelectionConfig sample_config() {
+  SelectionConfig config;
+  config.machine = "frontier";
+  config.nodes = 128;
+  config.ppn = 1;
+  config.add_rule({CollOp::kBcast, 0, 16384, Algorithm::kKnomial, 8});
+  config.add_rule({CollOp::kBcast, 16384, SIZE_MAX, Algorithm::kKring, 8});
+  config.add_rule({CollOp::kAllreduce, 0, SIZE_MAX, Algorithm::kRecursiveMultiplying, 4});
+  return config;
+}
+
+TEST(Selector, LookupMatchesRanges) {
+  const SelectionConfig config = sample_config();
+  const auto small = config.lookup(CollOp::kBcast, 512);
+  ASSERT_TRUE(small.has_value());
+  EXPECT_EQ(small->algorithm, Algorithm::kKnomial);
+  EXPECT_EQ(small->k, 8);
+  const auto big = config.lookup(CollOp::kBcast, 1u << 20);
+  ASSERT_TRUE(big.has_value());
+  EXPECT_EQ(big->algorithm, Algorithm::kKring);
+}
+
+TEST(Selector, RangesAreHalfOpen) {
+  const SelectionConfig config = sample_config();
+  EXPECT_EQ(config.lookup(CollOp::kBcast, 16383)->algorithm, Algorithm::kKnomial);
+  EXPECT_EQ(config.lookup(CollOp::kBcast, 16384)->algorithm, Algorithm::kKring);
+}
+
+TEST(Selector, MissingOpFallsBackToVendor) {
+  const SelectionConfig config = sample_config();
+  EXPECT_FALSE(config.lookup(CollOp::kGather, 64).has_value());
+  const AlgorithmChoice choice = config.choose(CollOp::kGather, 64, 64);
+  EXPECT_EQ(choice.algorithm, Algorithm::kBinomial);
+}
+
+TEST(Selector, FirstMatchWins) {
+  SelectionConfig config;
+  config.add_rule({CollOp::kBcast, 0, SIZE_MAX, Algorithm::kLinear, 1});
+  config.add_rule({CollOp::kBcast, 0, SIZE_MAX, Algorithm::kBinomial, 2});
+  EXPECT_EQ(config.lookup(CollOp::kBcast, 8)->algorithm, Algorithm::kLinear);
+}
+
+TEST(Selector, SaveLoadRoundTrip) {
+  const SelectionConfig config = sample_config();
+  std::stringstream ss;
+  config.save(ss);
+  const SelectionConfig loaded = SelectionConfig::load(ss);
+  EXPECT_EQ(loaded.machine, "frontier");
+  EXPECT_EQ(loaded.nodes, 128);
+  EXPECT_EQ(loaded.ppn, 1);
+  ASSERT_EQ(loaded.rules().size(), config.rules().size());
+  for (std::size_t i = 0; i < loaded.rules().size(); ++i) {
+    EXPECT_EQ(loaded.rules()[i].op, config.rules()[i].op);
+    EXPECT_EQ(loaded.rules()[i].min_bytes, config.rules()[i].min_bytes);
+    EXPECT_EQ(loaded.rules()[i].max_bytes, config.rules()[i].max_bytes);
+    EXPECT_EQ(loaded.rules()[i].algorithm, config.rules()[i].algorithm);
+    EXPECT_EQ(loaded.rules()[i].k, config.rules()[i].k);
+  }
+}
+
+TEST(Selector, LoadSkipsCommentsAndBlanks) {
+  std::stringstream ss;
+  ss << "# a comment\n\n"
+     << "rule allreduce 0 inf recursive_multiplying 4\n";
+  const SelectionConfig config = SelectionConfig::load(ss);
+  ASSERT_EQ(config.rules().size(), 1u);
+  EXPECT_EQ(config.rules()[0].algorithm, Algorithm::kRecursiveMultiplying);
+  EXPECT_EQ(config.rules()[0].max_bytes, SIZE_MAX);
+}
+
+TEST(Selector, LoadRejectsMalformedLines) {
+  auto expect_throw = [](const std::string& text) {
+    std::stringstream ss(text);
+    EXPECT_THROW(SelectionConfig::load(ss), std::runtime_error) << text;
+  };
+  expect_throw("rule bogus 0 inf binomial 2\n");
+  expect_throw("rule bcast 0 inf warp_drive 2\n");
+  expect_throw("rule bcast 0 inf binomial\n");
+  expect_throw("rule bcast 0 notanumber binomial 2\n");
+  expect_throw("rule bcast 0 inf binomial 0\n");
+  expect_throw("frobnicate all the things\n");
+  expect_throw("machine x nodes 1\n");
+}
+
+TEST(Selector, FileRoundTrip) {
+  const SelectionConfig config = sample_config();
+  const std::string path = testing::TempDir() + "/gencoll_selector_test.conf";
+  config.save_file(path);
+  const SelectionConfig loaded = SelectionConfig::load_file(path);
+  EXPECT_EQ(loaded.rules().size(), config.rules().size());
+  EXPECT_THROW(SelectionConfig::load_file("/nonexistent/nope.conf"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace gencoll::tuning

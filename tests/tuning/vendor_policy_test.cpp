@@ -1,0 +1,78 @@
+#include "tuning/vendor_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/registry.hpp"
+
+namespace gencoll::tuning {
+namespace {
+
+using core::Algorithm;
+using core::CollOp;
+
+TEST(VendorPolicy, BcastSizeLadder) {
+  EXPECT_EQ(vendor_default(CollOp::kBcast, 128, 64).algorithm, Algorithm::kBinomial);
+  EXPECT_EQ(vendor_default(CollOp::kBcast, 128, 64u << 10).algorithm,
+            Algorithm::kRecursiveDoubling);
+  // Ring only once the per-rank block (n/p) is bandwidth-bound.
+  EXPECT_EQ(vendor_default(CollOp::kBcast, 128, 2u << 20).algorithm,
+            Algorithm::kRecursiveDoubling);
+  EXPECT_EQ(vendor_default(CollOp::kBcast, 16, 2u << 20).algorithm, Algorithm::kRing);
+}
+
+TEST(VendorPolicy, SmallCommunicatorStaysBinomial) {
+  EXPECT_EQ(vendor_default(CollOp::kBcast, 4, 2u << 20).algorithm,
+            Algorithm::kBinomial);
+}
+
+TEST(VendorPolicy, ReduceMisSelectsLinearForLargeMessages) {
+  // The paper's >4.5x outlier: the vendor switches large Reduce to linear.
+  EXPECT_EQ(vendor_default(CollOp::kReduce, 128, 4096).algorithm,
+            Algorithm::kBinomial);
+  EXPECT_EQ(vendor_default(CollOp::kReduce, 128, 1u << 20).algorithm,
+            Algorithm::kLinear);
+}
+
+TEST(VendorPolicy, AllreduceLadder) {
+  EXPECT_EQ(vendor_default(CollOp::kAllreduce, 128, 512).algorithm,
+            Algorithm::kRecursiveDoubling);
+  EXPECT_EQ(vendor_default(CollOp::kAllreduce, 128, 1u << 20).algorithm,
+            Algorithm::kRabenseifner);
+}
+
+TEST(VendorPolicy, AllgatherLadder) {
+  EXPECT_EQ(vendor_default(CollOp::kAllgather, 128, 1024).algorithm,
+            Algorithm::kRecursiveDoubling);
+  EXPECT_EQ(vendor_default(CollOp::kAllgather, 128, 1u << 20).algorithm,
+            Algorithm::kRecursiveDoubling);
+  // 16 MB over 128 ranks = 128 KB blocks: ring territory.
+  EXPECT_EQ(vendor_default(CollOp::kAllgather, 128, 16u << 20).algorithm,
+            Algorithm::kRing);
+  EXPECT_EQ(vendor_default(CollOp::kAllgather, 8, 1u << 20).algorithm,
+            Algorithm::kRing);
+}
+
+TEST(VendorPolicy, EveryChoiceIsImplemented) {
+  for (core::CollOp op : core::kAllCollOps) {
+    for (std::size_t nbytes : {std::size_t{8}, std::size_t{4096},
+                               std::size_t{64} << 10, std::size_t{4} << 20}) {
+      for (int p : {2, 8, 128, 1024}) {
+        const AlgorithmChoice choice = vendor_default(op, p, nbytes);
+        EXPECT_TRUE(core::supports(op, choice.algorithm))
+            << core::coll_op_name(op) << " n=" << nbytes << " p=" << p;
+      }
+    }
+  }
+}
+
+TEST(VendorPolicy, FixedRadixBaselineMapping) {
+  EXPECT_EQ(fixed_radix_baseline(Algorithm::kKnomial).algorithm, Algorithm::kBinomial);
+  EXPECT_EQ(fixed_radix_baseline(Algorithm::kRecursiveMultiplying).algorithm,
+            Algorithm::kRecursiveDoubling);
+  EXPECT_EQ(fixed_radix_baseline(Algorithm::kKring).algorithm, Algorithm::kRing);
+  EXPECT_EQ(fixed_radix_baseline(Algorithm::kKring).k, 1);
+  EXPECT_EQ(fixed_radix_baseline(Algorithm::kLinear).algorithm, Algorithm::kLinear);
+}
+
+}  // namespace
+}  // namespace gencoll::tuning

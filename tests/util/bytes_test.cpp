@@ -1,0 +1,75 @@
+#include "util/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gencoll::util {
+namespace {
+
+TEST(ParseBytes, PlainDigits) {
+  EXPECT_EQ(parse_bytes("0"), 0u);
+  EXPECT_EQ(parse_bytes("8"), 8u);
+  EXPECT_EQ(parse_bytes("123456"), 123456u);
+}
+
+TEST(ParseBytes, Suffixes) {
+  EXPECT_EQ(parse_bytes("4K"), 4096u);
+  EXPECT_EQ(parse_bytes("4k"), 4096u);
+  EXPECT_EQ(parse_bytes("2M"), 2u << 20);
+  EXPECT_EQ(parse_bytes("1G"), 1u << 30);
+  EXPECT_EQ(parse_bytes("4KB"), 4096u);
+  EXPECT_EQ(parse_bytes("4KiB"), 4096u);
+  EXPECT_EQ(parse_bytes("128B"), 128u);
+}
+
+TEST(ParseBytes, Malformed) {
+  EXPECT_FALSE(parse_bytes("").has_value());
+  EXPECT_FALSE(parse_bytes("K").has_value());
+  EXPECT_FALSE(parse_bytes("12X").has_value());
+  EXPECT_FALSE(parse_bytes("12KX").has_value());
+  EXPECT_FALSE(parse_bytes("-5").has_value());
+  EXPECT_FALSE(parse_bytes("1.5K").has_value());
+}
+
+TEST(ParseBytes, Overflow) {
+  EXPECT_FALSE(parse_bytes("99999999999999999999999").has_value());
+  EXPECT_FALSE(parse_bytes("18446744073709551615G").has_value());
+}
+
+TEST(FormatBytes, RoundTripReadable) {
+  EXPECT_EQ(format_bytes(0), "0B");
+  EXPECT_EQ(format_bytes(512), "512B");
+  EXPECT_EQ(format_bytes(4096), "4KB");
+  EXPECT_EQ(format_bytes(1u << 20), "1MB");
+  EXPECT_EQ(format_bytes((1u << 20) + (1u << 19)), "1.5MB");
+  EXPECT_EQ(format_bytes(1u << 30), "1GB");
+}
+
+TEST(Pow2Sizes, InclusiveBounds) {
+  const auto sizes = pow2_sizes(8, 64);
+  ASSERT_EQ(sizes.size(), 4u);
+  EXPECT_EQ(sizes.front(), 8u);
+  EXPECT_EQ(sizes.back(), 64u);
+}
+
+TEST(Pow2Sizes, RoundsLoUp) {
+  const auto sizes = pow2_sizes(5, 16);
+  ASSERT_FALSE(sizes.empty());
+  EXPECT_EQ(sizes.front(), 8u);
+}
+
+TEST(Pow2Sizes, ZeroLoTreatedAsOne) {
+  const auto sizes = pow2_sizes(0, 4);
+  ASSERT_EQ(sizes.size(), 3u);
+  EXPECT_EQ(sizes.front(), 1u);
+}
+
+TEST(Pow2Sizes, OsuSweepShape) {
+  const auto sizes = osu_message_sizes();
+  EXPECT_EQ(sizes.front(), 8u);
+  EXPECT_EQ(sizes.back(), 4u << 20);
+  // 8 = 2^3 .. 4MB = 2^22 -> 20 sizes.
+  EXPECT_EQ(sizes.size(), 20u);
+}
+
+}  // namespace
+}  // namespace gencoll::util

@@ -1,0 +1,94 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gencoll::util {
+namespace {
+
+Cli make_cli() {
+  Cli cli;
+  cli.add_flag("nodes", "node count", "128");
+  cli.add_flag("sizes", "comma separated sizes");
+  cli.add_flag("csv", "emit csv", "false");
+  cli.add_flag("alpha", "latency us", "2.0");
+  return cli;
+}
+
+TEST(Cli, DefaultsApply) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(cli.get("nodes"), "128");
+  EXPECT_EQ(cli.get_int("nodes"), 128);
+  EXPECT_FALSE(cli.get_bool("csv"));
+}
+
+TEST(Cli, SpaceSeparatedValue) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--nodes", "1024"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_EQ(cli.get_int("nodes"), 1024);
+}
+
+TEST(Cli, EqualsValue) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--nodes=32"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_EQ(cli.get_int("nodes"), 32);
+}
+
+TEST(Cli, BooleanFlag) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--csv"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_TRUE(cli.get_bool("csv"));
+}
+
+TEST(Cli, UnknownFlagFails) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--bogus", "1"};
+  EXPECT_FALSE(cli.parse(3, argv));
+  EXPECT_NE(cli.error().find("bogus"), std::string::npos);
+}
+
+TEST(Cli, HelpRequested) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--help"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_TRUE(cli.help_requested());
+  EXPECT_NE(cli.usage("prog").find("--nodes"), std::string::npos);
+}
+
+TEST(Cli, IntList) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--sizes=2,4,8"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  const auto sizes = cli.get_int_list("sizes");
+  ASSERT_EQ(sizes.size(), 3u);
+  EXPECT_EQ(sizes[0], 2);
+  EXPECT_EQ(sizes[2], 8);
+}
+
+TEST(Cli, EmptyIntList) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_TRUE(cli.get_int_list("sizes").empty());
+}
+
+TEST(Cli, DoubleParsing) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--alpha=3.25"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_DOUBLE_EQ(cli.get_double("alpha").value(), 3.25);
+}
+
+TEST(Cli, BadIntReturnsNullopt) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--sizes=abc"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_FALSE(cli.get_int("sizes").has_value());
+}
+
+}  // namespace
+}  // namespace gencoll::util

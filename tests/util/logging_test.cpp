@@ -1,0 +1,54 @@
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gencoll::util {
+namespace {
+
+class LoggingTest : public testing::Test {
+ protected:
+  void TearDown() override { set_log_level(LogLevel::kWarn); }
+};
+
+TEST_F(LoggingTest, LevelRoundTrip) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+TEST_F(LoggingTest, EnabledRespectsThreshold) {
+  set_log_level(LogLevel::kInfo);
+  EXPECT_FALSE(log_enabled(LogLevel::kDebug));
+  EXPECT_TRUE(log_enabled(LogLevel::kInfo));
+  EXPECT_TRUE(log_enabled(LogLevel::kError));
+}
+
+TEST_F(LoggingTest, OffDisablesEverything) {
+  set_log_level(LogLevel::kOff);
+  EXPECT_FALSE(log_enabled(LogLevel::kError));
+}
+
+TEST_F(LoggingTest, ParseNames) {
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("nonsense"), LogLevel::kInfo);
+}
+
+TEST_F(LoggingTest, NamesRoundTrip) {
+  for (LogLevel l : {LogLevel::kTrace, LogLevel::kDebug, LogLevel::kInfo,
+                     LogLevel::kWarn, LogLevel::kError, LogLevel::kOff}) {
+    EXPECT_EQ(parse_log_level(log_level_name(l)), l);
+  }
+}
+
+TEST_F(LoggingTest, MacroCompilesAndSkipsDisabledLevels) {
+  set_log_level(LogLevel::kError);
+  // Must not crash; body is skipped at disabled level.
+  GENCOLL_LOG(kDebug) << "invisible " << 42;
+  GENCOLL_LOG(kError) << "visible";
+}
+
+}  // namespace
+}  // namespace gencoll::util

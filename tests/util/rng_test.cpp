@@ -1,0 +1,58 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace gencoll::util {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(10), 10u);
+  }
+}
+
+TEST(Rng, BelowCoversRange) {
+  SplitMix64 rng(99);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  SplitMix64 rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRoughlyCentered) {
+  SplitMix64 rng(5);
+  double sum = 0.0;
+  const int trials = 10000;
+  for (int i = 0; i < trials; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / trials, 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace gencoll::util
