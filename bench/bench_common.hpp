@@ -9,13 +9,18 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <fstream>
 #include <iostream>
 #include <limits>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "core/executor.hpp"
 #include "core/registry.hpp"
 #include "netsim/simulator.hpp"
+#include "obs/exporters.hpp"
+#include "obs/recorder.hpp"
 #include "tuning/vendor_policy.hpp"
 #include "util/bytes.hpp"
 #include "util/cli.hpp"
@@ -29,12 +34,79 @@ struct BenchContext {
   int trials = 3;
   double jitter = 0.0;  ///< 0 = deterministic single-trial runs
   bool csv = false;
+  /// When set (--trace-out=FILE), the first schedule measured by this
+  /// process is traced through *both* executors and written as Chrome
+  /// trace-event JSON: pid 1 = the simulated run (component-annotated), pid
+  /// 2 = the threaded run (wall clock), one tid per rank in each.
+  std::string trace_out;
 };
+
+/// Datatype whose size matches `elem_size` (the threaded trace leg needs a
+/// real datatype to execute with).
+inline std::optional<runtime::DataType> datatype_of_size(std::size_t elem_size) {
+  switch (elem_size) {
+    case 1: return runtime::DataType::kByte;
+    case 4: return runtime::DataType::kFloat;
+    case 8: return runtime::DataType::kDouble;
+    default: return std::nullopt;
+  }
+}
+
+/// Run `sched` through the simulator and (ranks permitting) the threaded
+/// executor with trace recorders attached, and write one Chrome trace file.
+inline void write_trace_file(const core::Schedule& sched,
+                             const netsim::CompiledSchedule& compiled,
+                             const BenchContext& ctx) {
+  const int p = sched.params.p;
+  obs::TraceRecorder sim_rec(p);
+  netsim::SimOptions opts;
+  opts.validate = false;
+  opts.sink = &sim_rec;
+  static_cast<void>(compiled.run(ctx.machine, opts));
+
+  obs::TraceRecorder thr_rec(p);
+  bool have_threaded = false;
+  const auto type = datatype_of_size(sched.params.elem_size);
+  constexpr int kMaxThreadedRanks = 512;  // thread-per-rank; keep it sane
+  if (type && p <= kMaxThreadedRanks) {
+    std::vector<std::vector<std::byte>> inputs(static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r) {
+      inputs[static_cast<std::size_t>(r)].resize(core::input_bytes(sched.params, r));
+    }
+    core::execute_threaded(sched, inputs, *type, runtime::ReduceOp::kSum, &thr_rec);
+    have_threaded = true;
+  }
+
+  std::ofstream out(ctx.trace_out);
+  if (!out) {
+    std::cerr << "trace-out: cannot open '" << ctx.trace_out << "'\n";
+    return;
+  }
+  std::vector<obs::TraceRun> runs;
+  runs.push_back({"simulated: " + sched.name + " @ " + ctx.machine.name, &sim_rec});
+  if (have_threaded) {
+    runs.push_back({"threaded: " + sched.name, &thr_rec});
+  }
+  obs::write_chrome_trace(out, runs);
+  std::cerr << "# trace: wrote " << ctx.trace_out << " (" << sim_rec.total_spans()
+            << " simulated spans"
+            << (have_threaded
+                    ? ", " + std::to_string(thr_rec.total_spans()) + " threaded spans"
+                    : std::string(", threaded leg skipped"))
+            << ", " << p << " ranks)\n";
+}
 
 /// Median latency of `trials` jittered simulations (deterministic seeds).
 /// The schedule is compiled (validated + matched) once and reused.
 inline double measure_us(const core::Schedule& sched, const BenchContext& ctx) {
   const netsim::CompiledSchedule compiled(sched);
+  if (!ctx.trace_out.empty()) {
+    static bool traced = false;  // once per process: the first measured point
+    if (!traced) {
+      traced = true;
+      write_trace_file(sched, compiled, ctx);
+    }
+  }
   netsim::SimOptions opts;
   opts.validate = false;  // compilation already proved the schedule sound
   if (ctx.trials <= 1 || ctx.jitter <= 0.0) {
@@ -109,6 +181,10 @@ inline bool parse_common_cli(int argc, const char* const* argv, util::Cli& cli,
   cli.add_flag("trials", "jittered trials per point (median reported)", "3");
   cli.add_flag("jitter", "relative link-time jitter magnitude", "0.05");
   cli.add_flag("csv", "also print CSV blocks", "false");
+  cli.add_flag("trace-out",
+               "write Chrome trace JSON of the first measured schedule "
+               "(simulated + threaded executors) to FILE",
+               "");
   if (!cli.parse(argc, argv)) {
     std::cerr << cli.error() << "\n" << cli.usage(argv[0]);
     return false;
@@ -128,6 +204,7 @@ inline bool parse_common_cli(int argc, const char* const* argv, util::Cli& cli,
   ctx.trials = static_cast<int>(cli.get_int("trials").value_or(3));
   ctx.jitter = cli.get_double("jitter").value_or(0.05);
   ctx.csv = cli.get_bool("csv");
+  ctx.trace_out = cli.get("trace-out");
   return true;
 }
 

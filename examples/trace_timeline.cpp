@@ -1,15 +1,22 @@
-// Message-timeline dump: simulate one collective with tracing enabled and
-// emit a CSV of every message's post/start/arrival times — the raw material
-// for gantt-style visualization of how a schedule exercises the machine
-// (port queueing shows up as start > post; the intra/inter split shows the
-// k-ring effect directly).
+// Schedule observability walkthrough: simulate one collective with an
+// obs::TraceRecorder attached and render every view the subsystem offers —
+// the per-message CSV timeline (gantt raw material; port queueing shows up
+// as start > post), the CollectiveMetrics summary, the critical-path
+// attribution of the makespan to alpha/beta/gamma/overhead/queueing, and
+// optionally a Chrome trace-event JSON viewable in Perfetto.
 //
 //   $ ./trace_timeline --op allgather --alg kring --k 8 --machine frontier
-//     (--nodes 4 --ppn 8 --size 64K; redirect stdout to a .csv)
+//     (--nodes 4 --ppn 8 --size 64K; --csv for the raw span CSV on stdout,
+//      --json trace.json for Perfetto / chrome://tracing)
+#include <fstream>
 #include <iostream>
 
 #include "core/registry.hpp"
 #include "netsim/simulator.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/exporters.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "util/bytes.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -25,7 +32,8 @@ int main(int argc, char** argv) {
   cli.add_flag("nodes", "node count", "4");
   cli.add_flag("ppn", "processes per node", "8");
   cli.add_flag("size", "payload size", "64K");
-  cli.add_flag("limit", "max rows to print (0 = all)", "0");
+  cli.add_flag("csv", "print the raw span CSV instead of tables", "false");
+  cli.add_flag("json", "also write Chrome trace JSON to FILE", "");
   if (!cli.parse(argc, argv)) {
     std::cerr << cli.error() << "\n" << cli.usage(argv[0]);
     return 1;
@@ -59,27 +67,41 @@ int main(int argc, char** argv) {
   }
 
   const auto sched = core::build_schedule(*alg, params);
+  obs::TraceRecorder recorder(params.p);
   netsim::SimOptions opts;
-  opts.trace = true;
+  opts.sink = &recorder;
   const netsim::SimResult result = netsim::simulate(sched, *machine, opts);
 
   std::cerr << "# " << sched.name << " on " << machine->name << " ("
             << machine->nodes << "x" << machine->ppn << "), "
             << util::format_bytes(params.nbytes()) << ": " << result.time_us
-            << " us total, " << result.trace.size() << " messages ("
-            << result.messages_intra << " intra / " << result.messages_inter
-            << " inter, " << result.messages_global << " cross-group), port wait "
-            << util::fmt(result.port_wait_us) << " us\n";
+            << " us total, " << result.messages_intra + result.messages_inter
+            << " messages (" << result.messages_intra << " intra / "
+            << result.messages_inter << " inter, " << result.messages_global
+            << " cross-group), port wait " << util::fmt(result.port_wait_us)
+            << " us\n";
 
-  const auto limit = static_cast<std::size_t>(cli.get_int("limit").value_or(0));
-  std::cout << "src,dst,bytes,post_us,start_us,arrival_us,link\n";
-  std::size_t rows = 0;
-  for (const netsim::MessageTrace& t : result.trace) {
-    std::cout << t.src << ',' << t.dst << ',' << t.bytes << ','
-              << util::fmt(t.post_us, 3) << ',' << util::fmt(t.start_us, 3) << ','
-              << util::fmt(t.arrival_us, 3) << ',' << (t.intra ? "intra" : "inter")
-              << '\n';
-    if (limit != 0 && ++rows >= limit) break;
+  if (cli.get_bool("csv")) {
+    obs::write_trace_csv(std::cout, recorder);
+  } else {
+    const obs::CollectiveMetrics metrics = obs::collect_metrics(recorder);
+    std::cout << "\n== collective metrics ==\n";
+    obs::metrics_summary_table(metrics).print(std::cout);
+    std::cout << "\n== critical path ==\n";
+    obs::critical_path_table(obs::analyze_critical_path(recorder)).print(std::cout);
+  }
+
+  const std::string json_path = cli.get("json");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "cannot open '" << json_path << "'\n";
+      return 1;
+    }
+    obs::write_chrome_trace(
+        out, "simulated: " + sched.name + " @ " + machine->name, recorder);
+    std::cerr << "# wrote " << json_path << " (" << recorder.total_spans()
+              << " spans; open in Perfetto or chrome://tracing)\n";
   }
   return 0;
 }

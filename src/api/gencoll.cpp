@@ -60,7 +60,7 @@ const core::Schedule& Collectives::cached_build(const core::CollParams& params,
 
 void Collectives::execute(const core::Schedule& sched, std::span<const std::byte> input,
                           std::span<std::byte> output, DataType type, ReduceOp op) {
-  core::execute_rank_program(sched, comm_, input, output, type, op);
+  core::execute_rank_program(sched, comm_, input, output, type, op, sink_);
 }
 
 void Collectives::bcast(std::span<std::byte> buf, int root, const AlgSpec& spec) {

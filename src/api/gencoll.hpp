@@ -27,6 +27,7 @@
 #include "core/coll_params.hpp"
 #include "core/executor.hpp"
 #include "core/registry.hpp"
+#include "obs/trace.hpp"
 #include "runtime/comm.hpp"
 #include "runtime/datatype.hpp"
 #include "runtime/reduce_op.hpp"
@@ -120,6 +121,15 @@ class Collectives {
   /// (op, alg, k, root, size) tuple).
   [[nodiscard]] std::size_t schedules_built() const { return cache_.size(); }
 
+  /// Opt-in observability: every subsequent collective's schedule steps emit
+  /// obs::SpanEvents (wall-clock) and message instants into `sink`. Pass the
+  /// same sink (e.g. one obs::TraceRecorder sized to the world) on every
+  /// rank — the sink contract requires tolerating concurrent calls for
+  /// distinct ranks only. nullptr disables tracing. The sink must outlive
+  /// the traced calls; it is not owned.
+  void set_trace_sink(obs::TraceSink* sink) { sink_ = sink; }
+  [[nodiscard]] obs::TraceSink* trace_sink() const { return sink_; }
+
  private:
   const core::Schedule& schedule_for(CollOp op, std::size_t count,
                                      std::size_t elem_size, int root,
@@ -131,6 +141,7 @@ class Collectives {
 
   runtime::Communicator& comm_;
   tuning::SelectionConfig config_;
+  obs::TraceSink* sink_ = nullptr;
   std::map<std::string, std::unique_ptr<core::Schedule>> cache_;
 };
 

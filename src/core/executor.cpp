@@ -8,10 +8,55 @@
 
 namespace gencoll::core {
 
+namespace {
+
+obs::SpanKind span_kind_of(StepKind kind) {
+  switch (kind) {
+    case StepKind::kCopyInput: return obs::SpanKind::kCopyInput;
+    case StepKind::kSend: return obs::SpanKind::kSend;
+    case StepKind::kSendInput: return obs::SpanKind::kSendInput;
+    case StepKind::kRecv: return obs::SpanKind::kRecv;
+    case StepKind::kRecvReduce: return obs::SpanKind::kRecvReduce;
+  }
+  return obs::SpanKind::kSend;
+}
+
+/// Emit one step's span (and message instant) after the step completed.
+/// Component fields stay zero: wall-clock execution has no cost model.
+void emit_step(obs::TraceSink& sink, int rank, std::size_t step, const Step& s,
+               double begin_us, double end_us) {
+  obs::SpanEvent ev;
+  ev.kind = span_kind_of(s.kind);
+  ev.rank = rank;
+  ev.step = static_cast<std::int32_t>(step);
+  ev.bytes = s.bytes;
+  ev.begin_us = begin_us;
+  ev.end_us = end_us;
+  if (s.kind != StepKind::kCopyInput) {
+    ev.peer = s.peer;
+    ev.tag = s.tag;
+  }
+  if (obs::is_send(ev.kind)) ev.post_us = end_us;
+  sink.span(ev);
+
+  if (s.kind == StepKind::kCopyInput) return;
+  obs::InstantEvent inst;
+  inst.kind = obs::is_send(ev.kind) ? obs::InstantKind::kMessagePost
+                                    : obs::InstantKind::kMessageMatch;
+  inst.rank = rank;
+  inst.peer = s.peer;
+  inst.tag = s.tag;
+  inst.bytes = s.bytes;
+  inst.time_us = end_us;
+  sink.instant(inst);
+}
+
+}  // namespace
+
 void execute_rank_program(const Schedule& sched, runtime::Communicator& comm,
                           std::span<const std::byte> input,
                           std::span<std::byte> output, runtime::DataType type,
-                          runtime::ReduceOp op) {
+                          runtime::ReduceOp op, obs::TraceSink* sink) {
   const CollParams& pr = sched.params;
   if (comm.size() != pr.p) {
     throw std::invalid_argument("execute_rank_program: communicator size != p");
@@ -28,10 +73,17 @@ void execute_rank_program(const Schedule& sched, runtime::Communicator& comm,
   }
 
   std::vector<std::byte> reduce_scratch;
-  for (const Step& s : sched.ranks[static_cast<std::size_t>(rank)].steps) {
+  const auto& steps = sched.ranks[static_cast<std::size_t>(rank)].steps;
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const Step& s = steps[i];
+    const double begin_us = sink != nullptr ? obs::wallclock_us() : 0.0;
     switch (s.kind) {
       case StepKind::kCopyInput:
-        std::memcpy(output.data() + s.off, input.data() + s.src_off, s.bytes);
+        // Zero-byte copies happen for degenerate schedules; an empty span's
+        // data() may be null, and memcpy's pointer args must be non-null.
+        if (s.bytes != 0) {
+          std::memcpy(output.data() + s.off, input.data() + s.src_off, s.bytes);
+        }
         break;
       case StepKind::kSend:
         comm.send(s.peer, s.tag, output.subspan(s.off, s.bytes));
@@ -50,12 +102,13 @@ void execute_rank_program(const Schedule& sched, runtime::Communicator& comm,
         break;
       }
     }
+    if (sink != nullptr) emit_step(*sink, rank, i, s, begin_us, obs::wallclock_us());
   }
 }
 
 std::vector<std::vector<std::byte>> execute_threaded(
     const Schedule& sched, const std::vector<std::vector<std::byte>>& inputs,
-    runtime::DataType type, runtime::ReduceOp op) {
+    runtime::DataType type, runtime::ReduceOp op, obs::TraceSink* sink) {
   const CollParams& pr = sched.params;
   if (inputs.size() != static_cast<std::size_t>(pr.p)) {
     throw std::invalid_argument("execute_threaded: wrong number of inputs");
@@ -72,7 +125,7 @@ std::vector<std::vector<std::byte>> execute_threaded(
 
   runtime::World::run(pr.p, [&](runtime::Communicator& comm) {
     const auto r = static_cast<std::size_t>(comm.rank());
-    execute_rank_program(sched, comm, inputs[r], outputs[r], type, op);
+    execute_rank_program(sched, comm, inputs[r], outputs[r], type, op, sink);
   });
   return outputs;
 }

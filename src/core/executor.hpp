@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/schedule.hpp"
+#include "obs/trace.hpp"
 #include "runtime/comm.hpp"
 #include "runtime/datatype.hpp"
 #include "runtime/reduce_op.hpp"
@@ -19,17 +20,23 @@ namespace gencoll::core {
 /// (n bytes each; contents of non-result ranks are whatever the algorithm
 /// left as workspace). Throws on schedule/runtime errors, including receive
 /// timeouts from malformed schedules.
+///
+/// When `sink` is non-null, every step emits an obs::SpanEvent (wall-clock
+/// timestamps, obs::wallclock_us epoch) plus message post/match instants;
+/// the sink sees concurrent calls for distinct ranks (obs::TraceSink
+/// contract) and must outlive the call.
 std::vector<std::vector<std::byte>> execute_threaded(
     const Schedule& sched, const std::vector<std::vector<std::byte>>& inputs,
-    runtime::DataType type, runtime::ReduceOp op);
+    runtime::DataType type, runtime::ReduceOp op, obs::TraceSink* sink = nullptr);
 
 /// Execute one rank's program against an existing communicator. `output`
 /// must have output_bytes(params) bytes. Exposed so the public API (api/)
 /// can run collectives on long-lived communicators, and reused by
-/// execute_threaded.
+/// execute_threaded. `sink`, when non-null, receives this rank's step spans
+/// and message instants.
 void execute_rank_program(const Schedule& sched, runtime::Communicator& comm,
                           std::span<const std::byte> input,
                           std::span<std::byte> output, runtime::DataType type,
-                          runtime::ReduceOp op);
+                          runtime::ReduceOp op, obs::TraceSink* sink = nullptr);
 
 }  // namespace gencoll::core

@@ -54,6 +54,7 @@ std::vector<std::vector<std::byte>> reference_outputs(
     case CollOp::kAllgather: {
       for (int r = 0; r < params.p; ++r) {
         const Seg s = seg_of_blocks(params.count, params.elem_size, params.p, r, r + 1);
+        if (s.len == 0) continue;  // empty block: data() may be null
         std::memcpy(result.data() + s.off, inputs[static_cast<std::size_t>(r)].data(),
                     s.len);
       }
@@ -64,6 +65,7 @@ std::vector<std::vector<std::byte>> reference_outputs(
       for (int r = 0; r < params.p; ++r) {
         auto& out = outputs[static_cast<std::size_t>(r)];
         out.resize(n);
+        if (chunk == 0) continue;  // empty chunks: data() may be null
         for (int s = 0; s < params.p; ++s) {
           std::memcpy(out.data() + static_cast<std::size_t>(s) * chunk,
                       inputs[static_cast<std::size_t>(s)].data() +

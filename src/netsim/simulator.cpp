@@ -225,6 +225,10 @@ SimResult CompiledSchedule::run(const MachineConfig& machine,
   std::vector<bool> blocked(static_cast<std::size_t>(p), false);
   std::vector<std::size_t> pc(static_cast<std::size_t>(p), 0);
   Jitter jitter(options.jitter, options.jitter_seed);
+  obs::TraceSink* const sink = options.sink;
+  // When a receive parks, the time the rank reached the step — the emitted
+  // span must begin there, not at the wake-up.
+  std::vector<double> park_time(static_cast<std::size_t>(p), -1.0);
 
   std::priority_queue<Event, std::vector<Event>, EventLater> queue;
   std::uint64_t seq = 0;
@@ -256,6 +260,17 @@ SimResult CompiledSchedule::run(const MachineConfig& machine,
         clocks[ur] = now + (options.charge_copies
                                 ? machine.copy_us_per_byte * static_cast<double>(s.bytes)
                                 : 0.0);
+        if (sink != nullptr) {
+          obs::SpanEvent sp;
+          sp.kind = obs::SpanKind::kCopyInput;
+          sp.rank = r;
+          sp.step = static_cast<std::int32_t>(pc[ur]);
+          sp.bytes = s.bytes;
+          sp.begin_us = now;
+          sp.end_us = clocks[ur];
+          sp.overhead_us = clocks[ur] - now;
+          sink->span(sp);
+        }
         ++pc[ur];
       } else if (s.kind == StepKind::kSend || s.kind == StepKind::kSendInput) {
         clocks[ur] = now + machine.send_overhead_us;
@@ -264,6 +279,9 @@ SimResult CompiledSchedule::run(const MachineConfig& machine,
         const double factor = jitter.next();
         double arrival = 0.0;
         double start = 0.0;
+        double alpha_c = 0.0;  // component split for the trace sink; beta_c +
+        double beta_c = 0.0;   // port_c reproduces the occupancy exactly so
+        double port_c = 0.0;   // critical-path sums telescope to the makespan
         if (intra) {
           const std::uint64_t key = static_cast<std::uint64_t>(r) * 1000003ULL +
                                     static_cast<std::uint64_t>(s.peer);
@@ -276,6 +294,8 @@ SimResult CompiledSchedule::run(const MachineConfig& machine,
           result.port_wait_us += start - request;
           ++result.messages_intra;
           result.bytes_intra += s.bytes;
+          alpha_c = machine.intra.alpha_us;
+          beta_c = transfer;
         } else {
           const LinkParams link = machine.inter_link(r, s.peer);
           const double occupancy =
@@ -288,12 +308,36 @@ SimResult CompiledSchedule::run(const MachineConfig& machine,
           ++result.messages_inter;
           if (!machine.same_group(r, s.peer)) ++result.messages_global;
           result.bytes_inter += s.bytes;
-        }
-        if (options.trace) {
-          result.trace.push_back(
-              MessageTrace{r, s.peer, s.bytes, request, start, arrival, intra});
+          alpha_c = link.alpha_us;
+          beta_c = link.beta_us_per_byte * static_cast<double>(s.bytes) * factor;
+          port_c = occupancy - beta_c;  // exact complement, not re-derived
         }
         arrivals[ur][pc[ur]] = arrival;
+        if (sink != nullptr) {
+          obs::SpanEvent sp;
+          sp.kind = s.kind == StepKind::kSend ? obs::SpanKind::kSend
+                                              : obs::SpanKind::kSendInput;
+          sp.rank = r;
+          sp.peer = s.peer;
+          sp.tag = s.tag;
+          sp.step = static_cast<std::int32_t>(pc[ur]);
+          sp.match_step = peer_step_[ur][pc[ur]];
+          sp.bytes = s.bytes;
+          sp.link = intra ? obs::LinkClass::kIntra : obs::LinkClass::kInter;
+          sp.begin_us = now;
+          sp.end_us = request;
+          sp.post_us = request;
+          sp.start_us = start;
+          sp.arrival_us = arrival;
+          sp.alpha_us = alpha_c;
+          sp.beta_us = beta_c;
+          sp.port_us = port_c;
+          sp.queue_us = start - request;
+          sp.overhead_us = machine.send_overhead_us;
+          sink->span(sp);
+          sink->instant({obs::InstantKind::kMessagePost, r, s.peer, s.tag, s.bytes,
+                         request});
+        }
         // Wake the receiver if it is parked on exactly this message.
         const auto up = static_cast<std::size_t>(s.peer);
         const std::int32_t recv_index = peer_step_[ur][pc[ur]];
@@ -308,12 +352,36 @@ SimResult CompiledSchedule::run(const MachineConfig& machine,
                 send_index)];
         if (arrival == kNotSent) {
           blocked[ur] = true;  // clock already records the park time
+          if (park_time[ur] < 0.0) park_time[ur] = now;
           break;
         }
-        double done = std::max(now, arrival) + machine.recv_overhead_us;
-        if (s.kind == StepKind::kRecvReduce) {
-          done += machine.gamma_us_per_byte * static_cast<double>(s.bytes);
+        const double gamma_c =
+            s.kind == StepKind::kRecvReduce
+                ? machine.gamma_us_per_byte * static_cast<double>(s.bytes)
+                : 0.0;
+        const double done = std::max(now, arrival) + machine.recv_overhead_us + gamma_c;
+        if (sink != nullptr) {
+          obs::SpanEvent sp;
+          sp.kind = s.kind == StepKind::kRecv ? obs::SpanKind::kRecv
+                                              : obs::SpanKind::kRecvReduce;
+          sp.rank = r;
+          sp.peer = s.peer;
+          sp.tag = s.tag;
+          sp.step = static_cast<std::int32_t>(pc[ur]);
+          sp.match_step = send_index;
+          sp.bytes = s.bytes;
+          sp.link = machine.same_node(r, s.peer) ? obs::LinkClass::kIntra
+                                                 : obs::LinkClass::kInter;
+          sp.begin_us = park_time[ur] >= 0.0 ? park_time[ur] : now;
+          sp.end_us = done;
+          sp.arrival_us = arrival;
+          sp.gamma_us = gamma_c;
+          sp.overhead_us = machine.recv_overhead_us;
+          sink->span(sp);
+          sink->instant({obs::InstantKind::kMessageMatch, r, s.peer, s.tag, s.bytes,
+                         std::max(now, arrival)});
         }
+        park_time[ur] = -1.0;
         clocks[ur] = done;
         ++pc[ur];
       }

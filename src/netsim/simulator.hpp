@@ -25,6 +25,7 @@
 
 #include "core/schedule.hpp"
 #include "netsim/machine.hpp"
+#include "obs/trace.hpp"
 
 namespace gencoll::netsim {
 
@@ -40,20 +41,12 @@ struct SimOptions {
   /// when re-simulating a schedule already validated this process (e.g.
   /// jittered trials of one build).
   bool validate = true;
-  /// Record every message's post/start/arrival times in SimResult::trace
-  /// (memory: one record per message; leave off for large sweeps).
-  bool trace = false;
-};
-
-/// One message's lifecycle, recorded when SimOptions::trace is set.
-struct MessageTrace {
-  int src = 0;
-  int dst = 0;
-  std::size_t bytes = 0;
-  double post_us = 0.0;     ///< when the sender requested the transfer
-  double start_us = 0.0;    ///< when a port/link became available
-  double arrival_us = 0.0;  ///< delivery at the receiver
-  bool intra = false;       ///< used the intranode fabric
+  /// Optional trace sink (src/obs/): every step emits a SpanEvent carrying
+  /// the simulator's exact cost-component decomposition, every message a
+  /// post/match instant. Enables the obs exporters, metrics aggregation,
+  /// and critical-path analysis. Must outlive the run. nullptr = no tracing
+  /// (zero overhead on sweeps).
+  obs::TraceSink* sink = nullptr;
 };
 
 struct SimResult {
@@ -65,7 +58,6 @@ struct SimResult {
   std::size_t bytes_inter = 0;
   std::size_t bytes_intra = 0;
   double port_wait_us = 0.0;           ///< total time messages queued on ports
-  std::vector<MessageTrace> trace;     ///< populated when SimOptions::trace
 };
 
 /// A schedule pre-compiled for simulation: send/recv pairs are matched once

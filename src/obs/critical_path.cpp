@@ -1,0 +1,115 @@
+#include "obs/critical_path.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace gencoll::obs {
+
+namespace {
+
+/// Spans of one rank indexed by step number (simulator streams emit exactly
+/// one span per step, in order; we re-index defensively by the step field).
+class StepIndex {
+ public:
+  explicit StepIndex(const TraceRecorder& rec) {
+    by_step_.resize(static_cast<std::size_t>(rec.ranks()));
+    for (int r = 0; r < rec.ranks(); ++r) {
+      auto& lane = by_step_[static_cast<std::size_t>(r)];
+      const auto& spans = rec.spans(r);
+      lane.assign(spans.size(), nullptr);
+      for (const SpanEvent& ev : spans) {
+        if (ev.step < 0 || static_cast<std::size_t>(ev.step) >= lane.size()) {
+          throw std::logic_error("critical path: span step index out of range");
+        }
+        lane[static_cast<std::size_t>(ev.step)] = &ev;
+      }
+      for (const SpanEvent* ev : lane) {
+        if (ev == nullptr) {
+          throw std::logic_error("critical path: rank stream is missing a step span");
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] const SpanEvent* at(int rank, std::int32_t step) const {
+    if (rank < 0 || rank >= static_cast<int>(by_step_.size())) return nullptr;
+    const auto& lane = by_step_[static_cast<std::size_t>(rank)];
+    if (step < 0 || static_cast<std::size_t>(step) >= lane.size()) return nullptr;
+    return lane[static_cast<std::size_t>(step)];
+  }
+
+ private:
+  std::vector<std::vector<const SpanEvent*>> by_step_;
+};
+
+}  // namespace
+
+CriticalPath analyze_critical_path(const TraceRecorder& recorder) {
+  CriticalPath cp;
+  const StepIndex index(recorder);
+
+  // The makespan is the latest span end; its rank anchors the walk.
+  const SpanEvent* cur = nullptr;
+  for (int r = 0; r < recorder.ranks(); ++r) {
+    const auto& spans = recorder.spans(r);
+    if (spans.empty()) continue;
+    const SpanEvent& last = spans.back();
+    if (cur == nullptr || last.end_us > cur->end_us) cur = &last;
+  }
+  if (cur == nullptr) return cp;
+  cp.total_us = cur->end_us;
+  cp.end_rank = cur->rank;
+
+  while (cur != nullptr) {
+    ++cp.steps;
+    if (is_recv(cur->kind)) {
+      cp.overhead_us += cur->overhead_us;
+      cp.gamma_us += cur->gamma_us;
+      if (cur->arrival_us > cur->begin_us) {
+        // The rank waited for this message: cross it to the sender. The
+        // message interval [post, arrival] decomposes into queueing, NIC
+        // occupancy (port + serialization), and wire latency.
+        const SpanEvent* send = index.at(cur->peer, cur->match_step);
+        if (send == nullptr || !is_send(send->kind)) {
+          throw std::logic_error(
+              "critical path: waited receive has no matched send span "
+              "(stream not produced by the simulator?)");
+        }
+        cp.queue_us += send->queue_us;
+        cp.overhead_us += send->port_us;
+        cp.beta_us += send->beta_us;
+        cp.alpha_us += send->alpha_us;
+        ++cp.hops;
+        cur = send;  // next iteration attributes the send's posting overhead
+        continue;
+      }
+    } else {
+      // Send posting / input copy: the span's rank-clock occupancy.
+      cp.overhead_us += cur->overhead_us;
+    }
+    cur = cur->step > 0 ? index.at(cur->rank, cur->step - 1) : nullptr;
+  }
+  return cp;
+}
+
+util::Table critical_path_table(const CriticalPath& cp) {
+  util::Table t({"component", "us", "share"});
+  const double total = cp.total_us > 0.0 ? cp.total_us : 1.0;
+  const auto row = [&](const char* name, double us) {
+    t.add_row({name, util::fmt(us), util::fmt(100.0 * us / total, 1) + "%"});
+  };
+  row("alpha (wire latency)", cp.alpha_us);
+  row("beta (serialization)", cp.beta_us);
+  row("gamma (reduction)", cp.gamma_us);
+  row("overhead (cpu+nic+copy)", cp.overhead_us);
+  row("queueing (ports/links)", cp.queue_us);
+  row("attributed total", cp.attributed_us());
+  row("makespan", cp.total_us);
+  t.add_row({"path hops / steps",
+             std::to_string(cp.hops) + " / " + std::to_string(cp.steps), ""});
+  t.add_row({"finishing rank", std::to_string(cp.end_rank), ""});
+  return t;
+}
+
+}  // namespace gencoll::obs

@@ -1,0 +1,50 @@
+// Critical-path analysis of a simulated run.
+//
+// Walks the event graph backwards from the last-finishing rank: through that
+// rank's step spans, and — whenever a receive waited on a message — across
+// the message (queue, NIC occupancy, wire latency) to the sender's timeline,
+// recursively to t=0. Because the simulator records each step's exact cost
+// components (obs/trace.hpp invariants), the walk partitions the entire
+// [0, makespan] interval: alpha + beta + gamma + overhead + queue == total
+// up to floating-point rounding. This is the tool that answers the paper's
+// core question — *why* a radix wins: a serialization-bound run shows up as
+// overhead/beta on the root's injections, a port-bound run as queue, a
+// latency-bound run as alpha x rounds.
+//
+// Requires a simulator-produced stream (component fields filled, every step
+// spanned, match_step set). Threaded-executor streams have no components;
+// analyzing one yields total > 0 with the gap reported in `unattributed`.
+#pragma once
+
+#include <cstddef>
+
+#include "obs/recorder.hpp"
+#include "util/table.hpp"
+
+namespace gencoll::obs {
+
+struct CriticalPath {
+  double total_us = 0.0;     ///< makespan (== SimResult::time_us)
+  double alpha_us = 0.0;     ///< wire latency on the path
+  double beta_us = 0.0;      ///< serialization on the path
+  double gamma_us = 0.0;     ///< reduction compute on the path
+  double overhead_us = 0.0;  ///< CPU send/recv posting, NIC per-message
+                             ///< processing, and input copies
+  double queue_us = 0.0;     ///< port/link queueing on the path
+  std::size_t hops = 0;      ///< messages the path crosses ranks through
+  std::size_t steps = 0;     ///< spans visited
+  int end_rank = -1;         ///< rank whose finish defines the makespan
+
+  [[nodiscard]] double attributed_us() const {
+    return alpha_us + beta_us + gamma_us + overhead_us + queue_us;
+  }
+  /// total - attributed: ~0 (rounding only) for simulator streams.
+  [[nodiscard]] double unattributed_us() const { return total_us - attributed_us(); }
+};
+
+CriticalPath analyze_critical_path(const TraceRecorder& recorder);
+
+/// Component table (value + share of makespan) via util/table.
+util::Table critical_path_table(const CriticalPath& cp);
+
+}  // namespace gencoll::obs

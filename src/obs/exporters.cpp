@@ -1,0 +1,128 @@
+#include "obs/exporters.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+#include "util/table.hpp"
+
+namespace gencoll::obs {
+
+namespace {
+
+/// JSON string escaping for the small set of characters names can contain.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Emitter that tracks whether a comma is needed before the next element.
+class EventArray {
+ public:
+  explicit EventArray(std::ostream& os) : os_(os) {}
+
+  std::ostream& next() {
+    if (!first_) os_ << ",\n";
+    first_ = false;
+    return os_;
+  }
+
+ private:
+  std::ostream& os_;
+  bool first_ = true;
+};
+
+void emit_metadata(EventArray& out, int pid, const std::string& name, int ranks) {
+  out.next() << "  {\"ph\":\"M\",\"pid\":" << pid
+             << ",\"name\":\"process_name\",\"args\":{\"name\":\""
+             << json_escape(name) << "\"}}";
+  for (int r = 0; r < ranks; ++r) {
+    out.next() << "  {\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << r
+               << ",\"name\":\"thread_name\",\"args\":{\"name\":\"rank " << r
+               << "\"}}";
+  }
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, std::span<const TraceRun> runs) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  EventArray out(os);
+  int pid = 0;
+  for (const TraceRun& run : runs) {
+    if (run.recorder == nullptr) continue;
+    const TraceRecorder& rec = *run.recorder;
+    ++pid;
+    // Each run is normalized to its own earliest event: the simulator's
+    // virtual clock and the threaded executor's wall clock would otherwise
+    // sit an arbitrary epoch apart in one file.
+    const double run_t0 = rec.min_time_us();
+    emit_metadata(out, pid, run.name, rec.ranks());
+    for (int r = 0; r < rec.ranks(); ++r) {
+      for (const SpanEvent& ev : rec.spans(r)) {
+        const double dur = ev.end_us - ev.begin_us;
+        out.next() << "  {\"ph\":\"X\",\"pid\":" << pid << ",\"tid\":" << ev.rank
+                   << ",\"ts\":" << util::fmt(ev.begin_us - run_t0, 3)
+                   << ",\"dur\":" << util::fmt(dur < 0.0 ? 0.0 : dur, 3)
+                   << ",\"cat\":\"step\",\"name\":\"" << span_kind_name(ev.kind)
+                   << "\",\"args\":{\"step\":" << ev.step
+                   << ",\"peer\":" << ev.peer << ",\"tag\":" << ev.tag
+                   << ",\"bytes\":" << ev.bytes << ",\"link\":\""
+                   << link_class_name(ev.link) << "\",\"queue_us\":"
+                   << util::fmt(ev.queue_us, 3) << ",\"arrival_us\":"
+                   << util::fmt(ev.arrival_us - run_t0, 3) << "}}";
+      }
+      for (const InstantEvent& ev : rec.instants(r)) {
+        out.next() << "  {\"ph\":\"i\",\"pid\":" << pid << ",\"tid\":" << ev.rank
+                   << ",\"ts\":" << util::fmt(ev.time_us - run_t0, 3)
+                   << ",\"s\":\"t\",\"cat\":\"msg\",\"name\":\""
+                   << instant_kind_name(ev.kind) << "\",\"args\":{\"peer\":"
+                   << ev.peer << ",\"tag\":" << ev.tag << ",\"bytes\":"
+                   << ev.bytes << "}}";
+      }
+    }
+  }
+  os << "\n]}\n";
+}
+
+void write_chrome_trace(std::ostream& os, const std::string& name,
+                        const TraceRecorder& recorder) {
+  const TraceRun run{name, &recorder};
+  write_chrome_trace(os, std::span<const TraceRun>(&run, 1));
+}
+
+void write_trace_csv(std::ostream& os, const TraceRecorder& recorder) {
+  const double t0 = recorder.min_time_us();
+  os << "rank,step,kind,peer,tag,bytes,link,begin_us,end_us,post_us,start_us,"
+        "arrival_us,queue_us\n";
+  for (int r = 0; r < recorder.ranks(); ++r) {
+    for (const SpanEvent& ev : recorder.spans(r)) {
+      os << ev.rank << ',' << ev.step << ',' << span_kind_name(ev.kind) << ','
+         << ev.peer << ',' << ev.tag << ',' << ev.bytes << ','
+         << link_class_name(ev.link) << ',' << util::fmt(ev.begin_us - t0, 3)
+         << ',' << util::fmt(ev.end_us - t0, 3) << ','
+         << util::fmt(is_send(ev.kind) ? ev.post_us - t0 : 0.0, 3) << ','
+         << util::fmt(is_send(ev.kind) ? ev.start_us - t0 : 0.0, 3) << ','
+         << util::fmt(ev.arrival_us > 0.0 ? ev.arrival_us - t0 : 0.0, 3) << ','
+         << util::fmt(ev.queue_us, 3) << '\n';
+    }
+  }
+}
+
+}  // namespace gencoll::obs

@@ -1,0 +1,40 @@
+// Trace exporters: Chrome trace-event JSON (Perfetto / chrome://tracing) and
+// flat CSV.
+//
+// Chrome layout: each recorded *run* (one executor pass over a schedule)
+// becomes one pid, each rank one tid within it, each schedule step one
+// complete ("X") event and each post/match instant one instant ("i") event.
+// Timestamps are normalized so the earliest event across all runs lands at
+// t=0, which makes the simulator's virtual clock and the threaded
+// executor's wall clock coexist in one file.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "obs/recorder.hpp"
+
+namespace gencoll::obs {
+
+/// One executor pass bound to a display name ("simulated: kring(k=8)", ...).
+/// The recorder must outlive the export call.
+struct TraceRun {
+  std::string name;
+  const TraceRecorder* recorder = nullptr;
+};
+
+/// Write `runs` as one Chrome trace-event JSON document (object form with a
+/// "traceEvents" array; valid JSON, no trailing commas). Null recorders are
+/// skipped.
+void write_chrome_trace(std::ostream& os, std::span<const TraceRun> runs);
+
+/// Convenience single-run overload.
+void write_chrome_trace(std::ostream& os, const std::string& name,
+                        const TraceRecorder& recorder);
+
+/// Flat CSV of every span (header + one row per event), rank-major in step
+/// order. Timestamps are normalized to the recorder's earliest event.
+void write_trace_csv(std::ostream& os, const TraceRecorder& recorder);
+
+}  // namespace gencoll::obs

@@ -1,0 +1,125 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace gencoll::obs {
+
+namespace {
+
+/// Max simultaneous [post, start) intervals for one rank's sends. Departures
+/// at time t are processed before arrivals at t, so back-to-back messages
+/// don't inflate the depth.
+std::size_t max_queue_depth(const std::vector<SpanEvent>& spans) {
+  struct Edge {
+    double time;
+    int delta;  // +1 post, -1 start
+  };
+  std::vector<Edge> edges;
+  for (const SpanEvent& ev : spans) {
+    if (!is_send(ev.kind) || ev.start_us <= ev.post_us) continue;
+    edges.push_back({ev.post_us, +1});
+    edges.push_back({ev.start_us, -1});
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.delta < b.delta;
+  });
+  std::size_t depth = 0;
+  std::size_t max_depth = 0;
+  for (const Edge& e : edges) {
+    if (e.delta > 0) {
+      max_depth = std::max(max_depth, ++depth);
+    } else {
+      --depth;
+    }
+  }
+  return max_depth;
+}
+
+}  // namespace
+
+CollectiveMetrics collect_metrics(const TraceRecorder& recorder) {
+  CollectiveMetrics m;
+  m.per_rank.resize(static_cast<std::size_t>(recorder.ranks()));
+
+  double t_min = 0.0;
+  double t_max = 0.0;
+  bool seen = false;
+  for (int r = 0; r < recorder.ranks(); ++r) {
+    RankBreakdown& rb = m.per_rank[static_cast<std::size_t>(r)];
+    std::size_t sends = 0;
+    std::size_t recvs = 0;
+    for (const SpanEvent& ev : recorder.spans(r)) {
+      if (!seen || ev.begin_us < t_min) t_min = ev.begin_us;
+      if (!seen || ev.end_us > t_max) t_max = ev.end_us;
+      seen = true;
+      const double dur = std::max(0.0, ev.end_us - ev.begin_us);
+      switch (ev.kind) {
+        case SpanKind::kCopyInput:
+          rb.copy_us += dur;
+          break;
+        case SpanKind::kSend:
+        case SpanKind::kSendInput: {
+          ++sends;
+          ++m.messages;
+          m.bytes += ev.bytes;
+          if (ev.link == LinkClass::kIntra) {
+            ++m.messages_intra;
+            m.bytes_intra += ev.bytes;
+          } else if (ev.link == LinkClass::kInter) {
+            ++m.messages_inter;
+            m.bytes_inter += ev.bytes;
+          }
+          m.queue_us += ev.queue_us;
+          rb.send_us += dur;
+          break;
+        }
+        case SpanKind::kRecv:
+        case SpanKind::kRecvReduce: {
+          ++recvs;
+          // Simulator spans decompose exactly into wait + overhead + gamma;
+          // threaded spans have zero components, so the whole blocking call
+          // counts as wait.
+          const double busy = ev.overhead_us + ev.gamma_us;
+          rb.recv_us += std::min(dur, ev.overhead_us);
+          rb.reduce_us += std::min(std::max(0.0, dur - ev.overhead_us), ev.gamma_us);
+          rb.wait_us += std::max(0.0, dur - busy);
+          break;
+        }
+      }
+    }
+    m.rounds = std::max(m.rounds, std::max(sends, recvs));
+    m.max_port_queue_depth =
+        std::max(m.max_port_queue_depth, max_queue_depth(recorder.spans(r)));
+  }
+  m.makespan_us = seen ? t_max - t_min : 0.0;
+  return m;
+}
+
+util::Table metrics_summary_table(const CollectiveMetrics& m) {
+  util::Table t({"metric", "value"});
+  t.add_row({"messages", std::to_string(m.messages)});
+  t.add_row({"messages intra/inter",
+             std::to_string(m.messages_intra) + " / " + std::to_string(m.messages_inter)});
+  t.add_row({"bytes", std::to_string(m.bytes)});
+  t.add_row({"bytes intra/inter",
+             std::to_string(m.bytes_intra) + " / " + std::to_string(m.bytes_inter)});
+  t.add_row({"rounds (comm depth)", std::to_string(m.rounds)});
+  t.add_row({"max port queue depth", std::to_string(m.max_port_queue_depth)});
+  t.add_row({"port/link queue total (us)", util::fmt(m.queue_us)});
+  t.add_row({"makespan (us)", util::fmt(m.makespan_us)});
+  return t;
+}
+
+util::Table metrics_rank_table(const CollectiveMetrics& m) {
+  util::Table t({"rank", "send_us", "recv_us", "reduce_us", "wait_us", "copy_us"});
+  for (std::size_t r = 0; r < m.per_rank.size(); ++r) {
+    const RankBreakdown& rb = m.per_rank[r];
+    t.add_row({std::to_string(r), util::fmt(rb.send_us), util::fmt(rb.recv_us),
+               util::fmt(rb.reduce_us), util::fmt(rb.wait_us), util::fmt(rb.copy_us)});
+  }
+  return t;
+}
+
+}  // namespace gencoll::obs

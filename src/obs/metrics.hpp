@@ -1,0 +1,55 @@
+// Per-collective metrics aggregated from a trace stream.
+//
+// collect_metrics() folds a recorded run (either executor) into counts and
+// per-rank time breakdowns. The intra/inter splits are only populated for
+// simulator streams (the threaded executor has no topology and reports
+// LinkClass::kUnknown); totals are always exact.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "obs/recorder.hpp"
+#include "util/table.hpp"
+
+namespace gencoll::obs {
+
+/// How one rank's timeline divides between activities, in microseconds.
+/// For simulator streams the split is model-exact (components); for the
+/// threaded executor, send/copy are measured span durations and blocking
+/// receives count as wait (their CPU cost is not separable without a model).
+struct RankBreakdown {
+  double send_us = 0.0;    ///< posting sends
+  double recv_us = 0.0;    ///< completing receives
+  double reduce_us = 0.0;  ///< reduction compute
+  double wait_us = 0.0;    ///< blocked waiting for a message
+  double copy_us = 0.0;    ///< CopyInput staging
+};
+
+struct CollectiveMetrics {
+  std::size_t messages = 0;
+  std::size_t messages_intra = 0;  ///< simulator streams only
+  std::size_t messages_inter = 0;
+  std::size_t bytes = 0;  ///< payload bytes over all messages
+  std::size_t bytes_intra = 0;
+  std::size_t bytes_inter = 0;
+  /// Communication depth: max over ranks of max(send count, recv count) —
+  /// the number of serialized same-direction network operations on the
+  /// busiest rank (2(p-1) for a ring allreduce; (k-1)*ceil(log_k p) at a
+  /// k-nomial bcast root, the injection serialization of paper §III).
+  std::size_t rounds = 0;
+  /// Max number of messages simultaneously queued (posted, not yet on the
+  /// wire) by any single rank — NIC-port pressure. Simulator streams only.
+  std::size_t max_port_queue_depth = 0;
+  double makespan_us = 0.0;  ///< last span end - first span begin
+  double queue_us = 0.0;     ///< total port/link queueing over all messages
+  std::vector<RankBreakdown> per_rank;
+};
+
+CollectiveMetrics collect_metrics(const TraceRecorder& recorder);
+
+/// Summary + per-rank breakdown rendered via util/table.
+util::Table metrics_summary_table(const CollectiveMetrics& m);
+util::Table metrics_rank_table(const CollectiveMetrics& m);
+
+}  // namespace gencoll::obs

@@ -1,0 +1,85 @@
+#include "obs/recorder.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace gencoll::obs {
+
+TraceRecorder::TraceRecorder(int ranks) { reset(ranks); }
+
+void TraceRecorder::reset(int ranks) {
+  if (ranks < 0) throw std::invalid_argument("TraceRecorder: negative rank count");
+  lanes_.clear();
+  lanes_.resize(static_cast<std::size_t>(ranks));
+}
+
+TraceRecorder::Lane& TraceRecorder::lane_for(int rank) {
+  if (rank < 0 || rank >= ranks()) {
+    throw std::out_of_range("TraceRecorder: event for rank " + std::to_string(rank) +
+                            " outside [0, " + std::to_string(ranks()) + ")");
+  }
+  return lanes_[static_cast<std::size_t>(rank)];
+}
+
+void TraceRecorder::span(const SpanEvent& event) {
+  lane_for(event.rank).spans.push_back(event);
+}
+
+void TraceRecorder::instant(const InstantEvent& event) {
+  lane_for(event.rank).instants.push_back(event);
+}
+
+const std::vector<SpanEvent>& TraceRecorder::spans(int rank) const {
+  return const_cast<TraceRecorder*>(this)->lane_for(rank).spans;
+}
+
+const std::vector<InstantEvent>& TraceRecorder::instants(int rank) const {
+  return const_cast<TraceRecorder*>(this)->lane_for(rank).instants;
+}
+
+std::size_t TraceRecorder::total_spans() const {
+  std::size_t n = 0;
+  for (const Lane& lane : lanes_) n += lane.spans.size();
+  return n;
+}
+
+std::size_t TraceRecorder::total_instants() const {
+  std::size_t n = 0;
+  for (const Lane& lane : lanes_) n += lane.instants.size();
+  return n;
+}
+
+double TraceRecorder::min_time_us() const {
+  double t = 0.0;
+  bool seen = false;
+  for (const Lane& lane : lanes_) {
+    for (const SpanEvent& ev : lane.spans) {
+      if (!seen || ev.begin_us < t) t = ev.begin_us;
+      seen = true;
+    }
+    for (const InstantEvent& ev : lane.instants) {
+      if (!seen || ev.time_us < t) t = ev.time_us;
+      seen = true;
+    }
+  }
+  return t;
+}
+
+double TraceRecorder::max_time_us() const {
+  double t = 0.0;
+  bool seen = false;
+  for (const Lane& lane : lanes_) {
+    for (const SpanEvent& ev : lane.spans) {
+      if (!seen || ev.end_us > t) t = ev.end_us;
+      seen = true;
+    }
+    for (const InstantEvent& ev : lane.instants) {
+      if (!seen || ev.time_us > t) t = ev.time_us;
+      seen = true;
+    }
+  }
+  return t;
+}
+
+}  // namespace gencoll::obs

@@ -1,0 +1,55 @@
+// In-memory TraceSink with one event lane per rank.
+//
+// The "lock-free-ish" design: the lane array is sized up front, each lane is
+// cache-line padded, and every emitter appends only to its own rank's lane —
+// so the threaded executor's per-rank threads record without any atomics or
+// locks on the hot path, and the (single-threaded) simulator pays nothing
+// extra. The only synchronization requirement is external: construct/reset
+// before the run, read after the run's threads have joined (World::run's
+// join provides the happens-before edge).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace gencoll::obs {
+
+class TraceRecorder final : public TraceSink {
+ public:
+  /// A recorder for `ranks` lanes; events for a rank outside [0, ranks)
+  /// throw std::out_of_range (malformed-emitter guard).
+  explicit TraceRecorder(int ranks);
+
+  /// Drop all events and resize to `ranks` lanes. Not thread-safe.
+  void reset(int ranks);
+
+  void span(const SpanEvent& event) override;
+  void instant(const InstantEvent& event) override;
+
+  [[nodiscard]] int ranks() const { return static_cast<int>(lanes_.size()); }
+  [[nodiscard]] const std::vector<SpanEvent>& spans(int rank) const;
+  [[nodiscard]] const std::vector<InstantEvent>& instants(int rank) const;
+  [[nodiscard]] std::size_t total_spans() const;
+  [[nodiscard]] std::size_t total_instants() const;
+
+  /// Earliest timestamp across all events (0 when empty) — exporters use it
+  /// to normalize wall-clock streams to t=0.
+  [[nodiscard]] double min_time_us() const;
+  /// Latest span end across all events (0 when empty).
+  [[nodiscard]] double max_time_us() const;
+
+ private:
+  // Padded so rank threads appending concurrently never share a line.
+  struct alignas(64) Lane {
+    std::vector<SpanEvent> spans;
+    std::vector<InstantEvent> instants;
+  };
+
+  [[nodiscard]] Lane& lane_for(int rank);
+
+  std::vector<Lane> lanes_;
+};
+
+}  // namespace gencoll::obs

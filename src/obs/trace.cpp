@@ -1,0 +1,48 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+
+namespace gencoll::obs {
+
+const char* span_kind_name(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kCopyInput: return "CopyInput";
+    case SpanKind::kSend: return "Send";
+    case SpanKind::kSendInput: return "SendInput";
+    case SpanKind::kRecv: return "Recv";
+    case SpanKind::kRecvReduce: return "RecvReduce";
+  }
+  return "?";
+}
+
+const char* instant_kind_name(InstantKind kind) {
+  switch (kind) {
+    case InstantKind::kMessagePost: return "MsgPost";
+    case InstantKind::kMessageMatch: return "MsgMatch";
+  }
+  return "?";
+}
+
+const char* link_class_name(LinkClass link) {
+  switch (link) {
+    case LinkClass::kUnknown: return "unknown";
+    case LinkClass::kIntra: return "intra";
+    case LinkClass::kInter: return "inter";
+  }
+  return "?";
+}
+
+bool is_send(SpanKind kind) {
+  return kind == SpanKind::kSend || kind == SpanKind::kSendInput;
+}
+
+bool is_recv(SpanKind kind) {
+  return kind == SpanKind::kRecv || kind == SpanKind::kRecvReduce;
+}
+
+double wallclock_us() {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double, std::micro>(now).count();
+}
+
+}  // namespace gencoll::obs

@@ -1,0 +1,117 @@
+// Observability event vocabulary shared by both executors.
+//
+// Every schedule execution — threaded (src/core/executor) or simulated
+// (src/netsim/simulator) — can emit the same two event shapes into a
+// TraceSink: *spans* (one per schedule step, covering the step's occupancy
+// of its rank's timeline) and *instants* (message post / match points).
+// Downstream consumers never care which executor produced the stream:
+// exporters (obs/exporters.hpp) render either into Chrome trace JSON or
+// CSV, the metrics aggregator (obs/metrics.hpp) folds either into a
+// CollectiveMetrics summary, and the critical-path analyzer
+// (obs/critical_path.hpp) walks the simulator's component-annotated stream
+// to attribute the makespan.
+//
+// Timestamps are microseconds (double). The simulator emits its virtual
+// clock (starts at 0); the threaded executor emits wallclock_us() (a
+// steady-clock reading with an arbitrary epoch) — exporters normalize to
+// the earliest event, so the two conventions coexist.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gencoll::obs {
+
+/// Mirrors core::StepKind, defined independently so obs stays the bottom
+/// layer (core and netsim both link against obs, never the reverse).
+enum class SpanKind {
+  kCopyInput,   ///< local input -> output staging copy
+  kSend,        ///< post a message from the output buffer
+  kSendInput,   ///< post a message from the input buffer
+  kRecv,        ///< blocking receive
+  kRecvReduce,  ///< blocking receive + element-wise reduction
+};
+
+enum class InstantKind {
+  kMessagePost,   ///< sender handed the message to the transport
+  kMessageMatch,  ///< receiver matched/consumed the message
+};
+
+/// Which fabric a message used. The simulator knows (machine topology); the
+/// threaded executor does not and reports kUnknown.
+enum class LinkClass { kUnknown, kIntra, kInter };
+
+/// One schedule step's occupancy of its rank's timeline, plus — for the
+/// simulator — the message lifecycle and the cost-component decomposition
+/// the critical-path analyzer consumes. The threaded executor fills only
+/// the identity/timing fields and leaves components zero (it has no model).
+struct SpanEvent {
+  SpanKind kind = SpanKind::kSend;
+  int rank = 0;
+  int peer = -1;                 ///< communication steps only
+  int tag = 0;
+  std::int32_t step = -1;        ///< index in the rank's step program
+  std::int32_t match_step = -1;  ///< matching step index in the peer's
+                                 ///< program (simulator fills; -1 unknown)
+  std::size_t bytes = 0;
+  LinkClass link = LinkClass::kUnknown;
+
+  double begin_us = 0.0;  ///< rank reached the step
+  double end_us = 0.0;    ///< step completed on the rank's timeline
+
+  // Message lifecycle (send kinds; simulator only). start_us - post_us is
+  // the time the message queued for a free port/link.
+  double post_us = 0.0;
+  double start_us = 0.0;
+  double arrival_us = 0.0;  ///< send kinds: delivery time; recv kinds: the
+                            ///< matched message's arrival (wait analysis)
+
+  // Component decomposition, filled by the simulator so analyzers need no
+  // machine model. Invariants the simulator maintains (jitter included):
+  //   send span:  end - begin == overhead_us, and
+  //               arrival - post == queue_us + port_us + beta_us + alpha_us
+  //   recv span:  end - max(begin, arrival) == overhead_us + gamma_us
+  //   copy span:  end - begin == overhead_us
+  double alpha_us = 0.0;     ///< wire latency
+  double beta_us = 0.0;      ///< serialization (bytes x link beta)
+  double gamma_us = 0.0;     ///< reduction compute at the receiver
+  double overhead_us = 0.0;  ///< CPU posting/completion cost (copy time for
+                             ///< kCopyInput)
+  double port_us = 0.0;      ///< NIC per-message processing occupancy
+  double queue_us = 0.0;     ///< waiting for a free port/link
+};
+
+struct InstantEvent {
+  InstantKind kind = InstantKind::kMessagePost;
+  int rank = 0;
+  int peer = -1;
+  int tag = 0;
+  std::size_t bytes = 0;
+  double time_us = 0.0;
+};
+
+/// Abstract consumer of trace events. Thread-safety contract: implementations
+/// must tolerate concurrent calls *for distinct ranks* (the threaded executor
+/// emits from one thread per rank); calls for the same rank are always
+/// sequential.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void span(const SpanEvent& event) = 0;
+  virtual void instant(const InstantEvent& event) = 0;
+};
+
+const char* span_kind_name(SpanKind kind);
+const char* instant_kind_name(InstantKind kind);
+const char* link_class_name(LinkClass link);
+
+/// True for kSend/kSendInput.
+bool is_send(SpanKind kind);
+/// True for kRecv/kRecvReduce.
+bool is_recv(SpanKind kind);
+
+/// Steady-clock reading in microseconds (arbitrary epoch); the threaded
+/// executor's time source.
+double wallclock_us();
+
+}  // namespace gencoll::obs

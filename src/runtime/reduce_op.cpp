@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <cstring>
 #include <stdexcept>
+#include <type_traits>
 
 namespace gencoll::runtime {
 
@@ -52,15 +53,38 @@ void apply_typed(std::span<std::byte> inout, std::span<const std::byte> in,
   }
 }
 
+// Sum/prod on signed integers wrap modulo 2^N (like every rank computing the
+// same two's-complement result); route through the unsigned counterpart so
+// the wraparound is defined behavior rather than signed overflow.
+template <typename T>
+T wrapping_add(T a, T b) {
+  if constexpr (std::is_integral_v<T>) {
+    using U = std::make_unsigned_t<T>;
+    return static_cast<T>(static_cast<U>(a) + static_cast<U>(b));
+  } else {
+    return a + b;
+  }
+}
+
+template <typename T>
+T wrapping_mul(T a, T b) {
+  if constexpr (std::is_integral_v<T>) {
+    using U = std::make_unsigned_t<T>;
+    return static_cast<T>(static_cast<U>(a) * static_cast<U>(b));
+  } else {
+    return a * b;
+  }
+}
+
 template <typename T>
 void dispatch_op(ReduceOp op, std::span<std::byte> inout,
                  std::span<const std::byte> in, std::size_t count) {
   switch (op) {
     case ReduceOp::kSum:
-      apply_typed<T>(inout, in, count, [](T a, T b) { return static_cast<T>(a + b); });
+      apply_typed<T>(inout, in, count, [](T a, T b) { return wrapping_add(a, b); });
       return;
     case ReduceOp::kProd:
-      apply_typed<T>(inout, in, count, [](T a, T b) { return static_cast<T>(a * b); });
+      apply_typed<T>(inout, in, count, [](T a, T b) { return wrapping_mul(a, b); });
       return;
     case ReduceOp::kMax:
       apply_typed<T>(inout, in, count, [](T a, T b) { return std::max(a, b); });

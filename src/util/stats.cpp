@@ -10,7 +10,11 @@ double percentile(std::span<const double> samples, double q) {
   if (samples.empty()) return 0.0;
   std::vector<double> sorted(samples.begin(), samples.end());
   std::sort(sorted.begin(), sorted.end());
-  q = std::clamp(q, 0.0, 1.0);
+  // Exact edges: p0/p100 (and the single-sample case) must return the true
+  // min/max rather than trusting q*(n-1) to land on an integer in floating
+  // point (q is often computed as a ratio and carries rounding error).
+  if (q <= 0.0 || sorted.size() == 1) return sorted.front();
+  if (q >= 1.0) return sorted.back();
   const double pos = q * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
   const std::size_t hi = std::min(lo + 1, sorted.size() - 1);

@@ -4,10 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstring>
 
 #include "core/reference.hpp"
 #include "core/registry.hpp"
+#include "obs/recorder.hpp"
 #include "runtime/world.hpp"
 
 namespace gencoll::core {
@@ -122,6 +124,92 @@ TEST(Executor, CommunicatorSizeMismatchRejected) {
         execute_rank_program(sched, comm, in, out, DataType::kInt32, ReduceOp::kSum),
         std::invalid_argument);
   });
+}
+
+TEST(Executor, TruncatedScheduleTimesOutTheReceiver) {
+  // A malformed schedule whose send side was dropped: the receiver must not
+  // hang forever — the mailbox deadline fires and the error propagates out
+  // of World::run as the executor's failure.
+  Schedule sched;
+  sched.params.op = CollOp::kBcast;
+  sched.params.p = 2;
+  sched.params.count = 8;
+  sched.params.elem_size = 1;
+  sched.ranks.resize(2);
+  sched.ranks[0].copy_input(0, 0, 8);
+  // Rank 0's send(1, ...) is missing; rank 1 still expects it.
+  sched.ranks[1].recv(0, 0, 0, 8);
+
+  EXPECT_THROW(
+      runtime::World::run(2,
+                          [&](runtime::Communicator& comm) {
+                            comm.set_recv_timeout(std::chrono::milliseconds(50));
+                            std::vector<std::byte> in(8);
+                            std::vector<std::byte> out(8);
+                            execute_rank_program(sched, comm, in, out,
+                                                 DataType::kByte, ReduceOp::kSum);
+                          }),
+      std::runtime_error);
+}
+
+TEST(Executor, ZeroByteStepsEmitWellFormedTraceEvents) {
+  // Degenerate zero-byte sends/recvs (barrier-style token exchanges and
+  // empty partitions produce these) must still yield coherent span events:
+  // non-negative durations, matching instants, and bytes == 0 rather than
+  // garbage sizes.
+  Schedule sched;
+  sched.params.op = CollOp::kBcast;
+  sched.params.p = 2;
+  sched.params.count = 0;
+  sched.params.elem_size = 1;
+  sched.ranks.resize(2);
+  // The RankProgram builder helpers drop zero-byte steps, so assemble the
+  // degenerate steps directly.
+  Step copy_step;
+  copy_step.kind = StepKind::kCopyInput;
+  sched.ranks[0].steps.push_back(copy_step);
+  Step send_step;
+  send_step.kind = StepKind::kSend;
+  send_step.peer = 1;
+  send_step.tag = 7;
+  sched.ranks[0].steps.push_back(send_step);
+  Step recv_step;
+  recv_step.kind = StepKind::kRecv;
+  recv_step.peer = 0;
+  recv_step.tag = 7;
+  sched.ranks[1].steps.push_back(recv_step);
+
+  obs::TraceRecorder rec(2);
+  runtime::World::run(2, [&](runtime::Communicator& comm) {
+    std::vector<std::byte> in;
+    std::vector<std::byte> out;
+    execute_rank_program(sched, comm, in, out, DataType::kByte, ReduceOp::kSum,
+                         &rec);
+  });
+
+  ASSERT_EQ(rec.spans(0).size(), 2u);  // copy + send
+  ASSERT_EQ(rec.spans(1).size(), 1u);  // recv
+  for (int rank = 0; rank < 2; ++rank) {
+    for (const obs::SpanEvent& s : rec.spans(rank)) {
+      EXPECT_EQ(s.rank, rank);
+      EXPECT_EQ(s.bytes, 0u);
+      EXPECT_GE(s.end_us, s.begin_us);
+      EXPECT_GE(s.step, 0);
+    }
+  }
+  const obs::SpanEvent& send = rec.spans(0)[1];
+  EXPECT_EQ(send.kind, obs::SpanKind::kSend);
+  EXPECT_EQ(send.peer, 1);
+  EXPECT_EQ(send.tag, 7);
+  const obs::SpanEvent& recv = rec.spans(1)[0];
+  EXPECT_EQ(recv.kind, obs::SpanKind::kRecv);
+  EXPECT_EQ(recv.peer, 0);
+  // One instant per message endpoint: the post on the sender, the match on
+  // the receiver. The copy step must not fabricate an instant.
+  ASSERT_EQ(rec.instants(0).size(), 1u);
+  ASSERT_EQ(rec.instants(1).size(), 1u);
+  EXPECT_EQ(rec.instants(0)[0].kind, obs::InstantKind::kMessagePost);
+  EXPECT_EQ(rec.instants(1)[0].kind, obs::InstantKind::kMessageMatch);
 }
 
 TEST(Executor, ZeroCountCollectiveIsNoOp) {

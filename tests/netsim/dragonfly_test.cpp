@@ -3,6 +3,7 @@
 
 #include "core/registry.hpp"
 #include "netsim/simulator.hpp"
+#include "obs/recorder.hpp"
 
 namespace gencoll::netsim {
 namespace {
@@ -91,22 +92,34 @@ TEST(Trace, RecordsEveryMessage) {
   params.k = 2;
   const auto sched =
       core::build_schedule(core::Algorithm::kRecursiveDoubling, params);
+  obs::TraceRecorder rec(8);
   SimOptions opts;
-  opts.trace = true;
+  opts.sink = &rec;
   const SimResult r = simulate(sched, m, opts);
-  EXPECT_EQ(r.trace.size(), r.messages_inter + r.messages_intra);
-  for (const MessageTrace& t : r.trace) {
-    EXPECT_LE(t.post_us, t.start_us);
-    EXPECT_LT(t.start_us, t.arrival_us);
-    EXPECT_GE(t.bytes, 1u);
-    EXPECT_NE(t.src, t.dst);
+  std::size_t sends = 0;
+  for (int rank = 0; rank < 8; ++rank) {
+    for (const obs::SpanEvent& s : rec.spans(rank)) {
+      if (!obs::is_send(s.kind)) continue;
+      ++sends;
+      EXPECT_LE(s.post_us, s.start_us);
+      EXPECT_LT(s.start_us, s.arrival_us);
+      EXPECT_GE(s.bytes, 1u);
+      EXPECT_NE(s.peer, s.rank);
+      EXPECT_NE(s.link, obs::LinkClass::kUnknown);
+    }
   }
+  EXPECT_EQ(sends, r.messages_inter + r.messages_intra);
 }
 
 TEST(Trace, OffByDefault) {
+  // No sink configured: the run must still produce aggregate counts, and a
+  // recorder that was never attached stays empty.
   const MachineConfig m = grouped_machine();
+  obs::TraceRecorder rec(8);
   const SimResult r = simulate(transfer(8, 0, 1, 64), m);
-  EXPECT_TRUE(r.trace.empty());
+  EXPECT_EQ(r.messages_intra + r.messages_inter, 1u);
+  EXPECT_EQ(rec.total_spans(), 0u);
+  EXPECT_EQ(rec.total_instants(), 0u);
 }
 
 TEST(Dragonfly, MildFactorBarelyChangesCollectives) {

@@ -1,0 +1,146 @@
+// Critical-path analysis: the component attribution must partition the
+// simulated makespan exactly (the acceptance bar for the obs subsystem).
+#include "obs/critical_path.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/registry.hpp"
+#include "netsim/simulator.hpp"
+#include "obs/recorder.hpp"
+
+namespace gencoll::obs {
+namespace {
+
+struct Analyzed {
+  netsim::SimResult result;
+  CriticalPath cp;
+};
+
+Analyzed analyze(core::Algorithm alg, const core::CollParams& params,
+                 const netsim::MachineConfig& machine,
+                 const netsim::SimOptions& base = {}) {
+  const auto sched = core::build_schedule(alg, params);
+  TraceRecorder rec(params.p);
+  netsim::SimOptions opts = base;
+  opts.sink = &rec;
+  Analyzed a;
+  a.result = netsim::simulate(sched, machine, opts);
+  a.cp = analyze_critical_path(rec);
+  return a;
+}
+
+void expect_exact_partition(const Analyzed& a) {
+  // total == simulator makespan, bit for bit.
+  EXPECT_DOUBLE_EQ(a.cp.total_us, a.result.time_us);
+  // alpha + beta + gamma + overhead + queue telescopes to the makespan; the
+  // only slack allowed is summation-order rounding.
+  const double tol = 1e-9 * std::max(1.0, a.cp.total_us);
+  EXPECT_NEAR(a.cp.unattributed_us(), 0.0, tol)
+      << "alpha=" << a.cp.alpha_us << " beta=" << a.cp.beta_us
+      << " gamma=" << a.cp.gamma_us << " overhead=" << a.cp.overhead_us
+      << " queue=" << a.cp.queue_us << " total=" << a.cp.total_us;
+  EXPECT_GE(a.cp.alpha_us, 0.0);
+  EXPECT_GE(a.cp.beta_us, 0.0);
+  EXPECT_GE(a.cp.gamma_us, 0.0);
+  EXPECT_GE(a.cp.overhead_us, 0.0);
+  EXPECT_GE(a.cp.queue_us, 0.0);
+  EXPECT_GE(a.cp.steps, a.cp.hops);
+  EXPECT_GE(a.cp.end_rank, 0);
+}
+
+TEST(CriticalPath, KnomialReduceOnFrontierPartitionsMakespan) {
+  core::CollParams params;
+  params.op = core::CollOp::kReduce;
+  params.p = 32;
+  params.count = 4096;
+  params.elem_size = 1;
+  params.k = 4;
+  const Analyzed a = analyze(core::Algorithm::kKnomial, params,
+                             netsim::frontier_like(4, 8));
+  expect_exact_partition(a);
+  // A reduce ends at the root after crossing at least one message, and its
+  // path must carry reduction compute.
+  EXPECT_GE(a.cp.hops, 1u);
+  EXPECT_GT(a.cp.gamma_us, 0.0);
+  EXPECT_GT(a.cp.alpha_us, 0.0);
+}
+
+TEST(CriticalPath, RecursiveMultiplyingAllreduceOnFrontierPartitionsMakespan) {
+  core::CollParams params;
+  params.op = core::CollOp::kAllreduce;
+  params.p = 16;
+  params.count = 8192;
+  params.elem_size = 1;
+  params.k = 4;
+  const Analyzed a = analyze(core::Algorithm::kRecursiveMultiplying, params,
+                             netsim::frontier_like(2, 8));
+  expect_exact_partition(a);
+  EXPECT_GE(a.cp.hops, 1u);
+  EXPECT_GT(a.cp.gamma_us, 0.0);
+}
+
+TEST(CriticalPath, ExactUnderJitterAndQueueing) {
+  // Jitter perturbs every link time and a fan-out root on single-port nodes
+  // queues heavily; the partition must stay exact through both.
+  core::CollParams params;
+  params.op = core::CollOp::kBcast;
+  params.p = 8;
+  params.count = 1 << 16;
+  params.elem_size = 1;
+  params.k = 8;
+  netsim::SimOptions base;
+  base.jitter = 0.1;
+  base.jitter_seed = 7;
+  const Analyzed a = analyze(core::Algorithm::kKnomial, params,
+                             netsim::generic_cluster(8, 1), base);
+  expect_exact_partition(a);
+  EXPECT_GT(a.cp.queue_us, 0.0);
+}
+
+TEST(CriticalPath, LatencyBoundBarrierIsAlphaDominated) {
+  core::CollParams params;
+  params.op = core::CollOp::kBarrier;
+  params.p = 16;
+  params.count = 0;
+  params.elem_size = 1;
+  params.k = 2;
+  const Analyzed a = analyze(core::Algorithm::kDissemination, params,
+                             netsim::generic_cluster(16, 1));
+  expect_exact_partition(a);
+  // One-byte token rounds: no reduction, negligible serialization — the path
+  // is wire latency plus per-message overhead.
+  EXPECT_DOUBLE_EQ(a.cp.gamma_us, 0.0);
+  EXPECT_GT(a.cp.alpha_us, 0.0);
+  EXPECT_LT(a.cp.beta_us, a.cp.alpha_us);
+}
+
+TEST(CriticalPath, EmptyRecorderYieldsZeroPath) {
+  const TraceRecorder rec(4);
+  const CriticalPath cp = analyze_critical_path(rec);
+  EXPECT_DOUBLE_EQ(cp.total_us, 0.0);
+  EXPECT_EQ(cp.steps, 0u);
+  EXPECT_EQ(cp.end_rank, -1);
+}
+
+TEST(CriticalPath, TableReportsComponents) {
+  core::CollParams params;
+  params.op = core::CollOp::kAllreduce;
+  params.p = 8;
+  params.count = 1024;
+  params.elem_size = 1;
+  params.k = 2;
+  const Analyzed a = analyze(core::Algorithm::kRecursiveDoubling, params,
+                             netsim::generic_cluster(4, 2));
+  std::ostringstream os;
+  critical_path_table(a.cp).print(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("queueing"), std::string::npos);
+  EXPECT_NE(text.find("makespan"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gencoll::obs

@@ -1,0 +1,238 @@
+// Chrome trace-event JSON and CSV exporter tests.
+//
+// The JSON checks parse the full output with a minimal strict JSON
+// recognizer — Perfetto/chrome://tracing reject malformed files silently, so
+// "it's really JSON" is the load-bearing property — then assert the
+// trace-event structure: one process per run, one tid per rank, one "X"
+// event per span, one "i" event per instant.
+#include "obs/exporters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "core/registry.hpp"
+#include "netsim/simulator.hpp"
+#include "obs/recorder.hpp"
+
+namespace gencoll::obs {
+namespace {
+
+// --- minimal strict JSON recognizer -------------------------------------
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string text) : s_(std::move(text)) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() || !std::isxdigit(static_cast<unsigned char>(s_[pos_])))
+              return false;
+          }
+        } else if (std::string("\"\\/bfnrt").find(e) == std::string::npos) {
+          return false;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // raw control character — invalid JSON
+      }
+      ++pos_;
+    }
+    return false;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(const std::string& word) {
+    if (s_.compare(pos_, word.size(), word) != 0) return false;
+    pos_ += word.size();
+    return true;
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+  [[nodiscard]] char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+  std::string s_;
+  std::size_t pos_ = 0;
+};
+
+std::size_t count_occurrences(const std::string& text, const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t at = text.find(needle); at != std::string::npos;
+       at = text.find(needle, at + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TraceRecorder record_simulated(int p, netsim::SimResult* result = nullptr) {
+  core::CollParams params;
+  params.op = core::CollOp::kBcast;
+  params.p = p;
+  params.count = 256;
+  params.elem_size = 1;
+  params.k = 4;
+  const auto sched = core::build_schedule(core::Algorithm::kKnomial, params);
+  TraceRecorder rec(p);
+  netsim::SimOptions opts;
+  opts.sink = &rec;
+  const netsim::SimResult r =
+      netsim::simulate(sched, netsim::generic_cluster(p, 1), opts);
+  if (result != nullptr) *result = r;
+  return rec;
+}
+
+TEST(ChromeTrace, ProducesValidJsonWithOneTidPerRank) {
+  const int p = 8;
+  const TraceRecorder rec = record_simulated(p);
+  ASSERT_GT(rec.total_spans(), 0u);
+
+  std::ostringstream out;
+  write_chrome_trace(out, "knomial bcast", rec);
+  const std::string json = out.str();
+
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.valid()) << json.substr(0, 400);
+
+  // One thread_name metadata event per rank, with distinct tids 0..p-1.
+  EXPECT_EQ(count_occurrences(json, "\"process_name\""), 1u);
+  EXPECT_EQ(count_occurrences(json, "\"thread_name\""), static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    EXPECT_GE(count_occurrences(json, "\"tid\":" + std::to_string(r)), 1u)
+        << "rank " << r;
+  }
+  // One complete event per span, one instant event per instant.
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"X\""), rec.total_spans());
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"i\""), rec.total_instants());
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+}
+
+TEST(ChromeTrace, MultiRunFileSeparatesPids) {
+  const TraceRecorder a = record_simulated(4);
+  const TraceRecorder b = record_simulated(4);
+  std::ostringstream out;
+  const TraceRun runs[] = {{"run one", &a}, {"run two", &b}};
+  write_chrome_trace(out, runs);
+  const std::string json = out.str();
+
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.valid()) << json.substr(0, 400);
+  EXPECT_EQ(count_occurrences(json, "\"process_name\""), 2u);
+  EXPECT_GE(count_occurrences(json, "\"pid\":1,"), 1u);
+  EXPECT_GE(count_occurrences(json, "\"pid\":2,"), 1u);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"X\""),
+            a.total_spans() + b.total_spans());
+}
+
+TEST(ChromeTrace, EscapesRunNames) {
+  const TraceRecorder rec = record_simulated(2);
+  std::ostringstream out;
+  write_chrome_trace(out, "quote \" backslash \\ newline \n tab \t", rec);
+  const std::string json = out.str();
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.valid()) << json.substr(0, 400);
+}
+
+TEST(ChromeTrace, EmptyRecorderStillValid) {
+  const TraceRecorder rec(4);
+  std::ostringstream out;
+  write_chrome_trace(out, "empty", rec);
+  JsonChecker checker(out.str());
+  EXPECT_TRUE(checker.valid());
+}
+
+TEST(Csv, OneRowPerSpanPlusHeader) {
+  const TraceRecorder rec = record_simulated(4);
+  std::ostringstream out;
+  write_trace_csv(out, rec);
+  const std::string csv = out.str();
+
+  std::istringstream lines(csv);
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line.substr(0, 15), "rank,step,kind,");
+  std::size_t rows = 0;
+  while (std::getline(lines, line)) {
+    if (!line.empty()) ++rows;
+  }
+  EXPECT_EQ(rows, rec.total_spans());
+}
+
+}  // namespace
+}  // namespace gencoll::obs

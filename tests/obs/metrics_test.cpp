@@ -1,0 +1,145 @@
+// CollectiveMetrics validated against the closed-form message/byte counts
+// the paper's cost models (Eqs. (1)-(14)) are built on.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/registry.hpp"
+#include "model/cost_model.hpp"
+#include "netsim/simulator.hpp"
+#include "obs/recorder.hpp"
+
+namespace gencoll::obs {
+namespace {
+
+struct Traced {
+  netsim::SimResult result;
+  CollectiveMetrics metrics;
+};
+
+Traced run(core::Algorithm alg, const core::CollParams& params,
+           const netsim::MachineConfig& machine) {
+  const auto sched = core::build_schedule(alg, params);
+  TraceRecorder rec(params.p);
+  netsim::SimOptions opts;
+  opts.sink = &rec;
+  Traced t;
+  t.result = netsim::simulate(sched, machine, opts);
+  t.metrics = collect_metrics(rec);
+  return t;
+}
+
+// K-nomial bcast moves the full payload down p-1 tree edges (the Eq. (3)
+// model charges (k-1)ceil(log_k p) serialized injections at the root): p-1
+// messages of n bytes each, root depth (k-1)*log_k(p) sends.
+TEST(Metrics, KnomialBcastMatchesClosedForm) {
+  const int p = 16;
+  const std::size_t n = 1024;
+  core::CollParams params;
+  params.op = core::CollOp::kBcast;
+  params.p = p;
+  params.count = n;
+  params.elem_size = 1;
+  params.k = 4;
+  const Traced t =
+      run(core::Algorithm::kKnomial, params, netsim::generic_cluster(p, 1));
+
+  EXPECT_EQ(t.metrics.messages, static_cast<std::size_t>(p - 1));
+  EXPECT_EQ(t.metrics.bytes, static_cast<std::size_t>(p - 1) * n);
+  // Root injection serialization: (k-1) * ceil(log_k p) = 3 * 2 sends.
+  EXPECT_EQ(t.metrics.rounds, 6u);
+  // Aggregates agree with the simulator's own counters.
+  EXPECT_EQ(t.metrics.messages,
+            t.result.messages_inter + t.result.messages_intra);
+  EXPECT_EQ(t.metrics.bytes, t.result.bytes_inter + t.result.bytes_intra);
+  EXPECT_EQ(t.metrics.bytes_inter, t.result.bytes_inter);
+  EXPECT_EQ(t.metrics.bytes_intra, t.result.bytes_intra);
+  EXPECT_EQ(t.metrics.per_rank.size(), static_cast<std::size_t>(p));
+  EXPECT_DOUBLE_EQ(t.metrics.makespan_us, t.result.time_us);
+}
+
+// K-ring allgather with groups of k ranks pinned one-per-node-block
+// (ppn = k, so groups coincide with nodes): every rank forwards its window
+// p-1 times -> p(p-1) messages moving n(p-1) bytes in total; of those, the
+// g = p/k group-boundary hops per round carry the internode traffic, which
+// Eq. (13) prices at kring_intergroup_bytes(n, p, k) = 2n(p-k)/p per node.
+TEST(Metrics, KringAllgatherMatchesEq13) {
+  const int g = 4;       // groups == nodes
+  const int k = 4;       // ranks per group == ppn
+  const int p = g * k;   // 16
+  const std::size_t n = 1600;  // divisible by p
+  core::CollParams params;
+  params.op = core::CollOp::kAllgather;
+  params.p = p;
+  params.count = n;
+  params.elem_size = 1;
+  params.k = k;
+  netsim::MachineConfig machine = netsim::generic_cluster(g, k);
+  const Traced t = run(core::Algorithm::kKring, params, machine);
+
+  EXPECT_EQ(t.metrics.messages, static_cast<std::size_t>(p) * (p - 1));
+  EXPECT_EQ(t.metrics.bytes, n * static_cast<std::size_t>(p - 1));
+  // Internode volume: g-1 hand-off phases, each moving one full stream of k
+  // blocks (n*k/p = n/g bytes) across each of the g group boundaries ->
+  // p(g-1) messages carrying n(g-1) unique bytes.
+  EXPECT_EQ(t.metrics.messages_inter,
+            static_cast<std::size_t>(p) * static_cast<std::size_t>(g - 1));
+  EXPECT_EQ(t.metrics.bytes_inter, n * static_cast<std::size_t>(g - 1));
+  EXPECT_EQ(t.metrics.bytes_intra, n * static_cast<std::size_t>(p - g));
+
+  // Eq. (13) cross-check: per-node inter-group volume 2n(p-k)/p; each byte
+  // leaves one node and enters another, so the unique-byte total is
+  // nodes * Eq13 / 2.
+  const double eq13_total =
+      static_cast<double>(g) *
+      model::kring_intergroup_bytes(static_cast<double>(n), p, k) / 2.0;
+  EXPECT_DOUBLE_EQ(static_cast<double>(t.metrics.bytes_inter), eq13_total);
+
+  // Ring depth: p-1 serialized same-direction network ops per rank.
+  EXPECT_EQ(t.metrics.rounds, static_cast<std::size_t>(p - 1));
+  EXPECT_EQ(t.metrics.messages,
+            t.result.messages_inter + t.result.messages_intra);
+}
+
+TEST(Metrics, QueueTotalsMatchSimulatorPortWait) {
+  // Oversubscribed injection (single-port nodes, fan-out root) must surface
+  // as queueing in both the simulator aggregate and the metrics fold.
+  core::CollParams params;
+  params.op = core::CollOp::kBcast;
+  params.p = 8;
+  params.count = 1 << 16;
+  params.elem_size = 1;
+  params.k = 8;  // root sends to all 7 children back to back
+  const auto sched = core::build_schedule(core::Algorithm::kKnomial, params);
+  TraceRecorder rec(8);
+  netsim::SimOptions opts;
+  opts.sink = &rec;
+  const netsim::SimResult r =
+      netsim::simulate(sched, netsim::generic_cluster(8, 1), opts);
+  const CollectiveMetrics m = collect_metrics(rec);
+  EXPECT_GT(r.port_wait_us, 0.0);
+  EXPECT_NEAR(m.queue_us, r.port_wait_us, 1e-9);
+  EXPECT_GE(m.max_port_queue_depth, 2u);
+}
+
+TEST(Metrics, TablesRenderAllCounters) {
+  core::CollParams params;
+  params.op = core::CollOp::kAllreduce;
+  params.p = 8;
+  params.count = 256;
+  params.elem_size = 1;
+  params.k = 2;
+  const Traced t = run(core::Algorithm::kRecursiveDoubling, params,
+                       netsim::generic_cluster(4, 2));
+  std::ostringstream os;
+  metrics_summary_table(t.metrics).print(os);
+  metrics_rank_table(t.metrics).print(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("messages"), std::string::npos);
+  EXPECT_NE(text.find("makespan"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gencoll::obs

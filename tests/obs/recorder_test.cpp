@@ -1,0 +1,114 @@
+// TraceRecorder lane semantics + cross-executor event parity.
+#include "obs/recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/executor.hpp"
+#include "core/reference.hpp"
+#include "core/registry.hpp"
+#include "netsim/simulator.hpp"
+
+namespace gencoll::obs {
+namespace {
+
+SpanEvent span_for(int rank, double begin, double end) {
+  SpanEvent ev;
+  ev.kind = SpanKind::kSend;
+  ev.rank = rank;
+  ev.begin_us = begin;
+  ev.end_us = end;
+  return ev;
+}
+
+TEST(Recorder, LanesArePerRank) {
+  TraceRecorder rec(3);
+  rec.span(span_for(0, 1.0, 2.0));
+  rec.span(span_for(2, 3.0, 4.0));
+  rec.span(span_for(2, 5.0, 6.0));
+  InstantEvent inst;
+  inst.kind = InstantKind::kMessagePost;
+  inst.rank = 1;
+  inst.time_us = 2.5;
+  rec.instant(inst);
+
+  EXPECT_EQ(rec.ranks(), 3);
+  EXPECT_EQ(rec.spans(0).size(), 1u);
+  EXPECT_EQ(rec.spans(1).size(), 0u);
+  EXPECT_EQ(rec.spans(2).size(), 2u);
+  EXPECT_EQ(rec.instants(1).size(), 1u);
+  EXPECT_EQ(rec.total_spans(), 3u);
+  EXPECT_EQ(rec.total_instants(), 1u);
+  EXPECT_DOUBLE_EQ(rec.min_time_us(), 1.0);
+  EXPECT_DOUBLE_EQ(rec.max_time_us(), 6.0);
+}
+
+TEST(Recorder, OutOfRangeRankThrows) {
+  TraceRecorder rec(2);
+  EXPECT_THROW(rec.span(span_for(2, 0.0, 1.0)), std::out_of_range);
+  EXPECT_THROW(rec.span(span_for(-1, 0.0, 1.0)), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(rec.spans(2)), std::out_of_range);
+  InstantEvent inst;
+  inst.rank = 5;
+  EXPECT_THROW(rec.instant(inst), std::out_of_range);
+}
+
+TEST(Recorder, ResetDropsEventsAndResizes) {
+  TraceRecorder rec(2);
+  rec.span(span_for(1, 0.0, 1.0));
+  rec.reset(4);
+  EXPECT_EQ(rec.ranks(), 4);
+  EXPECT_EQ(rec.total_spans(), 0u);
+  EXPECT_DOUBLE_EQ(rec.min_time_us(), 0.0);
+  rec.span(span_for(3, 1.0, 2.0));
+  EXPECT_EQ(rec.spans(3).size(), 1u);
+}
+
+TEST(Recorder, EmptyRecorderTimesAreZero) {
+  const TraceRecorder rec(8);
+  EXPECT_DOUBLE_EQ(rec.min_time_us(), 0.0);
+  EXPECT_DOUBLE_EQ(rec.max_time_us(), 0.0);
+}
+
+// The shared-vocabulary guarantee: both executors walk the same schedule and
+// must emit the same step spans (kind/peer/tag/bytes per rank, in order) —
+// only the timestamps and cost components differ.
+TEST(Recorder, SimulatorAndThreadedExecutorEmitIdenticalStepStreams) {
+  core::CollParams params;
+  params.op = core::CollOp::kAllreduce;
+  params.p = 8;
+  params.count = 64;
+  params.elem_size = 1;
+  params.k = 2;
+  const auto sched =
+      core::build_schedule(core::Algorithm::kRecursiveMultiplying, params);
+
+  TraceRecorder sim_rec(8);
+  netsim::SimOptions opts;
+  opts.sink = &sim_rec;
+  (void)netsim::simulate(sched, netsim::generic_cluster(4, 2), opts);
+
+  TraceRecorder thr_rec(8);
+  const auto inputs = core::make_inputs(params, runtime::DataType::kByte, 1);
+  (void)core::execute_threaded(sched, inputs, runtime::DataType::kByte,
+                               runtime::ReduceOp::kSum, &thr_rec);
+
+  ASSERT_EQ(sim_rec.total_spans(), thr_rec.total_spans());
+  ASSERT_EQ(sim_rec.total_instants(), thr_rec.total_instants());
+  for (int r = 0; r < 8; ++r) {
+    const auto& sim = sim_rec.spans(r);
+    const auto& thr = thr_rec.spans(r);
+    ASSERT_EQ(sim.size(), thr.size()) << "rank " << r;
+    for (std::size_t i = 0; i < sim.size(); ++i) {
+      EXPECT_EQ(sim[i].kind, thr[i].kind) << "rank " << r << " step " << i;
+      EXPECT_EQ(sim[i].peer, thr[i].peer);
+      EXPECT_EQ(sim[i].tag, thr[i].tag);
+      EXPECT_EQ(sim[i].bytes, thr[i].bytes);
+      EXPECT_EQ(sim[i].step, thr[i].step);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gencoll::obs

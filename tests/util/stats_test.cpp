@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -58,6 +59,27 @@ TEST(Stats, PercentileClampsQ) {
 TEST(Stats, PercentileUnsortedInput) {
   const std::vector<double> v{5.0, 1.0, 3.0};
   EXPECT_DOUBLE_EQ(percentile(v, 0.5), 3.0);
+}
+
+TEST(Stats, PercentileEdgesAreExactMinMax) {
+  // p0/p100 must be bitwise-identical to min/max — no interpolation residue
+  // even when q*(n-1) would not round to an exact integer.
+  std::vector<double> v;
+  for (int i = 0; i < 7; ++i) v.push_back(0.1 * static_cast<double>(i * i) + 0.3);
+  const double lo = *std::min_element(v.begin(), v.end());
+  const double hi = *std::max_element(v.begin(), v.end());
+  EXPECT_EQ(percentile(v, 0.0), lo);
+  EXPECT_EQ(percentile(v, 1.0), hi);
+  // q carrying FP rounding noise around the edges still snaps to min/max.
+  EXPECT_EQ(percentile(v, std::nextafter(0.0, -1.0)), lo);
+  EXPECT_EQ(percentile(v, std::nextafter(1.0, 2.0)), hi);
+}
+
+TEST(Stats, PercentileSingleSampleExactEverywhere) {
+  const std::vector<double> v{0.1 + 0.2};  // not exactly 0.3
+  for (double q : {0.0, 0.25, 0.5, 0.75, 0.9999, 1.0}) {
+    EXPECT_EQ(percentile(v, q), v[0]) << "q=" << q;
+  }
 }
 
 TEST(Stats, AccumulatorMatchesSummary) {
