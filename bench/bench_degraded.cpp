@@ -1,0 +1,282 @@
+// Degraded-fabric sweep: how the optimal generalized radix shifts when the
+// machine gets worse (src/fault/ + netsim degradation).
+//
+// For each (collective, message size, degradation level) the sweep finds the
+// best generalized (algorithm, k) on the simulated machine with the fabric
+// damaged via netsim::Degradation::uniform(level) — slower/latent links plus
+// jitter — optionally with NIC ports downed. The headline result: the radix
+// that wins on the healthy fabric is not the radix that wins on the degraded
+// one, so static tuning tables go stale exactly when the machine is sick.
+//
+// The healthy row also measures the reliable-transport overhead on the
+// *threaded* executor (reliability on vs off, zero faults): the acceptance
+// budget is < 2x wall time, recorded in the JSON output.
+//
+// Seeded fault repro (--fault-seed=N or --fault-plan=SPEC): runs one
+// threaded allreduce under the plan with reliability enabled, validates the
+// result against core/reference, and prints the obs fault counters. The same
+// seed always reproduces the same fault sequence.
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/reference.hpp"
+#include "fault/plan.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "runtime/world.hpp"
+
+namespace {
+
+using namespace gencoll;
+using core::Algorithm;
+using core::CollOp;
+
+constexpr Algorithm kGeneralized[] = {Algorithm::kKnomial,
+                                      Algorithm::kRecursiveMultiplying,
+                                      Algorithm::kKring};
+
+struct CellResult {
+  Algorithm alg = Algorithm::kKnomial;
+  int k = 2;
+  double us = 0.0;
+};
+
+/// Best generalized (alg, k) for (op, nbytes) on the context machine.
+CellResult best_generalized(CollOp op, std::uint64_t nbytes,
+                            const bench::BenchContext& ctx) {
+  CellResult best;
+  best.us = std::numeric_limits<double>::infinity();
+  const int p = ctx.machine.total_ranks();
+  for (Algorithm alg : kGeneralized) {
+    if (!core::supports(op, alg)) continue;
+    const bench::BestRadix br =
+        bench::best_radix(op, alg, core::candidate_radixes(op, alg, p), nbytes, ctx);
+    if (br.latency_us < best.us) {
+      best = CellResult{alg, br.k, br.latency_us};
+    }
+  }
+  return best;
+}
+
+double median_threaded_us(const core::Schedule& sched,
+                          const std::vector<std::vector<std::byte>>& inputs,
+                          const core::ThreadedExecOptions& options, int reps) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    const auto begin = std::chrono::steady_clock::now();
+    static_cast<void>(core::execute_threaded(sched, inputs, runtime::DataType::kDouble,
+                                             runtime::ReduceOp::kSum, options));
+    const auto end = std::chrono::steady_clock::now();
+    samples.push_back(std::chrono::duration<double, std::micro>(end - begin).count());
+  }
+  return util::percentile(samples, 0.5);
+}
+
+/// Threaded wall time with reliability on vs off (zero faults). The paper
+/// repo's acceptance budget is a ratio < 2x.
+struct OverheadResult {
+  double off_us = 0.0;
+  double on_us = 0.0;
+  [[nodiscard]] double ratio() const { return off_us > 0.0 ? on_us / off_us : 0.0; }
+};
+
+OverheadResult measure_reliability_overhead() {
+  core::CollParams params;
+  params.op = CollOp::kAllreduce;
+  params.p = 8;
+  params.count = 8192;  // 64 KiB of doubles
+  params.elem_size = 8;
+  params.k = 2;
+  const core::Schedule sched =
+      core::build_schedule(Algorithm::kRecursiveMultiplying, params);
+  const auto inputs = core::make_inputs(params, runtime::DataType::kDouble, 42);
+
+  constexpr int kReps = 7;
+  core::ThreadedExecOptions off;
+  core::ThreadedExecOptions on;
+  on.world.reliability.enabled = true;
+  OverheadResult result;
+  // Warm-up interleaved with measurement order swapped to be fair to both.
+  static_cast<void>(median_threaded_us(sched, inputs, off, 2));
+  static_cast<void>(median_threaded_us(sched, inputs, on, 2));
+  result.on_us = median_threaded_us(sched, inputs, on, kReps);
+  result.off_us = median_threaded_us(sched, inputs, off, kReps);
+  return result;
+}
+
+/// Seeded threaded repro: run allreduce under `plan` with reliability on,
+/// validate against reference, print the obs fault counters. Returns the
+/// process exit code.
+int run_fault_repro(const fault::FaultPlan& plan) {
+  std::cout << "fault plan: " << plan.describe() << "\n";
+  core::CollParams params;
+  params.op = CollOp::kAllreduce;
+  params.p = 8;
+  params.count = 4096;
+  params.elem_size = 8;
+  params.k = 2;
+  const core::Schedule sched =
+      core::build_schedule(Algorithm::kRecursiveMultiplying, params);
+  const auto inputs = core::make_inputs(params, runtime::DataType::kDouble, 7);
+  const auto want =
+      core::reference_outputs(params, inputs, runtime::DataType::kDouble,
+                              runtime::ReduceOp::kSum);
+
+  obs::TraceRecorder recorder(params.p);
+  core::ThreadedExecOptions options;
+  options.sink = &recorder;
+  options.world.fault_plan = &plan;
+  options.world.reliability.enabled = true;
+  options.world.recv_timeout = std::chrono::milliseconds(5000);
+
+  bool validated = false;
+  try {
+    const auto got = core::execute_threaded(sched, inputs, runtime::DataType::kDouble,
+                                            runtime::ReduceOp::kSum, options);
+    validated = true;
+    for (std::size_t r = 0; r < got.size(); ++r) {
+      const auto* g = reinterpret_cast<const double*>(got[r].data());
+      const auto* w = reinterpret_cast<const double*>(want[r].data());
+      for (std::size_t i = 0; i < params.count; ++i) {
+        const double tol = 1e-9 * std::max(1.0, std::abs(w[i]));
+        if (std::abs(g[i] - w[i]) > tol) {
+          std::cerr << "MISMATCH at rank " << r << " elem " << i
+                    << " — wrong answer delivered\n";
+          return 1;
+        }
+      }
+    }
+    std::cout << "outcome: completed, all " << params.p
+              << " rank outputs match reference\n";
+  } catch (const FaultError& e) {
+    std::cout << "outcome: typed failure — " << e.what() << "\n";
+  }
+  const obs::CollectiveMetrics m = obs::collect_metrics(recorder);
+  std::cout << "retransmits=" << m.retransmits
+            << " corruptions_detected=" << m.corruptions_detected
+            << " aborts=" << m.aborts << " validated=" << (validated ? 1 : 0)
+            << "\n";
+  return 0;
+}
+
+void write_json(const std::string& path, const bench::BenchContext& ctx,
+                const std::vector<std::string>& rows, const OverheadResult& overhead) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "json-out: cannot open '" << path << "'\n";
+    return;
+  }
+  out << "{\n  \"machine\": \"" << ctx.machine.name << "\",\n"
+      << "  \"nodes\": " << ctx.machine.nodes << ",\n"
+      << "  \"ppn\": " << ctx.machine.ppn << ",\n"
+      << "  \"ports_per_node\": " << ctx.machine.ports_per_node << ",\n"
+      << "  \"healthy\": {\n"
+      << "    \"reliable_off_us\": " << overhead.off_us << ",\n"
+      << "    \"reliable_on_us\": " << overhead.on_us << ",\n"
+      << "    \"reliable_overhead_ratio\": " << overhead.ratio() << "\n"
+      << "  },\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    out << "    " << rows[i] << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cerr << "# json: wrote " << path << " (" << rows.size() << " rows)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli;
+  cli.add_flag("json-out", "write machine-readable results to FILE", "");
+  cli.add_flag("down-ports", "NIC ports failed per node at every non-zero level", "0");
+  cli.add_flag("fault-seed",
+               "run a seeded threaded fault repro (chaos plan) instead of the sweep",
+               "");
+  cli.add_flag("fault-plan",
+               "run a threaded fault repro from a plan spec (see FaultPlan::parse)",
+               "");
+  bench::BenchContext ctx;
+  if (!bench::parse_common_cli(argc, argv, cli, ctx, "frontier", 8, 4)) return 1;
+
+  if (!cli.get("fault-plan").empty()) {
+    std::string error;
+    const auto plan = fault::FaultPlan::parse(cli.get("fault-plan"), &error);
+    if (!plan) {
+      std::cerr << "bad --fault-plan: " << error << "\n";
+      return 1;
+    }
+    return run_fault_repro(*plan);
+  }
+  if (!cli.get("fault-seed").empty()) {
+    const auto seed =
+        static_cast<std::uint64_t>(cli.get_int("fault-seed").value_or(1));
+    return run_fault_repro(fault::FaultPlan::chaos(seed, /*p=*/8));
+  }
+
+  const int down_ports = static_cast<int>(cli.get_int("down-ports").value_or(0));
+  const std::vector<double> levels{0.0, 0.25, 0.5, 1.0};
+  const std::vector<std::pair<CollOp, const char*>> ops{
+      {CollOp::kReduce, "reduce"},
+      {CollOp::kBcast, "bcast"},
+      {CollOp::kAllgather, "allgather"},
+      {CollOp::kAllreduce, "allreduce"}};
+  const std::vector<std::uint64_t> sizes{1u << 10, 64u << 10, 1u << 20};
+
+  const OverheadResult overhead = measure_reliability_overhead();
+  std::cout << "threaded reliability overhead (8 ranks, 64 KiB allreduce, no "
+               "faults): off="
+            << util::fmt(overhead.off_us) << "us on=" << util::fmt(overhead.on_us)
+            << "us ratio=" << util::fmt(overhead.ratio()) << "\n";
+
+  util::Table table({"collective", "bytes", "level", "best_alg", "best_k",
+                     "best_us", "healthy_k", "vendor_us"});
+  std::vector<std::string> json_rows;
+  const netsim::MachineConfig healthy_machine = ctx.machine;
+
+  for (const auto& [op, op_name] : ops) {
+    for (std::uint64_t nbytes : sizes) {
+      // Healthy best-k first: the reference point each degraded level is
+      // compared against.
+      bench::BenchContext healthy_ctx = ctx;
+      healthy_ctx.machine = healthy_machine;
+      const CellResult healthy = best_generalized(op, nbytes, healthy_ctx);
+      for (double level : levels) {
+        bench::BenchContext cell_ctx = ctx;
+        cell_ctx.machine = healthy_machine;
+        cell_ctx.machine.degradation = netsim::Degradation::uniform(level);
+        if (level > 0.0 && down_ports > 0) {
+          cell_ctx.machine.degradation.down_ports =
+              std::min(down_ports, cell_ctx.machine.ports_per_node - 1);
+        }
+        const CellResult best =
+            level == 0.0 ? healthy : best_generalized(op, nbytes, cell_ctx);
+        const double vendor_us = bench::run_vendor(op, nbytes, cell_ctx);
+        table.add_row({op_name, std::to_string(nbytes), util::fmt(level),
+                       core::algorithm_name(best.alg), std::to_string(best.k),
+                       util::fmt(best.us), std::to_string(healthy.k),
+                       util::fmt(vendor_us)});
+        std::string j = "{\"collective\": \"";
+        j += op_name;
+        j += "\", \"bytes\": " + std::to_string(nbytes);
+        j += ", \"level\": " + std::to_string(level);
+        j += ", \"best_alg\": \"";
+        j += core::algorithm_name(best.alg);
+        j += "\", \"best_k\": " + std::to_string(best.k);
+        j += ", \"best_us\": " + std::to_string(best.us);
+        j += ", \"healthy_k\": " + std::to_string(healthy.k);
+        j += ", \"vendor_us\": " + std::to_string(vendor_us) + "}";
+        json_rows.push_back(std::move(j));
+      }
+    }
+  }
+
+  bench::emit(table, ctx, "Degraded fabric: best generalized (algorithm, k) by "
+                          "damage level");
+  if (!cli.get("json-out").empty()) {
+    write_json(cli.get("json-out"), ctx, json_rows, overhead);
+  }
+  return 0;
+}

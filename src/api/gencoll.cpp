@@ -200,10 +200,19 @@ void Collectives::barrier_collective(const AlgSpec& spec) {
 
 void run_ranks(int ranks, const std::function<void(Collectives&)>& body,
                const tuning::SelectionConfig& config) {
-  runtime::World::run(ranks, [&](runtime::Communicator& comm) {
-    Collectives coll(comm, config);
-    body(coll);
-  });
+  run_ranks(ranks, body, config, runtime::WorldOptions{});
+}
+
+void run_ranks(int ranks, const std::function<void(Collectives&)>& body,
+               const tuning::SelectionConfig& config,
+               const runtime::WorldOptions& world_options) {
+  runtime::World::run(
+      ranks,
+      [&](runtime::Communicator& comm) {
+        Collectives coll(comm, config);
+        body(coll);
+      },
+      world_options);
 }
 
 }  // namespace gencoll

@@ -27,6 +27,7 @@
 #include "core/coll_params.hpp"
 #include "core/executor.hpp"
 #include "core/registry.hpp"
+#include "fault/error.hpp"
 #include "obs/trace.hpp"
 #include "runtime/comm.hpp"
 #include "runtime/datatype.hpp"
@@ -149,6 +150,14 @@ class Collectives {
 /// The same `config` is applied on every rank. Exceptions propagate.
 void run_ranks(int ranks, const std::function<void(Collectives&)>& body,
                const tuning::SelectionConfig& config = {});
+
+/// As above with explicit World options: fault injection (WorldOptions::
+/// fault_plan), reliable transport, and the receive deadline all apply to
+/// the spawned World. Failures under injection surface as gencoll::FaultError
+/// (re-exported from fault/error.hpp) from the first rank that died.
+void run_ranks(int ranks, const std::function<void(Collectives&)>& body,
+               const tuning::SelectionConfig& config,
+               const runtime::WorldOptions& world_options);
 
 /// View any trivially-copyable vector as mutable/const bytes.
 template <typename T>

@@ -65,6 +65,10 @@ void execute_rank_program(const Schedule& sched, runtime::Communicator& comm,
     throw std::invalid_argument("execute_rank_program: elem_size != datatype size");
   }
   const int rank = comm.rank();
+  // Keep the communicator's sink in lockstep with the executor's so
+  // reliability instants (retransmit / corrupt-detected / abort) land in the
+  // same trace as the step spans.
+  comm.set_trace_sink(sink);
   if (input.size() < input_bytes(pr, rank)) {
     throw std::invalid_argument("execute_rank_program: input too small");
   }
@@ -109,7 +113,17 @@ void execute_rank_program(const Schedule& sched, runtime::Communicator& comm,
 std::vector<std::vector<std::byte>> execute_threaded(
     const Schedule& sched, const std::vector<std::vector<std::byte>>& inputs,
     runtime::DataType type, runtime::ReduceOp op, obs::TraceSink* sink) {
+  ThreadedExecOptions options;
+  options.sink = sink;
+  return execute_threaded(sched, inputs, type, op, options);
+}
+
+std::vector<std::vector<std::byte>> execute_threaded(
+    const Schedule& sched, const std::vector<std::vector<std::byte>>& inputs,
+    runtime::DataType type, runtime::ReduceOp op,
+    const ThreadedExecOptions& options) {
   const CollParams& pr = sched.params;
+  obs::TraceSink* sink = options.sink;
   if (inputs.size() != static_cast<std::size_t>(pr.p)) {
     throw std::invalid_argument("execute_threaded: wrong number of inputs");
   }
@@ -123,10 +137,13 @@ std::vector<std::vector<std::byte>> execute_threaded(
   std::vector<std::vector<std::byte>> outputs(static_cast<std::size_t>(pr.p));
   for (auto& buf : outputs) buf.resize(output_bytes(pr));
 
-  runtime::World::run(pr.p, [&](runtime::Communicator& comm) {
-    const auto r = static_cast<std::size_t>(comm.rank());
-    execute_rank_program(sched, comm, inputs[r], outputs[r], type, op, sink);
-  });
+  runtime::World::run(
+      pr.p,
+      [&](runtime::Communicator& comm) {
+        const auto r = static_cast<std::size_t>(comm.rank());
+        execute_rank_program(sched, comm, inputs[r], outputs[r], type, op, sink);
+      },
+      options.world);
   return outputs;
 }
 

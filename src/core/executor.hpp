@@ -12,8 +12,17 @@
 #include "runtime/comm.hpp"
 #include "runtime/datatype.hpp"
 #include "runtime/reduce_op.hpp"
+#include "runtime/world.hpp"
 
 namespace gencoll::core {
+
+/// Knobs for execute_threaded beyond the schedule itself.
+struct ThreadedExecOptions {
+  /// Tracing sink (see execute_threaded docs); nullptr disables.
+  obs::TraceSink* sink = nullptr;
+  /// Passed through to the World: fault plan, reliability, recv deadline.
+  runtime::WorldOptions world;
+};
 
 /// Execute `sched` across World-spawned threads. inputs[r] must hold
 /// input_bytes(params, r) bytes. Returns each rank's full output buffer
@@ -28,6 +37,15 @@ namespace gencoll::core {
 std::vector<std::vector<std::byte>> execute_threaded(
     const Schedule& sched, const std::vector<std::vector<std::byte>>& inputs,
     runtime::DataType type, runtime::ReduceOp op, obs::TraceSink* sink = nullptr);
+
+/// As above, with fault injection / reliability wired through: the World is
+/// built from `options.world`, so a FaultPlan, reliable transport, or a short
+/// receive deadline all apply to this execution. Rank failures surface as the
+/// first thrown exception (typically gencoll::FaultError under injection).
+std::vector<std::vector<std::byte>> execute_threaded(
+    const Schedule& sched, const std::vector<std::vector<std::byte>>& inputs,
+    runtime::DataType type, runtime::ReduceOp op,
+    const ThreadedExecOptions& options);
 
 /// Execute one rank's program against an existing communicator. `output`
 /// must have output_bytes(params) bytes. Exposed so the public API (api/)

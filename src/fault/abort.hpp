@@ -1,0 +1,54 @@
+// One-shot abort poison shared by a World and its Mailboxes.
+//
+// When any rank dies, World::abort() raises this flag and interrupts every
+// blocked waiter; Mailbox::match and World::barrier_wait check it and throw
+// FaultError(kAborted) instead of stalling until their deadline. The flag is
+// monotonic (never cleared) — a poisoned World stays poisoned, which is the
+// fail-fast contract: after one rank death no collective can complete, so
+// every subsequent blocking call fails immediately.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <string>
+
+namespace gencoll::fault {
+
+class AbortFlag {
+ public:
+  /// Record the first abort (rank + reason); later calls are no-ops so the
+  /// original cause is preserved. Callers must wake their waiters afterwards
+  /// (the flag has no condition variable of its own).
+  void raise(int rank, std::string reason) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (raised_flag_.load(std::memory_order_relaxed)) return;
+      rank_ = rank;
+      reason_ = std::move(reason);
+    }
+    raised_flag_.store(true, std::memory_order_release);
+  }
+
+  [[nodiscard]] bool raised() const {
+    return raised_flag_.load(std::memory_order_acquire);
+  }
+
+  /// Rank that raised the abort (-1 if not raised).
+  [[nodiscard]] int source_rank() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return rank_;
+  }
+
+  [[nodiscard]] std::string reason() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return reason_;
+  }
+
+ private:
+  std::atomic<bool> raised_flag_{false};
+  mutable std::mutex mu_;
+  int rank_ = -1;
+  std::string reason_;
+};
+
+}  // namespace gencoll::fault

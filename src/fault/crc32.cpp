@@ -1,0 +1,65 @@
+#include "fault/crc32.hpp"
+
+#include <array>
+#include <bit>
+#include <cstring>
+
+namespace gencoll::fault {
+
+namespace {
+
+// Slicing-by-16: table[0] is the classic byte-at-a-time table; table[j]
+// pre-folds a byte through j additional zero bytes, so sixteen bytes fold in
+// one step with sixteen independent lookups.
+constexpr std::size_t kSlices = 16;
+
+constexpr std::array<std::array<std::uint32_t, 256>, kSlices> make_tables() {
+  std::array<std::array<std::uint32_t, 256>, kSlices> tables{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    tables[0][i] = c;
+  }
+  for (std::size_t j = 1; j < kSlices; ++j) {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      tables[j][i] = tables[0][tables[j - 1][i] & 0xFFu] ^ (tables[j - 1][i] >> 8);
+    }
+  }
+  return tables;
+}
+
+constexpr std::array<std::array<std::uint32_t, 256>, kSlices> kTables = make_tables();
+
+inline std::uint32_t fold_word(std::uint32_t w, std::size_t slice) {
+  return kTables[slice + 3][w & 0xFFu] ^ kTables[slice + 2][(w >> 8) & 0xFFu] ^
+         kTables[slice + 1][(w >> 16) & 0xFFu] ^ kTables[slice][w >> 24];
+}
+
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t crc, std::span<const std::byte> data) {
+  std::uint32_t c = crc ^ 0xFFFFFFFFu;
+  const std::byte* p = data.data();
+  std::size_t n = data.size();
+  while (n >= kSlices) {
+    std::uint32_t w[4];
+    std::memcpy(w, p, sizeof(w));  // little-endian hosts only (static_assert below)
+    c = fold_word(w[0] ^ c, 12) ^ fold_word(w[1], 8) ^ fold_word(w[2], 4) ^
+        fold_word(w[3], 0);
+    p += kSlices;
+    n -= kSlices;
+  }
+  while (n-- != 0) {
+    c = kTables[0][(c ^ static_cast<std::uint32_t>(*p++)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+static_assert(std::endian::native == std::endian::little,
+              "slice-by-16 word folding assumes a little-endian host");
+
+std::uint32_t crc32(std::span<const std::byte> data) { return crc32_update(0, data); }
+
+}  // namespace gencoll::fault

@@ -1,0 +1,20 @@
+// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) payload checksums for
+// the reliable-transport envelopes. Slicing-by-16 tables (16 bytes per step),
+// and bit-exact with zlib's crc32() so wire dumps can be cross-checked
+// externally.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace gencoll::fault {
+
+/// CRC32 of `data`, starting from the standard all-ones preset.
+std::uint32_t crc32(std::span<const std::byte> data);
+
+/// Streaming form: fold `data` into a running crc (pass the previous return
+/// value back in; start with 0).
+std::uint32_t crc32_update(std::uint32_t crc, std::span<const std::byte> data);
+
+}  // namespace gencoll::fault

@@ -1,0 +1,69 @@
+#include "fault/envelope.hpp"
+
+#include <cstring>
+
+#include "fault/crc32.hpp"
+
+namespace gencoll::fault {
+
+namespace {
+
+void put_u32(std::byte* dst, std::uint32_t v) { std::memcpy(dst, &v, sizeof(v)); }
+
+std::uint32_t get_u32(const std::byte* src) {
+  std::uint32_t v = 0;
+  std::memcpy(&v, src, sizeof(v));
+  return v;
+}
+
+/// The CRC covers seq + attempt + payload (bytes 4..12 and 16..end), so a
+/// bit-flip anywhere but the magic or the CRC field itself is detected; those
+/// two fail the magic check / CRC compare instead.
+std::uint32_t envelope_crc(std::span<const std::byte> wire) {
+  return crc32_update(crc32(wire.subspan(4, 8)), wire.subspan(kDataHeaderBytes));
+}
+
+}  // namespace
+
+std::vector<std::byte> wrap_data(std::uint32_t seq, std::uint32_t attempt,
+                                 std::span<const std::byte> payload) {
+  std::vector<std::byte> wire(kDataHeaderBytes + payload.size());
+  put_u32(wire.data(), kDataMagic);
+  put_u32(wire.data() + 4, seq);
+  put_u32(wire.data() + 8, attempt);
+  if (!payload.empty()) {
+    std::memcpy(wire.data() + kDataHeaderBytes, payload.data(), payload.size());
+  }
+  put_u32(wire.data() + 12, envelope_crc(wire));
+  return wire;
+}
+
+DataView unwrap_data(std::span<const std::byte> wire, bool verify_crc) {
+  DataView v;
+  if (wire.size() < kDataHeaderBytes || get_u32(wire.data()) != kDataMagic) return v;
+  v.header_ok = true;
+  v.seq = get_u32(wire.data() + 4);
+  v.attempt = get_u32(wire.data() + 8);
+  v.payload = wire.subspan(kDataHeaderBytes);
+  v.crc_ok = !verify_crc || envelope_crc(wire) == get_u32(wire.data() + 12);
+  return v;
+}
+
+std::vector<std::byte> make_ack(std::uint32_t seq, bool positive) {
+  std::vector<std::byte> wire(kAckBytes);
+  put_u32(wire.data(), kAckMagic);
+  put_u32(wire.data() + 4, seq);
+  put_u32(wire.data() + 8, positive ? 0u : 1u);
+  return wire;
+}
+
+AckView parse_ack(std::span<const std::byte> wire) {
+  AckView v;
+  if (wire.size() != kAckBytes || get_u32(wire.data()) != kAckMagic) return v;
+  v.ok = true;
+  v.seq = get_u32(wire.data() + 4);
+  v.positive = get_u32(wire.data() + 8) == 0;
+  return v;
+}
+
+}  // namespace gencoll::fault

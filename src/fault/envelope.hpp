@@ -1,0 +1,69 @@
+// Wire format of the reliable transport.
+//
+// When reliability is enabled, every point-to-point payload travels inside a
+// data envelope:
+//
+//   [u32 magic][u32 seq][u32 attempt][u32 crc][payload ...]
+//
+// and every delivery is confirmed by a fixed-size ack envelope posted back to
+// the sender on the same tag with the ack bit set:
+//
+//   [u32 magic][u32 seq][u32 status]        status: 0 = ack, 1 = nack
+//
+// `seq` numbers messages per (source, dest, tag) channel so receivers can
+// discard duplicates and reorder delayed messages; `attempt` distinguishes
+// retransmissions in traces. The crc covers seq, attempt, and the payload, so
+// a single bit-flip anywhere in the envelope is detected (a flip in the magic
+// fails the header check; a flip in the crc field fails the compare). Ack
+// traffic is separated from data by reserving tag bit kAckTagBit — collective
+// schedules keep tags below 2^24 (enforced by CompiledSchedule), so the bit
+// can never collide with a data tag.
+//
+// All integers are native-endian: the envelopes never leave the process.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gencoll::fault {
+
+inline constexpr std::uint32_t kDataMagic = 0x47435231u;  // "GCR1"
+inline constexpr std::uint32_t kAckMagic = 0x4743414Bu;   // "GCAK"
+inline constexpr int kAckTagBit = 1 << 26;
+inline constexpr std::size_t kDataHeaderBytes = 16;
+inline constexpr std::size_t kAckBytes = 12;
+
+/// The ack-channel tag paired with data tag `tag`.
+inline int ack_tag(int tag) { return tag | kAckTagBit; }
+
+/// Wrap `payload` in a data envelope.
+std::vector<std::byte> wrap_data(std::uint32_t seq, std::uint32_t attempt,
+                                 std::span<const std::byte> payload);
+
+struct DataView {
+  bool header_ok = false;  ///< magic + minimum length check passed
+  bool crc_ok = false;     ///< payload checksum matches the header
+  std::uint32_t seq = 0;
+  std::uint32_t attempt = 0;
+  std::span<const std::byte> payload;  ///< view into the wire buffer
+};
+
+/// Parse a data envelope in place (no copy; `wire` must outlive the view).
+/// `verify_crc = false` skips the checksum pass and reports crc_ok whenever
+/// the header parses — for receivers that can prove no corrupted wire exists
+/// (the in-process transport only corrupts when a FaultPlan injects it).
+DataView unwrap_data(std::span<const std::byte> wire, bool verify_crc = true);
+
+std::vector<std::byte> make_ack(std::uint32_t seq, bool positive);
+
+struct AckView {
+  bool ok = false;  ///< well-formed ack envelope
+  std::uint32_t seq = 0;
+  bool positive = false;
+};
+
+AckView parse_ack(std::span<const std::byte> wire);
+
+}  // namespace gencoll::fault

@@ -1,0 +1,42 @@
+#include "fault/error.hpp"
+
+namespace gencoll {
+
+namespace {
+
+std::string format_message(FaultKind kind, int rank, int peer, int tag,
+                           const std::string& detail) {
+  std::string msg = "FaultError[";
+  msg += fault_kind_name(kind);
+  msg += "] rank=" + std::to_string(rank);
+  if (peer >= 0) msg += " peer=" + std::to_string(peer);
+  if (tag >= 0) msg += " tag=" + std::to_string(tag);
+  msg += ": ";
+  msg += detail;
+  return msg;
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kTimeout: return "timeout";
+    case FaultKind::kCorruption: return "corruption";
+    case FaultKind::kRankDeath: return "rank-death";
+    case FaultKind::kAborted: return "aborted";
+    case FaultKind::kRetriesExhausted: return "retries-exhausted";
+    case FaultKind::kSizeMismatch: return "size-mismatch";
+    case FaultKind::kProtocol: return "protocol";
+  }
+  return "?";
+}
+
+FaultError::FaultError(FaultKind kind, int rank, int peer, int tag,
+                       const std::string& detail)
+    : std::runtime_error(format_message(kind, rank, peer, tag, detail)),
+      kind_(kind),
+      rank_(rank),
+      peer_(peer),
+      tag_(tag) {}
+
+}  // namespace gencoll

@@ -1,0 +1,48 @@
+// Typed fault errors for the runtime's reliability layer.
+//
+// Every failure mode the fault subsystem can surface — receive deadline
+// expiry, detected payload corruption, an injected or real rank death, abort
+// poison propagated from another rank, exhausted retransmit retries, a
+// protocol/size violation — is reported as a gencoll::FaultError carrying a
+// machine-readable kind plus the (rank, peer, tag) coordinates of the failing
+// channel. FaultError derives from std::runtime_error so call sites that only
+// know "the runtime threw" keep working; call sites that care (the chaos
+// harness, production retry loops) switch on kind().
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace gencoll {
+
+enum class FaultKind {
+  kTimeout,           ///< blocking receive exceeded its deadline
+  kCorruption,        ///< payload checksum mismatch detected end-to-end
+  kRankDeath,         ///< this rank died (injected crash or fatal error)
+  kAborted,           ///< another rank died; abort poison woke this waiter
+  kRetriesExhausted,  ///< reliable send gave up after max_retries attempts
+  kSizeMismatch,      ///< received payload size != posted receive size
+  kProtocol,          ///< malformed reliability envelope / sequence violation
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+class FaultError : public std::runtime_error {
+ public:
+  /// `rank` is the rank observing the fault, `peer`/`tag` the channel it was
+  /// observed on (-1/-1 when not channel-specific, e.g. a barrier abort).
+  FaultError(FaultKind kind, int rank, int peer, int tag, const std::string& detail);
+
+  [[nodiscard]] FaultKind kind() const { return kind_; }
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int peer() const { return peer_; }
+  [[nodiscard]] int tag() const { return tag_; }
+
+ private:
+  FaultKind kind_;
+  int rank_;
+  int peer_;
+  int tag_;
+};
+
+}  // namespace gencoll

@@ -1,0 +1,204 @@
+#include "fault/plan.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace gencoll::fault {
+
+namespace {
+
+/// Mix the decision coordinates into one 64-bit stream seed. Constants are
+/// splitmix64's increment (odd, high-entropy) so distinct coordinates land in
+/// well-separated streams.
+std::uint64_t mix_seed(const FaultPlan& plan, int src, int dst, int tag,
+                       std::uint32_t seq, std::uint32_t attempt, MsgStream stream) {
+  std::uint64_t h = plan.seed ^ 0x9E3779B97F4A7C15ULL;
+  const auto fold = [&h](std::uint64_t v) {
+    h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  };
+  fold(static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)));
+  fold(static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst)));
+  fold(static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag)));
+  fold(seq);
+  fold(attempt);
+  fold(static_cast<std::uint64_t>(stream));
+  return h;
+}
+
+std::string fmt_prob(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+bool parse_double(std::string_view s, double* out) {
+  const auto res = std::from_chars(s.data(), s.data() + s.size(), *out);
+  return res.ec == std::errc{} && res.ptr == s.data() + s.size();
+}
+
+bool parse_int(std::string_view s, int* out) {
+  const auto res = std::from_chars(s.data(), s.data() + s.size(), *out);
+  return res.ec == std::errc{} && res.ptr == s.data() + s.size();
+}
+
+bool parse_u64(std::string_view s, std::uint64_t* out) {
+  const auto res = std::from_chars(s.data(), s.data() + s.size(), *out);
+  return res.ec == std::errc{} && res.ptr == s.data() + s.size();
+}
+
+}  // namespace
+
+bool FaultPlan::any_message_faults() const {
+  return drop_prob > 0.0 || dup_prob > 0.0 || corrupt_prob > 0.0 ||
+         (delay_prob > 0.0 && max_delay_ms > 0.0);
+}
+
+const SlowRank* FaultPlan::slow_for(int rank) const {
+  for (const SlowRank& s : slow_ranks) {
+    if (s.rank == rank) return &s;
+  }
+  return nullptr;
+}
+
+const RankCrash* FaultPlan::crash_for(int rank) const {
+  for (const RankCrash& c : crashes) {
+    if (c.rank == rank) return &c;
+  }
+  return nullptr;
+}
+
+void FaultPlan::check() const {
+  const double probs[] = {drop_prob, dup_prob, corrupt_prob, delay_prob};
+  for (double pr : probs) {
+    if (pr < 0.0 || pr > 1.0) {
+      throw std::invalid_argument("FaultPlan: probability outside [0, 1]");
+    }
+  }
+  if (max_delay_ms < 0.0) throw std::invalid_argument("FaultPlan: negative max delay");
+  for (const SlowRank& s : slow_ranks) {
+    if (s.rank < 0 || s.stall_us < 0.0) {
+      throw std::invalid_argument("FaultPlan: malformed slow-rank entry");
+    }
+  }
+  for (const RankCrash& c : crashes) {
+    if (c.rank < 0 || c.after_ops < 0) {
+      throw std::invalid_argument("FaultPlan: malformed crash entry");
+    }
+  }
+}
+
+std::string FaultPlan::describe() const {
+  std::string out = "seed=" + std::to_string(seed);
+  if (drop_prob > 0.0) out += ",drop=" + fmt_prob(drop_prob);
+  if (dup_prob > 0.0) out += ",dup=" + fmt_prob(dup_prob);
+  if (corrupt_prob > 0.0) out += ",corrupt=" + fmt_prob(corrupt_prob);
+  if (delay_prob > 0.0) {
+    out += ",delay=" + fmt_prob(delay_prob) + ":" + fmt_prob(max_delay_ms);
+  }
+  for (const RankCrash& c : crashes) {
+    out += ",crash=" + std::to_string(c.rank) + "@" + std::to_string(c.after_ops);
+  }
+  for (const SlowRank& s : slow_ranks) {
+    out += ",slow=" + std::to_string(s.rank) + ":" + fmt_prob(s.stall_us);
+  }
+  return out;
+}
+
+std::optional<FaultPlan> FaultPlan::parse(std::string_view spec, std::string* error) {
+  const auto fail = [error](const std::string& why) -> std::optional<FaultPlan> {
+    if (error != nullptr) *error = why;
+    return std::nullopt;
+  };
+
+  FaultPlan plan;
+  std::string_view rest = spec;
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    std::string_view field = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{} : rest.substr(comma + 1);
+    if (field.empty()) continue;
+
+    const std::size_t eq = field.find('=');
+    if (eq == std::string_view::npos) {
+      return fail("fault-plan field '" + std::string(field) + "' is not key=value");
+    }
+    const std::string_view key = field.substr(0, eq);
+    const std::string_view val = field.substr(eq + 1);
+    bool ok = true;
+    if (key == "seed") {
+      ok = parse_u64(val, &plan.seed);
+    } else if (key == "drop") {
+      ok = parse_double(val, &plan.drop_prob);
+    } else if (key == "dup") {
+      ok = parse_double(val, &plan.dup_prob);
+    } else if (key == "corrupt") {
+      ok = parse_double(val, &plan.corrupt_prob);
+    } else if (key == "delay") {  // prob:max_ms
+      const std::size_t colon = val.find(':');
+      ok = colon != std::string_view::npos &&
+           parse_double(val.substr(0, colon), &plan.delay_prob) &&
+           parse_double(val.substr(colon + 1), &plan.max_delay_ms);
+    } else if (key == "crash") {  // rank@after_ops
+      const std::size_t at = val.find('@');
+      RankCrash c;
+      ok = at != std::string_view::npos && parse_int(val.substr(0, at), &c.rank) &&
+           parse_int(val.substr(at + 1), &c.after_ops);
+      if (ok) plan.crashes.push_back(c);
+    } else if (key == "slow") {  // rank:stall_us
+      const std::size_t colon = val.find(':');
+      SlowRank s;
+      ok = colon != std::string_view::npos &&
+           parse_int(val.substr(0, colon), &s.rank) &&
+           parse_double(val.substr(colon + 1), &s.stall_us);
+      if (ok) plan.slow_ranks.push_back(s);
+    } else {
+      return fail("unknown fault-plan key '" + std::string(key) + "'");
+    }
+    if (!ok) {
+      return fail("malformed fault-plan value for '" + std::string(key) + "'");
+    }
+  }
+  try {
+    plan.check();
+  } catch (const std::invalid_argument& e) {
+    return fail(e.what());
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::chaos(std::uint64_t seed, int p) {
+  util::SplitMix64 rng(seed ^ 0xC4A05ULL);
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.drop_prob = 0.25 * rng.uniform();
+  plan.dup_prob = 0.15 * rng.uniform();
+  plan.corrupt_prob = 0.15 * rng.uniform();
+  plan.delay_prob = 0.3 * rng.uniform();
+  plan.max_delay_ms = 1.0 + 9.0 * rng.uniform();
+  if (p > 1 && rng.below(3) == 0) {
+    plan.slow_ranks.push_back(
+        {static_cast<int>(rng.below(static_cast<std::uint64_t>(p))),
+         50.0 + 450.0 * rng.uniform()});
+  }
+  return plan;
+}
+
+FaultDecision decide(const FaultPlan& plan, int src, int dst, int tag,
+                     std::uint32_t seq, std::uint32_t attempt, MsgStream stream) {
+  FaultDecision d;
+  if (!plan.any_message_faults()) return d;
+  util::SplitMix64 rng(mix_seed(plan, src, dst, tag, seq, attempt, stream));
+  d.drop = rng.uniform() < plan.drop_prob;
+  if (stream == MsgStream::kData) {
+    d.duplicate = rng.uniform() < plan.dup_prob;
+    d.corrupt = rng.uniform() < plan.corrupt_prob;
+    d.corrupt_bit = rng();
+  }
+  if (rng.uniform() < plan.delay_prob) d.delay_ms = plan.max_delay_ms * rng.uniform();
+  return d;
+}
+
+}  // namespace gencoll::fault

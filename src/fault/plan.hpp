@@ -1,0 +1,88 @@
+// Deterministic fault plans.
+//
+// A FaultPlan describes which transport-level faults to inject into a run:
+// message drop / duplication / bit-flip corruption / delivery delay (with
+// per-fault probabilities), per-rank send stalls (slow ranks), and rank
+// crashes after a fixed number of point-to-point operations. Every
+// probabilistic decision is a pure function of
+//
+//   (plan.seed, src, dst, tag, channel sequence number, attempt, stream)
+//
+// hashed into a private SplitMix64 stream — NOT a shared RNG — so the fault
+// sequence is identical across thread interleavings and runs: one uint64
+// seed reproduces an entire chaos scenario. Retransmissions draw fresh
+// decisions (the `attempt` input), so a dropped message is not dropped
+// forever; ack traffic draws from its own stream so data and ack fates are
+// independent.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gencoll::fault {
+
+struct SlowRank {
+  int rank = -1;
+  double stall_us = 0.0;  ///< busy-delay added before every send
+};
+
+struct RankCrash {
+  int rank = -1;
+  int after_ops = 0;  ///< rank dies entering its (after_ops+1)-th p2p op
+};
+
+/// One message's injected fate.
+struct FaultDecision {
+  bool drop = false;
+  bool duplicate = false;
+  bool corrupt = false;
+  std::uint64_t corrupt_bit = 0;  ///< bit index (mod wire bits) to flip
+  double delay_ms = 0.0;          ///< 0 = deliver immediately
+};
+
+/// Which logical stream a decision belongs to (so acks and data on the same
+/// channel get independent fates).
+enum class MsgStream : std::uint32_t { kData = 0, kAck = 1 };
+
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  double drop_prob = 0.0;
+  double dup_prob = 0.0;
+  double corrupt_prob = 0.0;
+  double delay_prob = 0.0;
+  double max_delay_ms = 0.0;  ///< injected delays are uniform in (0, max]
+  std::vector<SlowRank> slow_ranks;
+  std::vector<RankCrash> crashes;
+
+  /// True if any per-message fault can fire (drop/dup/corrupt/delay).
+  [[nodiscard]] bool any_message_faults() const;
+  [[nodiscard]] const SlowRank* slow_for(int rank) const;
+  [[nodiscard]] const RankCrash* crash_for(int rank) const;
+
+  /// Round-trippable spec string, e.g.
+  /// "seed=7,drop=0.1,dup=0.05,corrupt=0.02,delay=0.2:10,crash=3@25,slow=1:500".
+  [[nodiscard]] std::string describe() const;
+
+  /// Parse a describe()-format spec. Empty fields allowed; unknown keys or
+  /// malformed values return nullopt (and set *error when provided).
+  static std::optional<FaultPlan> parse(std::string_view spec,
+                                        std::string* error = nullptr);
+
+  /// Seeded random chaos scenario for a `p`-rank job: moderate fault
+  /// probabilities, sometimes a slow rank — never a crash (compose crashes
+  /// explicitly so tests can assert the expected outcome class).
+  static FaultPlan chaos(std::uint64_t seed, int p);
+
+  /// Throws std::invalid_argument on out-of-range probabilities/parameters.
+  void check() const;
+};
+
+/// The deterministic per-message decision (see file comment for the inputs'
+/// roles). `seq` is the channel sequence number assigned by the sender.
+FaultDecision decide(const FaultPlan& plan, int src, int dst, int tag,
+                     std::uint32_t seq, std::uint32_t attempt, MsgStream stream);
+
+}  // namespace gencoll::fault

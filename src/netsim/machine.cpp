@@ -24,6 +24,35 @@ void MachineConfig::check() const {
   if (global_link_factor < 1.0) {
     throw std::invalid_argument("MachineConfig: global_link_factor must be >= 1");
   }
+  const double factors[] = {degradation.inter_alpha_factor,
+                            degradation.inter_beta_factor,
+                            degradation.intra_alpha_factor,
+                            degradation.intra_beta_factor};
+  for (double f : factors) {
+    if (f < 1.0) {
+      throw std::invalid_argument("MachineConfig: degradation factors must be >= 1");
+    }
+  }
+  if (degradation.down_ports < 0 || degradation.down_ports >= ports_per_node) {
+    throw std::invalid_argument(
+        "MachineConfig: down_ports must be in [0, ports_per_node)");
+  }
+  if (degradation.jitter < 0.0 || degradation.jitter >= 1.0) {
+    throw std::invalid_argument("MachineConfig: degradation jitter must be in [0, 1)");
+  }
+}
+
+Degradation Degradation::uniform(double severity) {
+  if (severity < 0.0 || severity > 1.0) {
+    throw std::invalid_argument("Degradation::uniform: severity must be in [0, 1]");
+  }
+  Degradation d;
+  d.inter_alpha_factor = 1.0 + severity;
+  d.inter_beta_factor = 1.0 + severity;
+  d.intra_alpha_factor = 1.0 + 0.5 * severity;  // GPU fabric degrades less
+  d.intra_beta_factor = 1.0 + 0.5 * severity;
+  d.jitter = 0.2 * severity;
+  return d;
 }
 
 MachineConfig frontier_like(int nodes, int ppn) {

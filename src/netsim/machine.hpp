@@ -19,7 +19,9 @@
 // paper's trends, not its absolute microseconds (see DESIGN.md §2).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -29,6 +31,35 @@ namespace gencoll::netsim {
 struct LinkParams {
   double alpha_us = 1.0;          ///< per-message wire latency
   double beta_us_per_byte = 0.0;  ///< inverse bandwidth
+};
+
+/// Fabric degradation: a healthy machine model made worse without editing the
+/// base parameters, so sweeps can compare the same machine at several damage
+/// levels (bench/bench_degraded). Multiplicative factors >= 1 scale link
+/// alpha/beta; `down_ports` removes NIC ports from every node's tx/rx pools;
+/// `jitter` adds a deterministic extra per-message latency wobble on top of
+/// the simulator's own jitter knob (separate seed, so a degraded run and a
+/// healthy run with equal sim seeds stay comparable).
+struct Degradation {
+  double inter_alpha_factor = 1.0;
+  double inter_beta_factor = 1.0;
+  double intra_alpha_factor = 1.0;
+  double intra_beta_factor = 1.0;
+  int down_ports = 0;      ///< failed NIC ports per node (< ports_per_node)
+  double jitter = 0.0;     ///< extra fractional latency jitter, [0, 1)
+  std::uint64_t seed = 1;  ///< degradation jitter stream seed
+
+  /// True when any knob departs from the healthy default.
+  [[nodiscard]] bool active() const {
+    return inter_alpha_factor != 1.0 || inter_beta_factor != 1.0 ||
+           intra_alpha_factor != 1.0 || intra_beta_factor != 1.0 ||
+           down_ports != 0 || jitter != 0.0;
+  }
+
+  /// A uniform damage profile: severity 0 = healthy, 1 = links twice as
+  /// latent and half as fast with 20% jitter. Ports are not downed here —
+  /// combine with `down_ports` explicitly, since its effect is discrete.
+  static Degradation uniform(double severity);
 };
 
 struct MachineConfig {
@@ -56,6 +87,12 @@ struct MachineConfig {
   double port_msg_overhead_us = 0.0;  ///< NIC per-message processing cost
   double copy_us_per_byte = 0.0;      ///< local CopyInput bandwidth cost
 
+  /// Fabric damage applied on top of the healthy parameters. The accessors
+  /// below (effective_ports / intra_link / inter_link) fold it in; simulator
+  /// code must go through them rather than reading `inter` / `intra` /
+  /// `ports_per_node` raw.
+  Degradation degradation;
+
   [[nodiscard]] int total_ranks() const { return nodes * ppn; }
   [[nodiscard]] int node_of(int rank) const { return rank / ppn; }
   [[nodiscard]] bool same_node(int a, int b) const { return node_of(a) == node_of(b); }
@@ -67,12 +104,24 @@ struct MachineConfig {
     return group_of(a) == group_of(b);
   }
 
+  /// NIC ports per node surviving degradation (never below 1).
+  [[nodiscard]] int effective_ports() const {
+    return std::max(1, ports_per_node - degradation.down_ports);
+  }
+
+  /// Intranode link parameters with degradation factors applied.
+  [[nodiscard]] LinkParams intra_link() const {
+    return LinkParams{intra.alpha_us * degradation.intra_alpha_factor,
+                      intra.beta_us_per_byte * degradation.intra_beta_factor};
+  }
+
   /// Effective internode link parameters between two ranks (global-hop
-  /// scaling applied for cross-group pairs).
+  /// scaling for cross-group pairs composed with degradation factors).
   [[nodiscard]] LinkParams inter_link(int a, int b) const {
-    if (nodes_per_group <= 0 || same_group(a, b)) return inter;
-    return LinkParams{inter.alpha_us * global_link_factor,
-                      inter.beta_us_per_byte * global_link_factor};
+    const double hop =
+        (nodes_per_group <= 0 || same_group(a, b)) ? 1.0 : global_link_factor;
+    return LinkParams{inter.alpha_us * hop * degradation.inter_alpha_factor,
+                      inter.beta_us_per_byte * hop * degradation.inter_beta_factor};
   }
 
   /// Throws std::invalid_argument on non-positive counts or negative costs.

@@ -37,7 +37,7 @@ struct EventLater {
 class PortPools {
  public:
   explicit PortPools(const MachineConfig& machine)
-      : ports_(machine.ports_per_node),
+      : ports_(machine.effective_ports()),
         ppn_(machine.ppn),
         tx_(static_cast<std::size_t>(machine.nodes) * static_cast<std::size_t>(ports_),
             0.0),
@@ -225,6 +225,9 @@ SimResult CompiledSchedule::run(const MachineConfig& machine,
   std::vector<bool> blocked(static_cast<std::size_t>(p), false);
   std::vector<std::size_t> pc(static_cast<std::size_t>(p), 0);
   Jitter jitter(options.jitter, options.jitter_seed);
+  // Degradation wobble draws from its own seeded stream so turning it on
+  // never perturbs the base jitter sequence of an otherwise-equal run.
+  Jitter degr_jitter(machine.degradation.jitter, machine.degradation.seed);
   obs::TraceSink* const sink = options.sink;
   // When a receive parks, the time the rank reached the step — the emitted
   // span must begin there, not at the wake-up.
@@ -276,7 +279,7 @@ SimResult CompiledSchedule::run(const MachineConfig& machine,
         clocks[ur] = now + machine.send_overhead_us;
         const double request = clocks[ur];
         const bool intra = machine.same_node(r, s.peer);
-        const double factor = jitter.next();
+        const double factor = jitter.next() * degr_jitter.next();
         double arrival = 0.0;
         double start = 0.0;
         double alpha_c = 0.0;  // component split for the trace sink; beta_c +
@@ -285,16 +288,17 @@ SimResult CompiledSchedule::run(const MachineConfig& machine,
         if (intra) {
           const std::uint64_t key = static_cast<std::uint64_t>(r) * 1000003ULL +
                                     static_cast<std::uint64_t>(s.peer);
+          const LinkParams link = machine.intra_link();
           double& link_free = pair_links[key];
           start = std::max(request, link_free);
           const double transfer =
-              machine.intra.beta_us_per_byte * static_cast<double>(s.bytes) * factor;
+              link.beta_us_per_byte * static_cast<double>(s.bytes) * factor;
           link_free = start + transfer;
-          arrival = start + machine.intra.alpha_us + transfer;
+          arrival = start + link.alpha_us + transfer;
           result.port_wait_us += start - request;
           ++result.messages_intra;
           result.bytes_intra += s.bytes;
-          alpha_c = machine.intra.alpha_us;
+          alpha_c = link.alpha_us;
           beta_c = transfer;
         } else {
           const LinkParams link = machine.inter_link(r, s.peer);

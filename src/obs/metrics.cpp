@@ -89,6 +89,16 @@ CollectiveMetrics collect_metrics(const TraceRecorder& recorder) {
         }
       }
     }
+    for (const InstantEvent& ev : recorder.instants(r)) {
+      switch (ev.kind) {
+        case InstantKind::kRetransmit: ++m.retransmits; break;
+        case InstantKind::kCorruptDetected: ++m.corruptions_detected; break;
+        case InstantKind::kAbort: ++m.aborts; break;
+        case InstantKind::kMessagePost:
+        case InstantKind::kMessageMatch:
+          break;
+      }
+    }
     m.rounds = std::max(m.rounds, std::max(sends, recvs));
     m.max_port_queue_depth =
         std::max(m.max_port_queue_depth, max_queue_depth(recorder.spans(r)));
@@ -108,6 +118,9 @@ util::Table metrics_summary_table(const CollectiveMetrics& m) {
   t.add_row({"rounds (comm depth)", std::to_string(m.rounds)});
   t.add_row({"max port queue depth", std::to_string(m.max_port_queue_depth)});
   t.add_row({"port/link queue total (us)", util::fmt(m.queue_us)});
+  t.add_row({"retransmits", std::to_string(m.retransmits)});
+  t.add_row({"corruptions detected", std::to_string(m.corruptions_detected)});
+  t.add_row({"aborts", std::to_string(m.aborts)});
   t.add_row({"makespan (us)", util::fmt(m.makespan_us)});
   return t;
 }

@@ -43,6 +43,11 @@ struct CollectiveMetrics {
   std::size_t max_port_queue_depth = 0;
   double makespan_us = 0.0;  ///< last span end - first span begin
   double queue_us = 0.0;     ///< total port/link queueing over all messages
+  // Reliability events (threaded executor with src/fault/ enabled; always
+  // zero for simulator streams, which model the happy path).
+  std::size_t retransmits = 0;
+  std::size_t corruptions_detected = 0;
+  std::size_t aborts = 0;
   std::vector<RankBreakdown> per_rank;
 };
 

@@ -19,6 +19,9 @@ const char* instant_kind_name(InstantKind kind) {
   switch (kind) {
     case InstantKind::kMessagePost: return "MsgPost";
     case InstantKind::kMessageMatch: return "MsgMatch";
+    case InstantKind::kRetransmit: return "Retransmit";
+    case InstantKind::kCorruptDetected: return "CorruptDetected";
+    case InstantKind::kAbort: return "Abort";
   }
   return "?";
 }

@@ -33,8 +33,13 @@ enum class SpanKind {
 };
 
 enum class InstantKind {
-  kMessagePost,   ///< sender handed the message to the transport
-  kMessageMatch,  ///< receiver matched/consumed the message
+  kMessagePost,      ///< sender handed the message to the transport
+  kMessageMatch,     ///< receiver matched/consumed the message
+  // Reliability events (src/fault/): emitted by the runtime's reliable
+  // transport, always on the emitting rank's lane (peer = the other end).
+  kRetransmit,       ///< sender re-posted a message (lost/late/NACKed ack)
+  kCorruptDetected,  ///< checksum mismatch detected; message discarded
+  kAbort,            ///< this rank raised the World abort poison
 };
 
 /// Which fabric a message used. The simulator knows (machine topology); the

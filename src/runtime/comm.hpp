@@ -2,16 +2,59 @@
 //
 // This is the MPI-like point-to-point surface the collectives are executed
 // against. Sends are buffered/non-blocking; receives block with a deadline.
+//
+// Reliability (src/fault/): when the World enables it, every payload travels
+// in a sequence-numbered, CRC32-checksummed envelope (fault/envelope.hpp)
+// and each delivery is confirmed by an ack. The destination-NIC logic
+// (checksum verification, ack/nack generation) runs synchronously inside
+// send() on the sender's thread — the mailbox transport is in-process, so
+// "the other NIC" is just code; crucially acks never depend on the *receiver
+// thread's* progress, which keeps buffered-send semantics deadlock-free.
+// Lost or NACKed deliveries are retransmitted with capped exponential
+// backoff; exhausted retries, checksum failures, deadline expiry, and abort
+// poison all surface as typed gencoll::FaultError — never a silent hang or a
+// wrong answer. Receivers discard duplicates and reorder delayed messages by
+// sequence number, restoring per-channel FIFO above the fault layer.
+//
+// Fault injection (fault/plan.hpp) interposes on every post: decisions are a
+// pure function of (seed, src, dst, tag, seq, attempt), so a single uint64
+// seed reproduces the whole fault sequence regardless of thread timing.
 #pragma once
 
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <span>
+#include <unordered_map>
 #include <vector>
+
+#include "fault/error.hpp"
+#include "fault/plan.hpp"
+#include "obs/trace.hpp"
 
 namespace gencoll::runtime {
 
 class World;  // defined in world.hpp
+
+/// Reliable-transport tuning. Enabled per World (all ranks uniform).
+struct ReliabilityConfig {
+  bool enabled = false;
+  int max_retries = 10;  ///< retransmissions after the initial attempt
+  std::chrono::milliseconds ack_timeout{10};      ///< first ack wait
+  double backoff_factor = 2.0;                    ///< ack wait growth per retry
+  std::chrono::milliseconds max_ack_timeout{200};  ///< backoff cap
+};
+
+/// Per-communicator reliability counters (single-threaded: each rank thread
+/// owns its Communicator).
+struct ReliabilityStats {
+  std::uint64_t data_sends = 0;      ///< successful reliable send() calls
+  std::uint64_t retransmits = 0;     ///< extra attempts beyond the first
+  std::uint64_t nacks = 0;           ///< checksum rejects observed as sender
+  std::uint64_t dup_discards = 0;    ///< duplicate data discarded as receiver
+  std::uint64_t reordered = 0;       ///< messages stashed out of order
+  std::uint64_t stale_acks = 0;      ///< acks for superseded attempts
+};
 
 class Communicator {
  public:
@@ -20,12 +63,16 @@ class Communicator {
   [[nodiscard]] int rank() const { return rank_; }
   [[nodiscard]] int size() const;
 
-  /// Buffered non-blocking send: copies `data` and returns immediately.
+  /// Buffered send: copies `data` and returns without waiting for the
+  /// receiver thread. With reliability enabled it additionally confirms
+  /// transport-level delivery (retransmitting as needed) and throws
+  /// FaultError(kRetriesExhausted) when the channel stays dead.
   void send(int dest, int tag, std::span<const std::byte> data);
 
   /// Blocking receive into `out`. The matched message's payload must have
-  /// exactly out.size() bytes (collective schedules know sizes precisely;
-  /// a mismatch indicates a schedule bug and throws).
+  /// exactly out.size() bytes (collective schedules know sizes precisely; a
+  /// mismatch indicates a schedule bug and throws FaultError(kSizeMismatch)
+  /// naming source, tag, and both byte counts).
   void recv(int source, int tag, std::span<std::byte> out);
 
   /// Blocking receive returning the payload (size determined by sender).
@@ -38,14 +85,55 @@ class Communicator {
   /// Rendezvous with all ranks in the world.
   void barrier();
 
-  /// Deadline applied to every blocking receive.
+  /// Deadline applied to every blocking receive. The default comes from the
+  /// World (WorldOptions / GENCOLL_RECV_TIMEOUT_MS / 60 s).
   void set_recv_timeout(std::chrono::milliseconds timeout) { timeout_ = timeout; }
   [[nodiscard]] std::chrono::milliseconds recv_timeout() const { return timeout_; }
 
+  /// Reliability events (retransmit / corrupt-detected / abort instants) are
+  /// emitted into `sink` on this rank's lane. nullptr disables. Not owned.
+  void set_trace_sink(obs::TraceSink* sink) { sink_ = sink; }
+  [[nodiscard]] obs::TraceSink* trace_sink() const { return sink_; }
+
+  [[nodiscard]] const ReliabilityStats& stats() const { return stats_; }
+
  private:
+  /// Channel key for per-(peer, tag) sequence bookkeeping.
+  static std::uint64_t channel_key(int peer, int tag) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(peer)) << 32) |
+           static_cast<std::uint32_t>(tag);
+  }
+
+  /// Injected-crash bookkeeping: dies (abort + throw) when this rank's
+  /// FaultPlan crash point is reached. Called on every p2p operation.
+  void crash_check(int peer, int tag);
+
+  void reliable_send(int dest, int tag, std::span<const std::byte> data);
+  /// Returns the next in-sequence *envelope* (header included — the caller
+  /// skips fault::kDataHeaderBytes) so the hot path moves the matched buffer
+  /// instead of copying the payload out of it.
+  std::vector<std::byte> reliable_recv(int source, int tag);
+  void emit_instant(obs::InstantKind kind, int peer, int tag, std::size_t bytes);
+
   World* world_;  // non-owning; World outlives its Communicators
   int rank_;
   std::chrono::milliseconds timeout_{std::chrono::seconds(60)};
+  obs::TraceSink* sink_ = nullptr;
+
+  // Fault/reliability state (all owned by this rank's thread).
+  const fault::FaultPlan* plan_ = nullptr;  // nullptr = no injection
+  // Corrupted envelopes can only exist when the plan injects bit-flips; the
+  // receiver's checksum pass is skipped otherwise (NIC-offload semantics).
+  bool recv_verify_crc_ = false;
+  ReliabilityConfig rel_;
+  ReliabilityStats stats_;
+  std::uint64_t ops_done_ = 0;  ///< p2p ops executed (crash countdown)
+  std::unordered_map<std::uint64_t, std::uint32_t> send_seq_;
+  std::unordered_map<std::uint64_t, std::uint32_t> recv_expected_;
+  // Out-of-order data stashed per channel until its sequence number is due.
+  std::unordered_map<std::uint64_t,
+                     std::unordered_map<std::uint32_t, std::vector<std::byte>>>
+      reorder_;
 };
 
 }  // namespace gencoll::runtime

@@ -1,8 +1,9 @@
 #include "runtime/mailbox.hpp"
 
 #include <algorithm>
-#include <stdexcept>
 #include <string>
+
+#include "fault/error.hpp"
 
 namespace gencoll::runtime {
 
@@ -14,29 +15,42 @@ void Mailbox::post(Message message) {
   cv_.notify_all();
 }
 
-Message Mailbox::match(int source, int tag, std::chrono::milliseconds timeout) {
+Message Mailbox::match(int source, int tag, std::chrono::milliseconds timeout,
+                       int self_rank) {
+  using clock = std::chrono::steady_clock;
   std::unique_lock<std::mutex> lock(mu_);
-  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  const auto deadline = clock::now() + timeout;
 
-  auto find = [&] {
-    return std::find_if(queue_.begin(), queue_.end(), [&](const Message& m) {
-      return m.source == source && m.tag == tag;
-    });
-  };
-
-  auto it = find();
-  while (it == queue_.end()) {
-    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
-      it = find();
-      if (it != queue_.end()) break;
-      throw std::runtime_error("Mailbox::match timed out waiting for source=" +
-                               std::to_string(source) + " tag=" + std::to_string(tag));
+  for (;;) {
+    if (abort_ != nullptr && abort_->raised()) {
+      throw FaultError(FaultKind::kAborted, self_rank, source, tag,
+                       "abort raised by rank " + std::to_string(abort_->source_rank()) +
+                           " (" + abort_->reason() + ")");
     }
-    it = find();
+    const auto now = clock::now();
+    auto earliest_future = clock::time_point::max();
+    auto it = queue_.end();
+    for (auto cur = queue_.begin(); cur != queue_.end(); ++cur) {
+      if (cur->source != source || cur->tag != tag) continue;
+      if (cur->deliver_at <= now) {
+        it = cur;
+        break;
+      }
+      earliest_future = std::min(earliest_future, cur->deliver_at);
+    }
+    if (it != queue_.end()) {
+      Message out = std::move(*it);
+      queue_.erase(it);
+      return out;
+    }
+    if (now >= deadline) {
+      throw FaultError(FaultKind::kTimeout, self_rank, source, tag,
+                       "Mailbox::match timed out after " +
+                           std::to_string(timeout.count()) + " ms (" +
+                           std::to_string(queue_.size()) + " unmatched message(s) queued)");
+    }
+    cv_.wait_until(lock, std::min(deadline, earliest_future));
   }
-  Message out = std::move(*it);
-  queue_.erase(it);
-  return out;
 }
 
 bool Mailbox::probe(int source, int tag) {
@@ -46,9 +60,24 @@ bool Mailbox::probe(int source, int tag) {
   });
 }
 
+std::size_t Mailbox::drain_matching(
+    int source, int tag, const std::function<bool(std::span<const std::byte>)>& pred) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t before = queue_.size();
+  queue_.erase(std::remove_if(queue_.begin(), queue_.end(),
+                              [&](const Message& m) {
+                                return m.source == source && m.tag == tag &&
+                                       pred(m.payload);
+                              }),
+               queue_.end());
+  return before - queue_.size();
+}
+
 std::size_t Mailbox::pending() const {
   std::lock_guard<std::mutex> lock(mu_);
   return queue_.size();
 }
+
+void Mailbox::interrupt() { cv_.notify_all(); }
 
 }  // namespace gencoll::runtime

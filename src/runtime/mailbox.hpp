@@ -5,15 +5,31 @@
 // tests exercise and guarantees that schedule execution cannot deadlock on
 // send ordering. Receives block until a message with matching (source, tag)
 // arrives, with a deadline so broken schedules fail tests instead of hanging.
+//
+// Fault integration (src/fault/):
+//   * A message may carry a deliver_at timestamp (injected delivery delay);
+//     match() ignores it until that instant passes. Among *available*
+//     matches delivery stays FIFO in post order (MPI non-overtaking); a
+//     delayed message can be overtaken — the reliable transport's sequence
+//     numbers restore ordering above this layer.
+//   * When the owning World's AbortFlag is raised, every blocked match()
+//     wakes immediately and throws FaultError(kAborted) — the fail-fast
+//     path that replaces waiting out the full receive deadline after a peer
+//     rank has died.
+//   * Timeouts throw gencoll::FaultError (kind kTimeout), a subclass of the
+//     std::runtime_error this class threw historically.
 #pragma once
 
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <span>
 #include <vector>
+
+#include "fault/abort.hpp"
 
 namespace gencoll::runtime {
 
@@ -21,6 +37,9 @@ struct Message {
   int source = -1;
   int tag = 0;
   std::vector<std::byte> payload;
+  /// Earliest instant match() may hand the message out; the epoch default
+  /// means "immediately". Set by fault-injected delivery delays.
+  std::chrono::steady_clock::time_point deliver_at{};
 };
 
 class Mailbox {
@@ -28,22 +47,42 @@ class Mailbox {
   /// Deposit a message (called by the sending rank's thread).
   void post(Message message);
 
-  /// Block until a message from `source` with `tag` is available, remove it
-  /// from the queue, and return it. Matching is by exact (source, tag);
-  /// among matches, delivery is FIFO in post order (MPI non-overtaking).
-  /// Throws std::runtime_error on timeout.
-  Message match(int source, int tag, std::chrono::milliseconds timeout);
+  /// Block until a message from `source` with `tag` is available (posted and
+  /// past its deliver_at), remove it from the queue, and return it. Matching
+  /// is by exact (source, tag); among available matches, delivery is FIFO in
+  /// post order (MPI non-overtaking). Throws FaultError(kTimeout) on
+  /// deadline expiry and FaultError(kAborted) when the abort flag raises.
+  /// `self_rank` only labels the thrown errors (-1 = unknown).
+  Message match(int source, int tag, std::chrono::milliseconds timeout,
+                int self_rank = -1);
 
-  /// Non-blocking probe: true if a matching message is queued.
+  /// Non-blocking probe: true if a matching message is queued (regardless of
+  /// deliver_at).
   bool probe(int source, int tag);
+
+  /// Remove every queued (source, tag) message whose payload satisfies
+  /// `pred`, regardless of deliver_at; returns the number removed. The
+  /// reliable transport uses this to clear stale acks and duplicate data so
+  /// recovered channels drain toward pending() == 0 (the final retransmission
+  /// of a channel can linger until the next receive on it).
+  std::size_t drain_matching(int source, int tag,
+                             const std::function<bool(std::span<const std::byte>)>& pred);
 
   /// Number of queued (undelivered) messages; used by leak checks in tests.
   std::size_t pending() const;
+
+  /// Attach the World's abort poison (non-owning; may be nullptr). Called
+  /// once before any rank thread runs.
+  void set_abort_flag(const fault::AbortFlag* abort) { abort_ = abort; }
+
+  /// Wake all blocked match() calls so they re-check the abort flag.
+  void interrupt();
 
  private:
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Message> queue_;
+  const fault::AbortFlag* abort_ = nullptr;
 };
 
 }  // namespace gencoll::runtime

@@ -1,16 +1,40 @@
 #include "runtime/world.hpp"
 
+#include <cstdlib>
 #include <exception>
 #include <stdexcept>
 #include <thread>
 
+#include "fault/error.hpp"
+
 namespace gencoll::runtime {
 
-World::World(int size) : size_(size) {
+namespace {
+
+/// Default receive deadline: explicit option > GENCOLL_RECV_TIMEOUT_MS > 60 s.
+/// Read once per World so tests can setenv() between Worlds.
+std::chrono::milliseconds resolve_recv_timeout(const WorldOptions& options) {
+  if (options.recv_timeout) return *options.recv_timeout;
+  if (const char* env = std::getenv("GENCOLL_RECV_TIMEOUT_MS"); env != nullptr) {
+    char* end = nullptr;
+    const long ms = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && ms > 0) return std::chrono::milliseconds(ms);
+  }
+  return std::chrono::seconds(60);
+}
+
+}  // namespace
+
+World::World(int size, WorldOptions options)
+    : size_(size),
+      options_(std::move(options)),
+      recv_timeout_(resolve_recv_timeout(options_)) {
   if (size <= 0) throw std::invalid_argument("World: size must be positive");
+  if (options_.fault_plan != nullptr) options_.fault_plan->check();
   mailboxes_.reserve(static_cast<std::size_t>(size));
   for (int i = 0; i < size; ++i) {
     mailboxes_.push_back(std::make_unique<Mailbox>());
+    mailboxes_.back()->set_abort_flag(&abort_);
   }
 }
 
@@ -20,13 +44,21 @@ Mailbox& World::mailbox(int rank) {
 
 void World::barrier_wait() {
   std::unique_lock<std::mutex> lock(barrier_mu_);
+  if (abort_.raised()) {
+    throw FaultError(FaultKind::kAborted, -1, -1, -1,
+                     "barrier entered on poisoned World (" + abort_.reason() + ")");
+  }
   const bool sense = barrier_sense_;
   if (++barrier_arrived_ == size_) {
     barrier_arrived_ = 0;
     barrier_sense_ = !barrier_sense_;
     barrier_cv_.notify_all();
   } else {
-    barrier_cv_.wait(lock, [&] { return barrier_sense_ != sense; });
+    barrier_cv_.wait(lock, [&] { return barrier_sense_ != sense || abort_.raised(); });
+    if (barrier_sense_ == sense) {  // woken by abort, not by the last arrival
+      throw FaultError(FaultKind::kAborted, -1, -1, -1,
+                       "barrier interrupted by abort (" + abort_.reason() + ")");
+    }
   }
 }
 
@@ -36,8 +68,24 @@ std::size_t World::pending_messages() const {
   return total;
 }
 
+void World::abort(int rank, const std::string& reason) {
+  abort_.raise(rank, reason);
+  {
+    // Pair the notify with the barrier mutex so a waiter cannot re-check its
+    // predicate between our flag raise and notify and then sleep forever.
+    std::lock_guard<std::mutex> lock(barrier_mu_);
+  }
+  barrier_cv_.notify_all();
+  for (const auto& mb : mailboxes_) mb->interrupt();
+}
+
 void World::run(int size, const std::function<void(Communicator&)>& fn) {
-  World world(size);
+  run(size, fn, WorldOptions{});
+}
+
+void World::run(int size, const std::function<void(Communicator&)>& fn,
+                const WorldOptions& options) {
+  World world(size, options);
 
   std::mutex error_mu;
   std::exception_ptr first_error;
@@ -50,8 +98,19 @@ void World::run(int size, const std::function<void(Communicator&)>& fn) {
         Communicator comm(&world, r);
         fn(comm);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mu);
-        if (!first_error) first_error = std::current_exception();
+        {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        // Fail fast: wake every peer blocked on this rank's messages. The
+        // first (recorded) exception stays the one re-thrown below.
+        try {
+          throw;
+        } catch (const std::exception& e) {
+          world.abort(r, e.what());
+        } catch (...) {
+          world.abort(r, "non-standard exception");
+        }
       }
     });
   }

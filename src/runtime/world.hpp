@@ -3,23 +3,50 @@
 // World::run(p, fn) spawns p threads, hands each a Communicator, and joins.
 // The first exception thrown by any rank is re-thrown to the caller after all
 // threads finish, so tests see rank failures as ordinary test failures.
+//
+// Fail-fast abort: when any rank's body throws (or a FaultPlan kills it),
+// World::run raises the abort poison — every peer blocked in Mailbox::match
+// or barrier_wait wakes immediately with FaultError(kAborted) instead of
+// stalling until the receive deadline. The first (causal) exception is still
+// the one re-thrown.
+//
+// WorldOptions wires in the fault subsystem: a deterministic FaultPlan
+// interposed on the transport, the reliable-transport configuration, and the
+// default receive deadline (overridable via GENCOLL_RECV_TIMEOUT_MS so CI
+// chaos runs fail in seconds, not minutes).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <string>
 #include <vector>
 
+#include "fault/abort.hpp"
+#include "fault/plan.hpp"
 #include "runtime/comm.hpp"
 #include "runtime/mailbox.hpp"
 
 namespace gencoll::runtime {
 
+struct WorldOptions {
+  /// Deterministic fault injection applied to every message post. Non-owning;
+  /// must outlive the World. nullptr = no injection.
+  const fault::FaultPlan* fault_plan = nullptr;
+  /// Reliable-transport settings (uniform across ranks).
+  ReliabilityConfig reliability;
+  /// Default blocking-receive deadline for this World's communicators.
+  /// Unset: GENCOLL_RECV_TIMEOUT_MS from the environment, else 60 s.
+  std::optional<std::chrono::milliseconds> recv_timeout;
+};
+
 class World {
  public:
-  explicit World(int size);
+  explicit World(int size, WorldOptions options = {});
   World(const World&) = delete;
   World& operator=(const World&) = delete;
 
@@ -27,19 +54,35 @@ class World {
 
   Mailbox& mailbox(int rank);
 
-  /// Sense-reversing barrier across all `size` ranks.
+  /// Sense-reversing barrier across all `size` ranks. Throws
+  /// FaultError(kAborted) once the World is poisoned.
   void barrier_wait();
 
   /// Total undelivered messages across all mailboxes (leak check).
   [[nodiscard]] std::size_t pending_messages() const;
 
+  /// Poison the World: record (rank, reason) and wake every waiter blocked
+  /// in Mailbox::match or barrier_wait. First abort wins; idempotent.
+  void abort(int rank, const std::string& reason);
+  [[nodiscard]] bool aborted() const { return abort_.raised(); }
+  [[nodiscard]] std::string abort_reason() const { return abort_.reason(); }
+
+  [[nodiscard]] const WorldOptions& options() const { return options_; }
+  [[nodiscard]] std::chrono::milliseconds recv_timeout() const { return recv_timeout_; }
+
   /// Convenience: construct a World of `size` ranks, run `fn(comm)` on a
   /// thread per rank, join, and re-throw the first rank exception (if any).
+  /// A throwing rank aborts the World so its peers fail fast.
   static void run(int size, const std::function<void(Communicator&)>& fn);
+  static void run(int size, const std::function<void(Communicator&)>& fn,
+                  const WorldOptions& options);
 
  private:
   int size_;
+  WorldOptions options_;
+  std::chrono::milliseconds recv_timeout_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  fault::AbortFlag abort_;
 
   std::mutex barrier_mu_;
   std::condition_variable barrier_cv_;

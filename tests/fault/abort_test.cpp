@@ -1,0 +1,159 @@
+// Fail-fast abort tests: when any rank dies, every peer blocked in a receive
+// or barrier must wake immediately with FaultError(kAborted) instead of
+// stalling until the receive deadline. Also covers the configurable default
+// deadline (WorldOptions > GENCOLL_RECV_TIMEOUT_MS > 60 s).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "fault/error.hpp"
+#include "fault/plan.hpp"
+#include "runtime/comm.hpp"
+#include "runtime/world.hpp"
+
+namespace gencoll::runtime {
+namespace {
+
+using gencoll::FaultError;
+using gencoll::FaultKind;
+using std::chrono::steady_clock;
+
+TEST(Abort, WakesBlockedReceiversImmediately) {
+  WorldOptions options;
+  options.recv_timeout = std::chrono::seconds(30);  // far beyond the test budget
+  const auto start = steady_clock::now();
+  EXPECT_THROW(
+      World::run(4,
+                 [](Communicator& comm) {
+                   if (comm.rank() == 0) throw std::logic_error("rank 0 died");
+                   std::vector<std::byte> buf(8);
+                   comm.recv(0, 0, buf);  // never arrives
+                 },
+                 options),
+      std::logic_error);
+  // Fail fast: nowhere near the 30 s deadline (pre-abort this stalled it out).
+  EXPECT_LT(steady_clock::now() - start, std::chrono::seconds(10));
+}
+
+TEST(Abort, WakesBlockedBarrierWaiters) {
+  WorldOptions options;
+  options.recv_timeout = std::chrono::seconds(30);
+  const auto start = steady_clock::now();
+  try {
+    World::run(4,
+               [](Communicator& comm) {
+                 if (comm.rank() == 3) throw std::logic_error("rank 3 died");
+                 comm.barrier();  // can never complete with rank 3 gone
+               },
+               options);
+    FAIL() << "expected an exception";
+  } catch (const std::logic_error&) {
+    // rank 3's own error was recorded first
+  } catch (const FaultError& e) {
+    EXPECT_EQ(e.kind(), FaultKind::kAborted);  // a waiter's poison won the race
+  }
+  EXPECT_LT(steady_clock::now() - start, std::chrono::seconds(10));
+}
+
+TEST(Abort, PoisonedWorldStaysPoisoned) {
+  World world(2);
+  world.abort(0, "manual abort");
+  EXPECT_TRUE(world.aborted());
+  EXPECT_EQ(world.abort_reason(), "manual abort");
+  // Every blocking primitive fails immediately on the poisoned World.
+  EXPECT_THROW(world.barrier_wait(), FaultError);
+  EXPECT_THROW(world.mailbox(1).match(0, 0, std::chrono::seconds(30), 1), FaultError);
+  try {
+    world.mailbox(1).match(0, 0, std::chrono::seconds(30), 1);
+  } catch (const FaultError& e) {
+    EXPECT_EQ(e.kind(), FaultKind::kAborted);
+  }
+}
+
+TEST(Abort, InjectedCrashPropagatesTypedErrors) {
+  fault::FaultPlan plan;
+  plan.seed = 9;
+  plan.crashes.push_back({2, 2});  // rank 2 dies entering its 3rd p2p op
+  WorldOptions options;
+  options.fault_plan = &plan;
+  options.recv_timeout = std::chrono::seconds(30);
+  World world(4, options);
+
+  std::mutex mu;
+  std::vector<std::optional<FaultKind>> kinds(4);
+  const auto start = steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int r = 0; r < 4; ++r) {
+    threads.emplace_back([&world, &mu, &kinds, r] {
+      Communicator comm(&world, r);
+      try {
+        std::vector<std::byte> buf(4);
+        for (int i = 0; i < 5; ++i) {
+          comm.send((r + 1) % 4, i, buf);
+          comm.recv((r + 3) % 4, i, buf);
+        }
+      } catch (const FaultError& e) {
+        std::lock_guard<std::mutex> lock(mu);
+        kinds[static_cast<std::size_t>(r)] = e.kind();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  ASSERT_TRUE(kinds[2].has_value());
+  EXPECT_EQ(*kinds[2], FaultKind::kRankDeath);  // the crashing rank's own error
+  int aborted = 0;
+  for (int r : {0, 1, 3}) {
+    if (kinds[static_cast<std::size_t>(r)].has_value()) {
+      EXPECT_EQ(*kinds[static_cast<std::size_t>(r)], FaultKind::kAborted) << "rank " << r;
+      ++aborted;
+    }
+  }
+  EXPECT_GT(aborted, 0);  // someone was blocked on the dead rank and woke via poison
+  EXPECT_TRUE(world.aborted());
+  EXPECT_NE(world.abort_reason().find("injected crash"), std::string::npos);
+  EXPECT_LT(steady_clock::now() - start, std::chrono::seconds(10));
+}
+
+TEST(RecvTimeout, EnvVarSetsDefault) {
+  ASSERT_EQ(setenv("GENCOLL_RECV_TIMEOUT_MS", "1234", 1), 0);
+  World world(1);
+  EXPECT_EQ(world.recv_timeout(), std::chrono::milliseconds(1234));
+  unsetenv("GENCOLL_RECV_TIMEOUT_MS");
+}
+
+TEST(RecvTimeout, ExplicitOptionBeatsEnvVar) {
+  ASSERT_EQ(setenv("GENCOLL_RECV_TIMEOUT_MS", "1234", 1), 0);
+  WorldOptions options;
+  options.recv_timeout = std::chrono::milliseconds(777);
+  World world(1, options);
+  EXPECT_EQ(world.recv_timeout(), std::chrono::milliseconds(777));
+  unsetenv("GENCOLL_RECV_TIMEOUT_MS");
+}
+
+TEST(RecvTimeout, InvalidEnvVarFallsBackToDefault) {
+  for (const char* bad : {"bogus", "-5", "0", "12x"}) {
+    ASSERT_EQ(setenv("GENCOLL_RECV_TIMEOUT_MS", bad, 1), 0);
+    World world(1);
+    EXPECT_EQ(world.recv_timeout(), std::chrono::seconds(60)) << bad;
+  }
+  unsetenv("GENCOLL_RECV_TIMEOUT_MS");
+}
+
+TEST(RecvTimeout, CommunicatorInheritsWorldDeadline) {
+  WorldOptions options;
+  options.recv_timeout = std::chrono::milliseconds(250);
+  World::run(1,
+             [](Communicator& comm) {
+               EXPECT_EQ(comm.recv_timeout(), std::chrono::milliseconds(250));
+             },
+             options);
+}
+
+}  // namespace
+}  // namespace gencoll::runtime

@@ -1,0 +1,221 @@
+// Chaos harness (the fault subsystem's capstone): every generalized
+// (collective, kernel) pair from the paper's Table I is executed on the
+// threaded runtime under randomized-but-seeded fault plans. The contract
+// under fault injection is strict:
+//
+//   * with the reliable transport on, recoverable chaos (drops, duplicates,
+//     bit-flips, delays, slow ranks) must still produce bit-correct results
+//     against core/reference — or raise a typed gencoll::FaultError;
+//   * a crashed rank must surface as FaultError (kRankDeath on the dead
+//     rank, kAborted on its peers) long before the receive deadline;
+//   * without the reliable transport, lost messages must fail fast with a
+//     typed timeout — never a silent hang;
+//   * the same seed reproduces the same fault plan, so every failure here
+//     is replayable with `bench_degraded --fault-seed=<seed>`.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/executor.hpp"
+#include "core/reference.hpp"
+#include "core/registry.hpp"
+#include "fault/error.hpp"
+#include "fault/plan.hpp"
+
+namespace gencoll::core {
+namespace {
+
+using gencoll::FaultError;
+using gencoll::FaultKind;
+using runtime::DataType;
+using runtime::ReduceOp;
+using std::chrono::steady_clock;
+
+constexpr int kRanks = 8;
+
+struct Pair {
+  CollOp op;
+  Algorithm alg;
+};
+
+/// The 10 generalized implementations of the paper's Table I.
+std::vector<Pair> generalized_pairs() {
+  std::vector<Pair> pairs;
+  for (const KernelInfo& kernel : kernel_table()) {
+    for (CollOp op : kernel.ops) pairs.push_back({op, kernel.generalized});
+  }
+  return pairs;
+}
+
+TEST(ChaosSetup, TableOneHasTenImplementations) {
+  EXPECT_EQ(generalized_pairs().size(), 10u);
+}
+
+/// Deterministically derive the (pair, radix, count) mix for a chaos seed so
+/// the 50 recoverable runs sweep all 10 pairs with varied shapes.
+struct CaseShape {
+  CollParams params;
+  Algorithm alg;
+};
+
+CaseShape shape_for(std::uint64_t seed) {
+  const auto pairs = generalized_pairs();
+  const Pair pair = pairs[seed % pairs.size()];
+  CollParams params;
+  params.op = pair.op;
+  params.p = kRanks;
+  params.root = static_cast<int>(seed / pairs.size()) % kRanks;
+  constexpr std::size_t kCounts[] = {64, 193, 257};
+  params.count = kCounts[(seed / 3) % 3];
+  params.elem_size = runtime::datatype_size(DataType::kInt32);
+  const auto radixes = candidate_radixes(pair.op, pair.alg, kRanks);
+  params.k = radixes[(seed / 7) % radixes.size()];
+  // Every Table I pair must be runnable at p=8 with one of its candidate
+  // radixes; fall back through the list if this (k, root) combo is out.
+  for (std::size_t i = 0; !supports_params(pair.alg, params) && i < radixes.size();
+       ++i) {
+    params.k = radixes[i];
+  }
+  return {params, pair.alg};
+}
+
+/// Int32 sums are order-independent, so results must match the reference
+/// bit-for-bit on every defined segment.
+void expect_exact_outputs(const CollParams& params,
+                          const std::vector<std::vector<std::byte>>& got,
+                          const std::vector<std::vector<std::byte>>& want,
+                          const std::string& context) {
+  for (int r = 0; r < params.p; ++r) {
+    const auto& g = got[static_cast<std::size_t>(r)];
+    const auto& w = want[static_cast<std::size_t>(r)];
+    for (const Seg& seg : result_segments(params, r)) {
+      ASSERT_GE(g.size(), seg.off + seg.len) << context << " rank " << r;
+      ASSERT_TRUE(std::memcmp(g.data() + seg.off, w.data() + seg.off, seg.len) == 0)
+          << context << " rank " << r << " segment at " << seg.off
+          << ": wrong answer under fault injection";
+    }
+  }
+}
+
+class RecoverableChaos : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RecoverableChaos, ValidatesOrRaisesTypedError) {
+  const std::uint64_t seed = GetParam();
+  const CaseShape shape = shape_for(seed);
+  ASSERT_TRUE(supports_params(shape.alg, shape.params))
+      << algorithm_name(shape.alg) << " " << shape.params.describe();
+
+  const fault::FaultPlan plan = fault::FaultPlan::chaos(seed, kRanks);
+  // Reproducibility is the whole point: the seed alone determines the plan.
+  EXPECT_EQ(plan.describe(), fault::FaultPlan::chaos(seed, kRanks).describe());
+
+  const std::string context = std::string(algorithm_name(shape.alg)) + " " +
+                              shape.params.describe() + " plan{" + plan.describe() +
+                              "}";
+  const Schedule sched = build_schedule(shape.alg, shape.params);
+  const auto inputs = make_inputs(shape.params, DataType::kInt32, seed);
+  const auto want = reference_outputs(shape.params, inputs, DataType::kInt32,
+                                      ReduceOp::kSum);
+
+  ThreadedExecOptions options;
+  options.world.fault_plan = &plan;
+  options.world.reliability.enabled = true;
+  options.world.reliability.ack_timeout = std::chrono::milliseconds(5);
+  options.world.recv_timeout = std::chrono::milliseconds(5000);
+
+  const auto start = steady_clock::now();
+  try {
+    const auto got =
+        execute_threaded(sched, inputs, DataType::kInt32, ReduceOp::kSum, options);
+    expect_exact_outputs(shape.params, got, want, context);
+  } catch (const FaultError& e) {
+    // A typed failure is an acceptable outcome class; a hang or a wrong
+    // answer is not. chaos() never injects crashes, so only transport kinds
+    // can legitimately surface here.
+    EXPECT_TRUE(e.kind() == FaultKind::kTimeout ||
+                e.kind() == FaultKind::kRetriesExhausted ||
+                e.kind() == FaultKind::kAborted)
+        << context << " raised " << e.what();
+  }
+  EXPECT_LT(steady_clock::now() - start, std::chrono::seconds(30)) << context;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RecoverableChaos, testing::Range<std::uint64_t>(0, 50));
+
+class CrashChaos : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CrashChaos, FailsFastWithTypedError) {
+  const std::uint64_t seed = GetParam();
+  const CaseShape shape = shape_for(seed * 7 + 3);
+  ASSERT_TRUE(supports_params(shape.alg, shape.params));
+
+  fault::FaultPlan plan = fault::FaultPlan::chaos(seed, kRanks);
+  // Kill one rank at its very first point-to-point operation: every rank
+  // participates in every Table I schedule, so the crash always fires.
+  plan.crashes.push_back({static_cast<int>(seed % kRanks), 0});
+
+  const Schedule sched = build_schedule(shape.alg, shape.params);
+  const auto inputs = make_inputs(shape.params, DataType::kInt32, seed);
+
+  ThreadedExecOptions options;
+  options.world.fault_plan = &plan;
+  options.world.reliability.enabled = true;
+  options.world.recv_timeout = std::chrono::seconds(30);  // fail-fast must not need it
+
+  const auto start = steady_clock::now();
+  try {
+    execute_threaded(sched, inputs, DataType::kInt32, ReduceOp::kSum, options);
+    FAIL() << "rank " << seed % kRanks << " crashed but the run completed";
+  } catch (const FaultError& e) {
+    // Either the dead rank's own error or a peer's abort poison wins the
+    // race to be recorded first; both are typed and name the cause.
+    EXPECT_TRUE(e.kind() == FaultKind::kRankDeath || e.kind() == FaultKind::kAborted)
+        << e.what();
+  }
+  // The whole point of abort poison: nowhere near the 30 s receive deadline.
+  EXPECT_LT(steady_clock::now() - start, std::chrono::seconds(15));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrashChaos, testing::Range<std::uint64_t>(0, 10));
+
+class UnreliableChaos : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UnreliableChaos, LostMessagesTimeOutInsteadOfHanging) {
+  const std::uint64_t seed = GetParam();
+  const CaseShape shape = shape_for(seed * 11 + 5);
+  ASSERT_TRUE(supports_params(shape.alg, shape.params));
+
+  fault::FaultPlan plan;
+  plan.seed = seed;
+  plan.drop_prob = 0.3;  // without the reliable transport, a drop is fatal
+
+  const Schedule sched = build_schedule(shape.alg, shape.params);
+  const auto inputs = make_inputs(shape.params, DataType::kInt32, seed);
+  const auto want = reference_outputs(shape.params, inputs, DataType::kInt32,
+                                      ReduceOp::kSum);
+
+  ThreadedExecOptions options;
+  options.world.fault_plan = &plan;
+  options.world.recv_timeout = std::chrono::milliseconds(800);
+
+  const auto start = steady_clock::now();
+  try {
+    const auto got =
+        execute_threaded(sched, inputs, DataType::kInt32, ReduceOp::kSum, options);
+    // Conceivably every dropped message missed this schedule; then the run
+    // must be fully correct.
+    expect_exact_outputs(shape.params, got, want, "unreliable survivor");
+  } catch (const FaultError& e) {
+    EXPECT_TRUE(e.kind() == FaultKind::kTimeout || e.kind() == FaultKind::kAborted)
+        << e.what();
+  }
+  EXPECT_LT(steady_clock::now() - start, std::chrono::seconds(20));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnreliableChaos, testing::Range<std::uint64_t>(0, 6));
+
+}  // namespace
+}  // namespace gencoll::core

@@ -5,7 +5,10 @@
 #include <atomic>
 #include <cstring>
 #include <numeric>
+#include <string>
 #include <vector>
+
+#include "fault/error.hpp"
 
 #include "runtime/world.hpp"
 
@@ -51,6 +54,30 @@ TEST(Comm, SizeMismatchThrows) {
                             }
                           }),
                std::runtime_error);
+}
+
+TEST(Comm, SizeMismatchNamesChannelAndSizes) {
+  // Regression: the error must carry enough to debug a schedule bug — both
+  // byte counts and the (source, tag, receiver) coordinates.
+  try {
+    World::run(2, [](Communicator& comm) {
+      if (comm.rank() == 0) {
+        comm.send(1, 4, bytes_of({1, 2, 3}));
+      } else {
+        std::vector<std::byte> too_small(2);
+        comm.recv(0, 4, too_small);
+      }
+    });
+    FAIL() << "expected FaultError";
+  } catch (const gencoll::FaultError& e) {
+    EXPECT_EQ(e.kind(), gencoll::FaultKind::kSizeMismatch);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2-byte receive"), std::string::npos) << what;
+    EXPECT_NE(what.find("3-byte message"), std::string::npos) << what;
+    EXPECT_NE(what.find("source=0"), std::string::npos) << what;
+    EXPECT_NE(what.find("tag=4"), std::string::npos) << what;
+    EXPECT_NE(what.find("receiver=1"), std::string::npos) << what;
+  }
 }
 
 TEST(Comm, RecvAnySize) {

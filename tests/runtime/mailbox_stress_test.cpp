@@ -1,0 +1,170 @@
+// Mailbox concurrency stress: many poster threads and many matcher threads
+// hammer one mailbox with interleaved tags. Verifies the two load-bearing
+// guarantees the collectives and the reliable transport build on — per
+// (source, tag) FIFO non-overtaking among available messages, and no message
+// ever lost or double-delivered (pending() drains to exactly zero) — under
+// real thread interleavings, so the sanitizer legs can prove the locking.
+#include "runtime/mailbox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "fault/abort.hpp"
+#include "fault/error.hpp"
+
+namespace gencoll::runtime {
+namespace {
+
+using gencoll::FaultError;
+using gencoll::FaultKind;
+
+std::vector<std::byte> encode(int value) {
+  std::vector<std::byte> out(sizeof(int));
+  std::memcpy(out.data(), &value, sizeof(int));
+  return out;
+}
+
+int decode(const std::vector<std::byte>& payload) {
+  int value = 0;
+  std::memcpy(&value, payload.data(), sizeof(int));
+  return value;
+}
+
+TEST(MailboxStress, ConcurrentChannelsStayFifoAndDrain) {
+  constexpr int kPosters = 4;
+  constexpr int kTags = 3;
+  constexpr int kPerChannel = 200;
+  Mailbox box;
+
+  // Posters interleave their channels message by message; matchers race them
+  // from the start, so delivery overlaps posting.
+  std::vector<std::thread> threads;
+  for (int src = 0; src < kPosters; ++src) {
+    threads.emplace_back([&box, src] {
+      for (int i = 0; i < kPerChannel; ++i) {
+        for (int tag = 0; tag < kTags; ++tag) {
+          Message m;
+          m.source = src;
+          m.tag = tag;
+          m.payload = encode(i);
+          box.post(std::move(m));
+        }
+      }
+    });
+  }
+
+  std::atomic<int> fifo_violations{0};
+  for (int src = 0; src < kPosters; ++src) {
+    for (int tag = 0; tag < kTags; ++tag) {
+      threads.emplace_back([&box, &fifo_violations, src, tag] {
+        for (int i = 0; i < kPerChannel; ++i) {
+          const Message m = box.match(src, tag, std::chrono::seconds(30));
+          if (decode(m.payload) != i) fifo_violations.fetch_add(1);
+        }
+      });
+    }
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(fifo_violations.load(), 0);
+  EXPECT_EQ(box.pending(), 0u);  // nothing lost, nothing duplicated
+}
+
+TEST(MailboxStress, ProbeAndDrainRaceWithPosters) {
+  constexpr int kMessages = 500;
+  Mailbox box;
+  std::thread poster([&box] {
+    for (int i = 0; i < kMessages; ++i) {
+      Message m;
+      m.source = 0;
+      m.tag = i % 2;
+      m.payload = encode(i);
+      box.post(std::move(m));
+    }
+  });
+  // Drain every even-tag message while the poster is still running; probe
+  // concurrently on the other tag.
+  std::size_t drained = 0;
+  while (drained * 2 < static_cast<std::size_t>(kMessages)) {
+    drained += box.drain_matching(0, 0, [](std::span<const std::byte>) { return true; });
+    box.probe(0, 1);
+    std::this_thread::yield();
+  }
+  poster.join();
+  // The odd-tag half is still queued and matchable in FIFO order.
+  for (int i = 1; i < kMessages; i += 2) {
+    const Message m = box.match(0, 1, std::chrono::seconds(30));
+    ASSERT_EQ(decode(m.payload), i);
+  }
+  EXPECT_EQ(box.pending(), 0u);
+}
+
+TEST(MailboxStress, DelayedMessageIsOvertakenByAvailableOne) {
+  Mailbox box;
+  Message delayed;
+  delayed.source = 0;
+  delayed.tag = 7;
+  delayed.payload = encode(1);
+  delayed.deliver_at = std::chrono::steady_clock::now() + std::chrono::milliseconds(80);
+  box.post(std::move(delayed));
+  Message ready;
+  ready.source = 0;
+  ready.tag = 7;
+  ready.payload = encode(2);
+  box.post(std::move(ready));
+
+  // FIFO applies among *available* messages: the ripe one is handed out
+  // first, then the delayed one once its deliver_at passes.
+  EXPECT_EQ(decode(box.match(0, 7, std::chrono::seconds(5)).payload), 2);
+  EXPECT_EQ(decode(box.match(0, 7, std::chrono::seconds(5)).payload), 1);
+  EXPECT_EQ(box.pending(), 0u);
+}
+
+TEST(MailboxStress, AbortWakesEveryBlockedMatcher) {
+  constexpr int kWaiters = 6;
+  Mailbox box;
+  fault::AbortFlag abort;
+  box.set_abort_flag(&abort);
+
+  std::atomic<int> woken_typed{0};
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&box, &woken_typed, i] {
+      try {
+        box.match(0, i, std::chrono::seconds(30), /*self_rank=*/1);
+      } catch (const FaultError& e) {
+        if (e.kind() == FaultKind::kAborted) woken_typed.fetch_add(1);
+      }
+    });
+  }
+  // Give the waiters a moment to block, then poison and wake them all.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const auto start = std::chrono::steady_clock::now();
+  abort.raise(3, "peer died");
+  box.interrupt();
+  for (auto& t : waiters) t.join();
+  EXPECT_EQ(woken_typed.load(), kWaiters);
+  // All of them woke via the poison, not by waiting out the 30 s deadline.
+  EXPECT_LT(std::chrono::steady_clock::now() - start, std::chrono::seconds(10));
+}
+
+TEST(MailboxStress, TimeoutIsTypedAndLabelled) {
+  Mailbox box;
+  try {
+    box.match(2, 9, std::chrono::milliseconds(10), /*self_rank=*/5);
+    FAIL() << "expected FaultError";
+  } catch (const FaultError& e) {
+    EXPECT_EQ(e.kind(), FaultKind::kTimeout);
+    EXPECT_EQ(e.rank(), 5);
+    EXPECT_EQ(e.peer(), 2);
+    EXPECT_EQ(e.tag(), 9);
+  }
+}
+
+}  // namespace
+}  // namespace gencoll::runtime
