@@ -1,0 +1,80 @@
+#include "check/check.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "check/conformance.hpp"
+#include "check/hazards.hpp"
+#include "check/provenance.hpp"
+#include "check/symbolic.hpp"
+#include "core/validate.hpp"
+
+namespace gencoll::check {
+
+const char* violation_kind_name(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kStructure: return "structure";
+    case ViolationKind::kProvenance: return "provenance";
+    case ViolationKind::kBufferRace: return "buffer-race";
+    case ViolationKind::kMatchAmbiguity: return "match-ambiguity";
+    case ViolationKind::kConformance: return "conformance";
+  }
+  return "?";
+}
+
+std::string describe(const Violation& v) {
+  std::string s = violation_kind_name(v.kind);
+  if (v.rank >= 0) {
+    s += " rank=" + std::to_string(v.rank);
+    s += v.step >= 0 ? " step=" + std::to_string(v.step) : " final-state";
+  }
+  if (v.byte_len > 0) {
+    s += " bytes=[" + std::to_string(v.byte_off) + "," +
+         std::to_string(v.byte_off + v.byte_len) + ")";
+  }
+  return s + ": " + v.detail;
+}
+
+CheckReport check_schedule(const core::Schedule& sched, core::Algorithm alg,
+                           const CheckOptions& options) {
+  CheckReport report;
+  report.total_send_bytes = sched.total_send_bytes();
+
+  core::ScheduleMatching matching;
+  try {
+    matching = core::match_schedule(sched);
+  } catch (const std::logic_error& e) {
+    // Nothing downstream is meaningful on a schedule that cannot even be
+    // matched (deadlock, bounds, mismatched pair): report and stop.
+    report.violations.push_back(
+        Violation{ViolationKind::kStructure, -1, -1, 0, 0, e.what()});
+    return report;
+  }
+
+  ValueTable table;
+  const ProvenanceResult provenance =
+      run_provenance(sched, matching, table, report.violations);
+  const HazardResult hazards =
+      analyze_hazards(sched, matching, provenance, options, report.violations);
+  report.hazards = hazards.stats;
+  report.rounds = hazards.rounds;
+
+  if (options.conformance) {
+    const ConformanceResult conf =
+        check_conformance(sched, alg, hazards.rounds, report.violations);
+    report.intergroup_send_bytes = conf.intergroup_send_bytes;
+  }
+  return report;
+}
+
+void require_ok(const core::Schedule& sched, const CheckReport& report) {
+  if (report.ok()) return;
+  std::string msg = "schedule check failed: " + sched.name + " [" +
+                    sched.params.describe() + "]";
+  for (const Violation& v : report.violations) {
+    msg += "\n  " + describe(v);
+  }
+  throw std::logic_error(msg);
+}
+
+}  // namespace gencoll::check

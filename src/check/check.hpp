@@ -1,0 +1,114 @@
+// Symbolic schedule prover (static analysis over the Schedule IR).
+//
+// check_schedule() proves three independent properties of a compiled
+// schedule without executing it:
+//
+//  1. Provenance dataflow — an abstract interpretation (symbolic.hpp) that
+//     replays the schedule over provenance values and proves each rank's
+//     result bytes hold exactly the contributions the collective's contract
+//     demands: bcast delivers the root's payload everywhere, reduce-family
+//     ops accumulate every rank exactly once (no double-reduce, no dropped
+//     fold rank), gather-family ops place every block at its exact offset.
+//
+//  2. Concurrency hazards — a happens-before graph (program order plus
+//     send-before-matching-receive) classifying (a) sends whose buffer is
+//     locally overwritten concurrently with the matched receive (a race
+//     only under a zero-copy transport; both in-process executors copy at
+//     post time) and (b) same-(source, destination, tag) message pairs
+//     whose order the schedule depends on (safe under the runtime's
+//     per-channel FIFO contract; ambiguous under a reordering transport).
+//     By default these are reported as statistics; the zero_copy /
+//     strict_reorder options promote them to violations to prove a
+//     schedule safe under the stronger contracts.
+//
+//  3. Cost-model conformance — the schedule's total send bytes, round
+//     count (longest message chain), and k-ring inter-group traffic must
+//     equal the discrete closed forms of model/closed_forms.hpp (the exact
+//     counterparts of the paper's Eqs. (1)-(14)), turning the cost models
+//     into checked invariants of every build.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/coll_params.hpp"
+#include "core/schedule.hpp"
+
+namespace gencoll::check {
+
+enum class ViolationKind {
+  kStructure,       ///< match_schedule failed (bounds/deadlock/mismatch)
+  kProvenance,      ///< result bytes hold the wrong contribution multiset
+  kBufferRace,      ///< send buffer overwritten concurrently (zero_copy only)
+  kMatchAmbiguity,  ///< FIFO-dependent message pair (strict_reorder only)
+  kConformance,     ///< measured cost != closed form
+};
+
+const char* violation_kind_name(ViolationKind kind);
+
+struct Violation {
+  ViolationKind kind = ViolationKind::kProvenance;
+  int rank = -1;               ///< offending rank; -1 = schedule-wide
+  std::int64_t step = -1;      ///< offending step index on `rank`; -1 = final state
+  std::size_t byte_off = 0;    ///< offending output byte range (when meaningful)
+  std::size_t byte_len = 0;
+  std::string detail;          ///< human diagnostic (expected vs found, ...)
+};
+
+/// One-line "kind rank=R step=S bytes=[off,off+len): detail".
+std::string describe(const Violation& v);
+
+/// Hazard populations under the *weakest* transport assumptions. Non-zero
+/// entries are not bugs — they state which transport contracts the schedule
+/// needs (buffered sends, per-channel FIFO), which the in-process runtime
+/// provides. CheckOptions promotes classes to violations.
+struct HazardStats {
+  /// Sends whose payload range a later local write clobbers without the
+  /// matched receive ordered first: unsafe under zero-copy sends.
+  std::size_t zero_copy_races = 0;
+  /// Same-channel concurrent message pairs whose swap is observably a
+  /// no-op (equal size, payload, and destination range): safe everywhere.
+  std::size_t benign_reorder_pairs = 0;
+  /// Pairs with different sizes: a reordering transport turns these into a
+  /// detected size-mismatch failure (fail-stop, not corruption).
+  std::size_t fifo_fail_stop_pairs = 0;
+  /// Pairs with equal size but different effect: a reordering transport
+  /// silently corrupts the result. FIFO is load-bearing here.
+  std::size_t fifo_silent_pairs = 0;
+};
+
+struct CheckOptions {
+  /// Prove safety under zero-copy (in-place) sends: every zero-copy race
+  /// becomes a kBufferRace violation.
+  bool zero_copy = false;
+  /// Prove safety under a message-reordering transport: every
+  /// FIFO-dependent pair becomes a kMatchAmbiguity violation.
+  bool strict_reorder = false;
+  /// Check cost-model conformance (needs the algorithm identity).
+  bool conformance = true;
+};
+
+struct CheckReport {
+  std::vector<Violation> violations;
+  HazardStats hazards;
+  std::size_t rounds = 0;            ///< longest message chain (hb depth)
+  std::size_t total_send_bytes = 0;
+  /// K-ring family only: bytes crossing a group boundary (the Eq. 13/14
+  /// quantity); 0 for other algorithms.
+  std::size_t intergroup_send_bytes = 0;
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+};
+
+/// Statically prove `sched`. `alg` is the algorithm it was requested as
+/// (drives the conformance closed form; baselines keep their identity).
+CheckReport check_schedule(const core::Schedule& sched, core::Algorithm alg,
+                           const CheckOptions& options = {});
+
+/// Throws std::logic_error listing every violation (schedule name, params,
+/// and per-violation rank/step/byte-range) if the report is not ok().
+void require_ok(const core::Schedule& sched, const CheckReport& report);
+
+}  // namespace gencoll::check

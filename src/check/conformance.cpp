@@ -1,0 +1,101 @@
+#include "check/conformance.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "core/algorithms_internal.hpp"
+#include "core/coll_params.hpp"
+#include "core/registry.hpp"
+#include "model/closed_forms.hpp"
+
+namespace gencoll::check {
+
+namespace {
+
+using core::CollOp;
+using core::CollParams;
+using core::Schedule;
+using core::StepKind;
+
+/// Bytes sent across a k-ring group boundary during the allgather sweep.
+/// Groups are k consecutive *vranks* (the sweep's rotated rank space); for
+/// allreduce and bcast the sweep shares the schedule with a reduce-scatter /
+/// scatter phase and is isolated by its phase-1 tag block.
+std::size_t measure_intergroup(const Schedule& sched, int k) {
+  const CollParams& pr = sched.params;
+  int rot = 0;
+  bool phase1_only = false;
+  switch (pr.op) {
+    case CollOp::kAllgather:
+      break;
+    case CollOp::kAllreduce:
+      rot = pr.p - 1;
+      phase1_only = true;
+      break;
+    case CollOp::kBcast:
+      rot = pr.root;
+      phase1_only = true;
+      break;
+    default:
+      return 0;
+  }
+  const auto group = [&](int rank) {
+    return core::internal::vrank_of(rank, rot, pr.p) / k;
+  };
+  std::size_t total = 0;
+  for (int r = 0; r < pr.p; ++r) {
+    for (const auto& s : sched.ranks[static_cast<std::size_t>(r)].steps) {
+      if (s.kind != StepKind::kSend && s.kind != StepKind::kSendInput) continue;
+      if (phase1_only && s.tag < core::internal::kTagPhaseStride) continue;
+      if (group(r) != group(s.peer)) total += s.bytes;
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+ConformanceResult check_conformance(const Schedule& sched, core::Algorithm alg,
+                                    std::size_t rounds,
+                                    std::vector<Violation>& out) {
+  ConformanceResult result;
+  result.total_send_bytes = sched.total_send_bytes();
+
+  model::DiscreteCost form;
+  try {
+    form = model::discrete_cost(alg, sched.params);
+  } catch (const std::invalid_argument& e) {
+    // The registry built this schedule, so a missing form is a checker gap,
+    // not a skip: surface it as a violation so the sweep stays honest.
+    out.push_back(Violation{ViolationKind::kConformance, -1, -1, 0, 0,
+                            std::string("no discrete closed form: ") + e.what()});
+    return result;
+  }
+
+  if (result.total_send_bytes != form.total_send_bytes) {
+    out.push_back(Violation{
+        ViolationKind::kConformance, -1, -1, 0, 0,
+        "total send bytes " + std::to_string(result.total_send_bytes) +
+            " != closed form " + std::to_string(form.total_send_bytes)});
+  }
+  if (form.rounds && rounds != *form.rounds) {
+    out.push_back(Violation{
+        ViolationKind::kConformance, -1, -1, 0, 0,
+        "round count (longest message chain) " + std::to_string(rounds) +
+            " != closed form " + std::to_string(*form.rounds)});
+  }
+  if (form.intergroup_send_bytes) {
+    const int k = core::effective_radix(alg, sched.params.k);
+    result.intergroup_send_bytes = measure_intergroup(sched, k);
+    if (result.intergroup_send_bytes != *form.intergroup_send_bytes) {
+      out.push_back(Violation{
+          ViolationKind::kConformance, -1, -1, 0, 0,
+          "inter-group sweep bytes " +
+              std::to_string(result.intergroup_send_bytes) + " != closed form " +
+              std::to_string(*form.intergroup_send_bytes)});
+    }
+  }
+  return result;
+}
+
+}  // namespace gencoll::check

@@ -1,0 +1,28 @@
+// Cost-model conformance pass: measured schedule costs vs the discrete
+// closed forms of model/closed_forms.hpp. Internal to src/check.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "check/check.hpp"
+#include "core/schedule.hpp"
+
+namespace gencoll::check {
+
+struct ConformanceResult {
+  std::size_t total_send_bytes = 0;
+  /// Measured only when the closed form claims the quantity (k-ring family
+  /// bcast/allgather/allreduce); 0 otherwise.
+  std::size_t intergroup_send_bytes = 0;
+};
+
+/// Compare sched's measured total send bytes, round count (`rounds`, from
+/// the hazard pass), and — for the k-ring family — inter-group traffic
+/// against discrete_cost(alg, sched.params); append kConformance
+/// violations to `out` on any mismatch.
+ConformanceResult check_conformance(const core::Schedule& sched,
+                                    core::Algorithm alg, std::size_t rounds,
+                                    std::vector<Violation>& out);
+
+}  // namespace gencoll::check

@@ -1,0 +1,192 @@
+#include "check/hazards.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+
+namespace gencoll::check {
+
+namespace {
+
+using core::Schedule;
+using core::ScheduleMatching;
+using core::Step;
+using core::StepKind;
+
+bool is_send(StepKind k) {
+  return k == StepKind::kSend || k == StepKind::kSendInput;
+}
+
+bool is_recv(StepKind k) {
+  return k == StepKind::kRecv || k == StepKind::kRecvReduce;
+}
+
+/// True if the step writes the local output buffer.
+bool writes_output(StepKind k) {
+  return k == StepKind::kCopyInput || is_recv(k);
+}
+
+bool overlaps(std::size_t a_off, std::size_t a_len, std::size_t b_off,
+              std::size_t b_len) {
+  return a_off < b_off + b_len && b_off < a_off + a_len;
+}
+
+/// True if the payload bytes under the overlap with [w_off, w_len) are all
+/// junk: clobbering an uninitialized token (barrier signals) changes
+/// nothing observable even under zero-copy.
+bool overlap_is_junk(const std::vector<Run>& payload, std::size_t send_off,
+                     std::size_t w_off, std::size_t w_len) {
+  for (const Run& run : payload) {
+    if (overlaps(send_off + run.off, run.len, w_off, w_len) &&
+        run.val != ValueTable::kJunk) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+HazardResult analyze_hazards(const Schedule& sched,
+                             const ScheduleMatching& matching,
+                             const ProvenanceResult& provenance,
+                             const CheckOptions& options,
+                             std::vector<Violation>& out) {
+  const int p = sched.params.p;
+  const std::size_t np = static_cast<std::size_t>(p);
+
+  std::vector<std::size_t> offset(np + 1, 0);
+  for (std::size_t r = 0; r < np; ++r) {
+    offset[r + 1] = offset[r] + sched.ranks[r].steps.size();
+  }
+  const std::size_t total = offset[np];
+  const auto glob = [&](int r, std::uint32_t i) {
+    return offset[static_cast<std::size_t>(r)] + i;
+  };
+
+  // Vector clocks: vc[e*p + q] = number of rank-q steps that happen before
+  // or at step e. Message depth doubles as the round count.
+  std::vector<std::uint32_t> vc(total * np, 0);
+  std::vector<std::uint32_t> depth(total, 0);
+  HazardResult result;
+  for (const auto& [r, i] : matching.topo) {
+    const std::size_t e = glob(r, i);
+    const Step& s = sched.ranks[static_cast<std::size_t>(r)].steps[i];
+    if (i > 0) {
+      const std::size_t prev = e - 1;
+      std::copy_n(vc.begin() + static_cast<std::ptrdiff_t>(prev * np), np,
+                  vc.begin() + static_cast<std::ptrdiff_t>(e * np));
+      depth[e] = depth[prev];
+    }
+    if (is_recv(s.kind)) {
+      const std::size_t sender =
+          glob(s.peer, matching.peer_step[static_cast<std::size_t>(r)][i]);
+      for (std::size_t q = 0; q < np; ++q) {
+        vc[e * np + q] = std::max(vc[e * np + q], vc[sender * np + q]);
+      }
+      depth[e] = std::max(depth[e], depth[sender] + 1);
+    }
+    vc[e * np + static_cast<std::size_t>(r)] = i + 1;
+    result.rounds = std::max(result.rounds, static_cast<std::size_t>(depth[e]));
+  }
+
+  // H1 — buffer races: a kSend's payload range overwritten by a later local
+  // write that is not ordered after the matched receive. Harmless under the
+  // runtime's buffered (copy-at-post) sends; fatal under zero-copy.
+  // kSendInput is exempt: the input buffer is immutable by construction.
+  for (int r = 0; r < p; ++r) {
+    const auto& steps = sched.ranks[static_cast<std::size_t>(r)].steps;
+    for (std::uint32_t i = 0; i < steps.size(); ++i) {
+      const Step& s = steps[i];
+      if (s.kind != StepKind::kSend) continue;
+      const int q = s.peer;
+      const std::uint32_t j = matching.peer_step[static_cast<std::size_t>(r)][i];
+      for (std::uint32_t w = i + 1; w < steps.size(); ++w) {
+        const Step& ws = steps[w];
+        if (!writes_output(ws.kind) || !overlaps(s.off, s.bytes, ws.off, ws.bytes)) {
+          continue;
+        }
+        if (vc[glob(r, w) * np + static_cast<std::size_t>(q)] >= j + 1) {
+          continue;  // matched receive happens before the overwrite
+        }
+        if (overlap_is_junk(
+                provenance.send_payloads[static_cast<std::size_t>(r)][i], s.off,
+                ws.off, ws.bytes)) {
+          continue;
+        }
+        ++result.stats.zero_copy_races;
+        if (options.zero_copy) {
+          out.push_back(Violation{
+              ViolationKind::kBufferRace, r, static_cast<std::int64_t>(w),
+              std::max(s.off, ws.off),
+              std::min(s.off + s.bytes, ws.off + ws.bytes) - std::max(s.off, ws.off),
+              "overwrites the payload of step " + std::to_string(i) +
+                  " (send to rank " + std::to_string(q) +
+                  ") before its receive is ordered: unsafe with zero-copy sends"});
+        }
+      }
+    }
+  }
+
+  // H2 — match ambiguity: two messages on one (src, dst, tag) channel whose
+  // relative order is not forced by happens-before. The runtime's
+  // per-channel FIFO resolves them deterministically; a reordering
+  // transport may swap them.
+  std::map<std::tuple<int, int, int>, std::vector<std::pair<int, std::uint32_t>>>
+      channels;
+  for (const auto& [r, i] : matching.topo) {
+    const Step& s = sched.ranks[static_cast<std::size_t>(r)].steps[i];
+    if (is_send(s.kind)) channels[{r, s.peer, s.tag}].emplace_back(r, i);
+  }
+  for (const auto& [key, sends] : channels) {
+    if (sends.size() < 2) continue;
+    const int src = std::get<0>(key);
+    const int dst = std::get<1>(key);
+    for (std::size_t a = 0; a < sends.size(); ++a) {
+      const std::uint32_t sa = sends[a].second;
+      const std::uint32_t ra = matching.peer_step[static_cast<std::size_t>(src)][sa];
+      for (std::size_t b = a + 1; b < sends.size(); ++b) {
+        const std::uint32_t sb = sends[b].second;
+        // Ordered pair: the earlier receive happened before the later send
+        // was even posted, so no transport can swap them.
+        if (vc[glob(src, sb) * np + static_cast<std::size_t>(dst)] >= ra + 1) {
+          continue;
+        }
+        const Step& recv_a =
+            sched.ranks[static_cast<std::size_t>(dst)].steps[ra];
+        const std::uint32_t rb =
+            matching.peer_step[static_cast<std::size_t>(src)][sb];
+        const Step& recv_b =
+            sched.ranks[static_cast<std::size_t>(dst)].steps[rb];
+        const auto& pa = provenance.send_payloads[static_cast<std::size_t>(src)][sa];
+        const auto& pb = provenance.send_payloads[static_cast<std::size_t>(src)][sb];
+        const char* cls;
+        if (recv_a.bytes != recv_b.bytes) {
+          ++result.stats.fifo_fail_stop_pairs;
+          cls = "fail-stop under reordering (size mismatch would be detected)";
+        } else if (recv_a.kind == recv_b.kind && recv_a.off == recv_b.off &&
+                   pa == pb) {
+          ++result.stats.benign_reorder_pairs;
+          continue;  // observably identical either way
+        } else {
+          ++result.stats.fifo_silent_pairs;
+          cls = "silent corruption under reordering";
+        }
+        if (options.strict_reorder) {
+          out.push_back(Violation{
+              ViolationKind::kMatchAmbiguity, src,
+              static_cast<std::int64_t>(sb), recv_b.off, recv_b.bytes,
+              "concurrent with the step-" + std::to_string(sa) +
+                  " message on channel " + std::to_string(src) + "->" +
+                  std::to_string(dst) + " tag=" + std::to_string(std::get<2>(key)) +
+                  ": " + cls});
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace gencoll::check

@@ -1,0 +1,33 @@
+// Concurrency-hazard pass: happens-before analysis over the matched
+// schedule. Internal to src/check.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "check/check.hpp"
+#include "check/provenance.hpp"
+#include "core/schedule.hpp"
+#include "core/validate.hpp"
+
+namespace gencoll::check {
+
+struct HazardResult {
+  HazardStats stats;
+  /// Longest chain of messages in the happens-before graph (program-order
+  /// edges cost 0, send->matched-receive edges cost 1): the schedule's round
+  /// count in the paper's sense.
+  std::size_t rounds = 0;
+};
+
+/// Build vector clocks over the happens-before order (program order plus
+/// send-before-matching-receive), classify buffer races and FIFO-dependent
+/// message pairs, and append violations to `out` per `options` (zero_copy
+/// promotes races, strict_reorder promotes FIFO-dependent pairs).
+HazardResult analyze_hazards(const core::Schedule& sched,
+                             const core::ScheduleMatching& matching,
+                             const ProvenanceResult& provenance,
+                             const CheckOptions& options,
+                             std::vector<Violation>& out);
+
+}  // namespace gencoll::check

@@ -1,0 +1,191 @@
+#include "check/provenance.hpp"
+
+#include <string>
+#include <utility>
+
+#include "core/coll_params.hpp"
+#include "core/partition.hpp"
+
+namespace gencoll::check {
+
+namespace {
+
+using core::CollOp;
+using core::CollParams;
+using core::Schedule;
+using core::Seg;
+using core::Step;
+using core::StepKind;
+
+/// The contract: every (result segment, expected value) pair for `rank`.
+/// Segments are block-granular where blocks have distinct provenance.
+std::vector<std::pair<Seg, ValueId>> expected_values(const CollParams& pr,
+                                                     int rank, ValueTable& table) {
+  std::vector<std::pair<Seg, ValueId>> out;
+  const std::size_t n = pr.nbytes();
+  const auto all_ranks_reduced = [&] {
+    ValueId v = table.singleton(0, 0);
+    for (int q = 1; q < pr.p; ++q) v = table.merged(v, table.singleton(q, 0));
+    return v;
+  };
+  const auto block_seg = [&](int b) {
+    return core::seg_of_blocks(pr.count, pr.elem_size, pr.p, b, b + 1);
+  };
+  switch (pr.op) {
+    case CollOp::kBcast:
+      if (n > 0) out.emplace_back(Seg{0, n}, table.singleton(pr.root, 0));
+      break;
+    case CollOp::kReduce:
+      if (rank == pr.root && n > 0) {
+        out.emplace_back(Seg{0, n}, all_ranks_reduced());
+      }
+      break;
+    case CollOp::kGather:
+    case CollOp::kAllgather:
+      if (pr.op == CollOp::kGather && rank != pr.root) break;
+      // Block b sits at its partition offset and came from rank b's input,
+      // whose bytes are numbered from 0: delta = -block_offset.
+      for (int b = 0; b < pr.p; ++b) {
+        const Seg s = block_seg(b);
+        if (s.len == 0) continue;
+        out.emplace_back(s, table.singleton(b, -static_cast<long long>(s.off)));
+      }
+      break;
+    case CollOp::kAllreduce:
+      if (n > 0) out.emplace_back(Seg{0, n}, all_ranks_reduced());
+      break;
+    case CollOp::kScatter: {
+      const Seg s = block_seg(rank);
+      // The root's input holds all n bytes at output-aligned offsets.
+      if (s.len > 0) out.emplace_back(s, table.singleton(pr.root, 0));
+      break;
+    }
+    case CollOp::kReduceScatter: {
+      const Seg s = block_seg(rank);
+      if (s.len > 0) out.emplace_back(s, all_ranks_reduced());
+      break;
+    }
+    case CollOp::kAlltoall:
+      // Output chunk s came from rank s's input chunk `rank`.
+      for (int s = 0; s < pr.p; ++s) {
+        if (n == 0) break;
+        const Seg chunk{static_cast<std::size_t>(s) * n, n};
+        out.emplace_back(
+            chunk, table.singleton(
+                       s, (static_cast<long long>(rank) - s) *
+                              static_cast<long long>(n)));
+      }
+      break;
+    case CollOp::kBarrier:
+      break;  // no data contract; tokens are legitimately uninitialized
+    case CollOp::kScan: {
+      if (n == 0) break;
+      ValueId v = table.singleton(0, 0);
+      for (int q = 1; q <= rank; ++q) v = table.merged(v, table.singleton(q, 0));
+      out.emplace_back(Seg{0, n}, v);
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ProvenanceResult run_provenance(const Schedule& sched,
+                                const core::ScheduleMatching& matching,
+                                ValueTable& table, std::vector<Violation>& out) {
+  const CollParams& pr = sched.params;
+  const std::size_t n = core::output_bytes(pr);
+
+  ProvenanceResult result;
+  result.send_payloads.resize(static_cast<std::size_t>(pr.p));
+  std::vector<SymBuffer> bufs;
+  bufs.reserve(static_cast<std::size_t>(pr.p));
+  for (int r = 0; r < pr.p; ++r) {
+    bufs.emplace_back(n);
+    result.send_payloads[static_cast<std::size_t>(r)].resize(
+        sched.ranks[static_cast<std::size_t>(r)].steps.size());
+  }
+
+  for (const auto& [r, i] : matching.topo) {
+    const std::size_t ri = static_cast<std::size_t>(r);
+    const Step& s = sched.ranks[ri].steps[i];
+    SymBuffer& buf = bufs[ri];
+    switch (s.kind) {
+      case StepKind::kCopyInput:
+        buf.write(s.off, s.bytes,
+                  table.singleton(r, static_cast<long long>(s.src_off) -
+                                         static_cast<long long>(s.off)));
+        break;
+      case StepKind::kSend: {
+        // Snapshot at post time (buffered-send semantics); rebase runs and
+        // deltas to message-relative positions.
+        std::vector<Run> payload;
+        for (const Run& run : buf.read(s.off, s.bytes)) {
+          payload.push_back(Run{run.off - s.off, run.len,
+                                table.shifted(run.val,
+                                              static_cast<long long>(s.off))});
+        }
+        result.send_payloads[ri][i] = std::move(payload);
+        break;
+      }
+      case StepKind::kSendInput:
+        result.send_payloads[ri][i] = {
+            Run{0, s.bytes,
+                table.singleton(r, static_cast<long long>(s.src_off))}};
+        break;
+      case StepKind::kRecv:
+      case StepKind::kRecvReduce: {
+        const std::uint32_t send_step = matching.peer_step[ri][i];
+        const auto& payload =
+            result.send_payloads[static_cast<std::size_t>(s.peer)][send_step];
+        for (const Run& run : payload) {
+          const ValueId incoming =
+              table.shifted(run.val, -static_cast<long long>(s.off));
+          if (s.kind == StepKind::kRecv) {
+            buf.write(s.off + run.off, run.len, incoming);
+            continue;
+          }
+          if (incoming == ValueTable::kJunk) {
+            out.push_back(Violation{
+                ViolationKind::kProvenance, r, static_cast<std::int64_t>(i),
+                s.off + run.off, run.len,
+                "recv_reduce payload from rank " + std::to_string(s.peer) +
+                    " is uninitialized (junk fed into the reduction)"});
+            continue;
+          }
+          for (const Run& ex : buf.read(s.off + run.off, run.len)) {
+            if (ex.val == ValueTable::kJunk) {
+              out.push_back(Violation{
+                  ViolationKind::kProvenance, r, static_cast<std::int64_t>(i),
+                  ex.off, ex.len,
+                  "recv_reduce combines into uninitialized output bytes"});
+              // Recover by treating the range as overwritten so one root
+              // cause does not cascade into spurious final-state reports.
+              buf.write(ex.off, ex.len, incoming);
+            } else {
+              buf.write(ex.off, ex.len, table.merged(ex.val, incoming));
+            }
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  // Final state vs the collective's contract.
+  for (int r = 0; r < pr.p; ++r) {
+    for (const auto& [seg, expect] : expected_values(pr, r, table)) {
+      for (const Run& run : bufs[static_cast<std::size_t>(r)].read(seg.off, seg.len)) {
+        if (run.val == expect) continue;
+        out.push_back(Violation{
+            ViolationKind::kProvenance, r, -1, run.off, run.len,
+            "result bytes hold " + table.describe(run.val) + ", expected " +
+                table.describe(expect)});
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace gencoll::check

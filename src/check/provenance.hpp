@@ -1,0 +1,29 @@
+// Provenance dataflow pass: abstract interpretation of a schedule over the
+// symbolic.hpp domain. Internal to src/check.
+#pragma once
+
+#include <vector>
+
+#include "check/check.hpp"
+#include "check/symbolic.hpp"
+#include "core/schedule.hpp"
+#include "core/validate.hpp"
+
+namespace gencoll::check {
+
+struct ProvenanceResult {
+  /// Payload of every send step at post time, as message-relative runs
+  /// (deltas relative to the position within the message). Indexed
+  /// [rank][step]; empty for non-send steps. The hazard pass reuses these
+  /// for payload-equality and junk-token classification.
+  std::vector<std::vector<std::vector<Run>>> send_payloads;
+};
+
+/// Replay the schedule in `matching.topo` order, verify the final state of
+/// every result segment against the collective's contract, and append any
+/// kProvenance violations to `out`.
+ProvenanceResult run_provenance(const core::Schedule& sched,
+                                const core::ScheduleMatching& matching,
+                                ValueTable& table, std::vector<Violation>& out);
+
+}  // namespace gencoll::check

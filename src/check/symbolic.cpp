@@ -1,0 +1,119 @@
+#include "check/symbolic.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gencoll::check {
+
+ValueTable::ValueTable() {
+  values_.emplace_back();  // id 0 = junk (the empty multiset is reserved)
+}
+
+ValueId ValueTable::intern(std::vector<Contribution> contribs) {
+  const auto it = index_.find(contribs);
+  if (it != index_.end()) return it->second;
+  const ValueId id = static_cast<ValueId>(values_.size());
+  index_.emplace(contribs, id);
+  values_.push_back(std::move(contribs));
+  return id;
+}
+
+ValueId ValueTable::singleton(int rank, long long delta) {
+  return intern({Contribution{rank, delta}});
+}
+
+ValueId ValueTable::shifted(ValueId v, long long ds) {
+  if (v == kJunk || ds == 0) return v;
+  std::vector<Contribution> contribs = values_[v];
+  for (Contribution& c : contribs) c.delta += ds;
+  return intern(std::move(contribs));
+}
+
+ValueId ValueTable::merged(ValueId a, ValueId b) {
+  if (a == kJunk || b == kJunk) {
+    throw std::logic_error("ValueTable::merged: junk operand");
+  }
+  std::vector<Contribution> contribs = values_[a];
+  const std::vector<Contribution>& other = values_[b];
+  contribs.insert(contribs.end(), other.begin(), other.end());
+  std::sort(contribs.begin(), contribs.end());
+  return intern(std::move(contribs));
+}
+
+const std::vector<Contribution>& ValueTable::contributions(ValueId v) const {
+  return values_.at(v);
+}
+
+std::string ValueTable::describe(ValueId v) const {
+  if (v == kJunk) return "uninit";
+  std::string out = "{";
+  const auto& contribs = values_.at(v);
+  for (std::size_t i = 0; i < contribs.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "in[" + std::to_string(contribs[i].rank) + "]";
+    out += contribs[i].delta >= 0 ? "+" : "";
+    out += std::to_string(contribs[i].delta);
+  }
+  out += "}";
+  return out;
+}
+
+SymBuffer::SymBuffer(std::size_t size) : size_(size) {
+  if (size_ > 0) runs_.push_back(Run{0, size_, ValueTable::kJunk});
+}
+
+void SymBuffer::write(std::size_t off, std::size_t len, ValueId val) {
+  if (len == 0) return;
+  if (off + len > size_) throw std::logic_error("SymBuffer::write out of range");
+  std::vector<Run> next;
+  next.reserve(runs_.size() + 2);
+  const std::size_t end = off + len;
+  const auto push = [&next](std::size_t o, std::size_t l, ValueId v) {
+    if (l == 0) return;
+    if (!next.empty() && next.back().val == v &&
+        next.back().off + next.back().len == o) {
+      next.back().len += l;  // coalesce equal-value neighbors
+      return;
+    }
+    next.push_back(Run{o, l, v});
+  };
+  bool written = false;
+  for (const Run& r : runs_) {
+    const std::size_t r_end = r.off + r.len;
+    if (r_end <= off || r.off >= end) {
+      if (!written && r.off >= end) {
+        push(off, len, val);
+        written = true;
+      }
+      push(r.off, r.len, r.val);
+      continue;
+    }
+    // r overlaps [off, end): keep the non-overlapping flanks.
+    push(r.off, std::min(r_end, off) > r.off ? std::min(r_end, off) - r.off : 0,
+         r.val);
+    if (!written) {
+      push(off, len, val);
+      written = true;
+    }
+    if (r_end > end) push(end, r_end - end, r.val);
+  }
+  if (!written) push(off, len, val);
+  runs_ = std::move(next);
+}
+
+std::vector<Run> SymBuffer::read(std::size_t off, std::size_t len) const {
+  std::vector<Run> out;
+  if (len == 0) return out;
+  if (off + len > size_) throw std::logic_error("SymBuffer::read out of range");
+  const std::size_t end = off + len;
+  for (const Run& r : runs_) {
+    const std::size_t r_end = r.off + r.len;
+    if (r_end <= off || r.off >= end) continue;
+    const std::size_t lo = std::max(r.off, off);
+    const std::size_t hi = std::min(r_end, end);
+    out.push_back(Run{lo, hi - lo, r.val});
+  }
+  return out;
+}
+
+}  // namespace gencoll::check

@@ -1,0 +1,105 @@
+// Abstract domain of the symbolic schedule prover.
+//
+// Every output byte is mapped to a *provenance value*: the multiset of
+// (source rank, input position) contributions that were combined (by the
+// reduction operator) to produce it, or the distinguished "uninitialized"
+// value for bytes nothing ever wrote (legitimate only for barrier tokens
+// and workspace). Because transfers move whole byte ranges rigidly, a
+// contribution is stored as a *relative* input position: a byte sitting at
+// position x of its container (output buffer or in-flight message) with
+// contribution (r, delta) stands for input[r][x + delta]. Shifting a range
+// by a uniform amount then shifts every delta by the same constant, so a
+// run of bytes sharing one value keeps sharing one value across copies,
+// sends, and receives — the whole interpretation is run-length compressed
+// and a schedule's abstract state stays O(#distinct segments), not O(n).
+//
+// Values are interned: a ValueId names a canonical sorted contribution
+// multiset in a ValueTable, so equality checks (the hot operation: "does
+// this byte hold exactly {in[q] for all q}?") are integer compares.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gencoll::check {
+
+/// One contribution to a byte's value: input[rank][pos + delta], where pos
+/// is the byte's current position within its container.
+struct Contribution {
+  int rank = 0;
+  long long delta = 0;
+
+  friend bool operator==(const Contribution&, const Contribution&) = default;
+  friend bool operator<(const Contribution& a, const Contribution& b) {
+    return a.rank != b.rank ? a.rank < b.rank : a.delta < b.delta;
+  }
+};
+
+using ValueId = std::uint32_t;
+
+/// Interning table for contribution multisets. Id kJunk (0) is the
+/// distinguished uninitialized value; every other id names a non-empty
+/// sorted multiset (duplicates kept — a double-reduce must stay visible).
+class ValueTable {
+ public:
+  static constexpr ValueId kJunk = 0;
+
+  ValueTable();
+
+  /// The value {(rank, delta)}.
+  ValueId singleton(int rank, long long delta);
+
+  /// `v` with every delta shifted by `ds` (container position moved by -ds).
+  /// Junk shifts to junk.
+  ValueId shifted(ValueId v, long long ds);
+
+  /// Multiset union (the reduce combine). Precondition: neither side junk —
+  /// callers must diagnose reductions involving uninitialized bytes before
+  /// combining.
+  ValueId merged(ValueId a, ValueId b);
+
+  [[nodiscard]] const std::vector<Contribution>& contributions(ValueId v) const;
+
+  /// Human-readable form: "uninit" or "{in[0]+0, in[3]-128}" (delta in
+  /// bytes, relative to the byte's current position).
+  [[nodiscard]] std::string describe(ValueId v) const;
+
+ private:
+  ValueId intern(std::vector<Contribution> contribs);
+
+  std::vector<std::vector<Contribution>> values_;
+  std::map<std::vector<Contribution>, ValueId> index_;
+};
+
+/// A run of `len` bytes starting at `off`, all holding value `val`.
+struct Run {
+  std::size_t off = 0;
+  std::size_t len = 0;
+  ValueId val = ValueTable::kJunk;
+
+  friend bool operator==(const Run&, const Run&) = default;
+};
+
+/// Run-length-compressed abstract buffer: a sorted, disjoint run list
+/// covering [0, size). Freshly constructed buffers are all-junk.
+class SymBuffer {
+ public:
+  explicit SymBuffer(std::size_t size);
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  /// Overwrite [off, off+len) with `val`. Requires off+len <= size.
+  void write(std::size_t off, std::size_t len, ValueId val);
+
+  /// The runs overlapping [off, off+len), clipped to it (absolute offsets).
+  [[nodiscard]] std::vector<Run> read(std::size_t off, std::size_t len) const;
+
+ private:
+  std::size_t size_;
+  std::vector<Run> runs_;
+};
+
+}  // namespace gencoll::check

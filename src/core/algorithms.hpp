@@ -28,6 +28,17 @@ class UnsupportedParams : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Uniform UnsupportedParams factory: every builder reports the algorithm
+/// name plus the full parameter context (op, p, root, count, elem, k) ahead
+/// of the specific constraint that failed, so registry/tuner logs and checker
+/// sweeps can attribute a skip without cross-referencing the builder source.
+inline UnsupportedParams unsupported_params(const char* algorithm,
+                                            const CollParams& params,
+                                            const std::string& reason) {
+  return UnsupportedParams(std::string(algorithm) + " [" + params.describe() +
+                           "]: " + reason);
+}
+
 // --- K-nomial tree kernel (paper §III) ---
 Schedule build_knomial_bcast(const CollParams& params);
 Schedule build_knomial_reduce(const CollParams& params);

@@ -37,7 +37,9 @@ Schedule make_schedule(const CollParams& params, const std::string& kernel,
 
 Schedule build_knomial_scatter(const CollParams& params) {
   require_op(params, CollOp::kScatter);
-  if (params.k < 2) throw UnsupportedParams("k-nomial scatter requires k >= 2");
+  if (params.k < 2) {
+    throw unsupported_params("k-nomial-scatter", params, "requires k >= 2");
+  }
   Schedule sched = make_schedule(params, "knomial_scatter");
   const int p = params.p;
   const KnomialTree tree(p, params.k);
@@ -115,7 +117,8 @@ Schedule build_rechalving_reduce_scatter(const CollParams& params) {
   require_op(params, CollOp::kReduceScatter);
   const int p = params.p;
   if ((p & (p - 1)) != 0) {
-    throw UnsupportedParams("recursive-halving reduce-scatter requires power-of-two p");
+    throw unsupported_params("recursive-halving-reduce-scatter", params,
+                             "requires power-of-two p");
   }
   Schedule sched =
       make_schedule(params, "rechalving_reduce_scatter", /*with_radix=*/false);
@@ -238,7 +241,9 @@ Schedule build_bruck_allgather(const CollParams& params) {
 
 Schedule build_dissemination_barrier(const CollParams& params) {
   require_op(params, CollOp::kBarrier);
-  if (params.k < 2) throw UnsupportedParams("dissemination barrier requires k >= 2");
+  if (params.k < 2) {
+    throw unsupported_params("dissemination-barrier", params, "requires k >= 2");
+  }
   Schedule sched = make_schedule(params, "dissemination_barrier");
   const int p = params.p;
   const int k = params.k;

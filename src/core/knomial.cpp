@@ -26,7 +26,7 @@ void require_op(const CollParams& params, CollOp op) {
 
 void require_tree_radix(const CollParams& params) {
   if (params.k < 2) {
-    throw UnsupportedParams("k-nomial requires radix k >= 2");
+    throw unsupported_params("k-nomial", params, "requires radix k >= 2");
   }
 }
 

@@ -25,7 +25,7 @@ void require_op(const CollParams& params, CollOp op) {
 
 void require_kring_radix(const CollParams& params) {
   if (params.k < 1 || params.k > params.p) {
-    throw UnsupportedParams("k-ring requires 1 <= k <= p");
+    throw unsupported_params("k-ring", params, "requires 1 <= k <= p");
   }
 }
 

@@ -28,7 +28,8 @@ void require_op(const CollParams& params, CollOp op) {
 
 void require_recmul_radix(const CollParams& params) {
   if (params.k < 2) {
-    throw UnsupportedParams("recursive multiplying requires radix k >= 2");
+    throw unsupported_params("recursive-multiplying", params,
+                             "requires radix k >= 2");
   }
 }
 

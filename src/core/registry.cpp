@@ -6,6 +6,19 @@
 
 namespace gencoll::core {
 
+namespace {
+ScheduleAuditor& schedule_auditor() {
+  static ScheduleAuditor auditor;
+  return auditor;
+}
+}  // namespace
+
+ScheduleAuditor set_schedule_auditor(ScheduleAuditor auditor) {
+  ScheduleAuditor previous = std::move(schedule_auditor());
+  schedule_auditor() = std::move(auditor);
+  return previous;
+}
+
 std::vector<Algorithm> algorithms_for(CollOp op) {
   switch (op) {
     case CollOp::kBcast:
@@ -214,6 +227,7 @@ Schedule build_schedule(Algorithm alg, const CollParams& params) {
   // Report under the requested (baseline) name so Fig. 7-style comparisons
   // label both sides distinctly.
   if (alg != kernel) sched.name = algorithm_name(alg);
+  if (const ScheduleAuditor& audit = schedule_auditor()) audit(sched, alg);
   return sched;
 }
 

@@ -3,6 +3,7 @@
 // single dispatch point that compiles CollParams into a Schedule.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -33,6 +34,17 @@ int effective_radix(Algorithm alg, int k);
 /// Build the schedule. Throws UnsupportedParams when !supports_params, and
 /// std::invalid_argument when (op, alg) is not implemented.
 Schedule build_schedule(Algorithm alg, const CollParams& params);
+
+/// Auditor invoked on every schedule build_schedule() produces, after name
+/// fix-up — the hook point the symbolic checker (src/check/) uses to prove
+/// every compiled schedule, not just the ones a test thought to cover. The
+/// second argument is the algorithm the schedule was requested as (baselines
+/// keep their own identity even though a generalized kernel built them).
+/// Exceptions propagate to the build_schedule caller. Not thread-safe:
+/// install before spawning workers. Returns the previous auditor (empty by
+/// default) so scoped installs can restore it.
+using ScheduleAuditor = std::function<void(const Schedule&, Algorithm)>;
+ScheduleAuditor set_schedule_auditor(ScheduleAuditor auditor);
 
 /// The generalized kernel corresponding to a fixed-radix baseline
 /// (binomial -> knomial, recursive_doubling -> recursive_multiplying,

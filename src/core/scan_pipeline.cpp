@@ -56,7 +56,9 @@ Schedule build_linear_scan(const CollParams& params) {
 
 Schedule build_hillis_steele_scan(const CollParams& params) {
   require_op(params, CollOp::kScan);
-  if (params.k < 2) throw UnsupportedParams("Hillis-Steele scan requires k >= 2");
+  if (params.k < 2) {
+    throw unsupported_params("hillis-steele-scan", params, "requires k >= 2");
+  }
   Schedule sched = make_schedule(params, "hillis_steele_scan");
   const int p = params.p;
   const int k = params.k;
@@ -92,7 +94,9 @@ Schedule build_hillis_steele_scan(const CollParams& params) {
 
 Schedule build_pipeline_bcast(const CollParams& params) {
   require_op(params, CollOp::kBcast);
-  if (params.k < 1) throw UnsupportedParams("pipeline bcast requires >= 1 segment");
+  if (params.k < 1) {
+    throw unsupported_params("pipeline-bcast", params, "requires >= 1 segment");
+  }
   Schedule sched = make_schedule(params, "pipeline_bcast");
   const int p = params.p;
   // Clip segments to the element count so none are empty (when count > 0).

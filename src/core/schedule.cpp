@@ -91,9 +91,22 @@ std::string Schedule::dump() const {
   std::ostringstream os;
   os << name << " [" << params.describe() << "]\n";
   for (std::size_t r = 0; r < ranks.size(); ++r) {
-    os << "  rank " << r << ":\n";
+    // Per-rank traffic totals up front so a checker diagnostic citing
+    // "rank R step I" can be located alongside the rank's byte budget.
+    std::size_t send_bytes = 0;
+    std::size_t recv_bytes = 0;
     for (const Step& s : ranks[r].steps) {
-      os << "    " << step_kind_name(s.kind);
+      if (s.kind == StepKind::kSend || s.kind == StepKind::kSendInput) {
+        send_bytes += s.bytes;
+      } else if (s.kind == StepKind::kRecv || s.kind == StepKind::kRecvReduce) {
+        recv_bytes += s.bytes;
+      }
+    }
+    os << "  rank " << r << " (send " << send_bytes << "B, recv " << recv_bytes
+       << "B):\n";
+    for (std::size_t i = 0; i < ranks[r].steps.size(); ++i) {
+      const Step& s = ranks[r].steps[i];
+      os << "    [" << i << "] " << step_kind_name(s.kind);
       if (s.kind == StepKind::kCopyInput) {
         os << " in+" << s.src_off << " -> out+" << s.off << " x" << s.bytes;
       } else if (s.kind == StepKind::kSendInput) {

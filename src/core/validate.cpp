@@ -12,17 +12,24 @@ namespace gencoll::core {
 
 namespace {
 
-/// FIFO of pending message sizes on one channel. A tiny vector-with-head
-/// beats std::deque here: most channels ever hold exactly one message, and
+/// One in-flight message on a channel: its size plus the sender's step index
+/// (the matching engine pairs it with the receive that consumes it).
+struct PendingMsg {
+  std::size_t bytes;
+  std::uint32_t send_step;
+};
+
+/// FIFO of pending messages on one channel. A tiny vector-with-head beats
+/// std::deque here: most channels ever hold exactly one message, and
 /// schedules create millions of channels.
 struct ChannelQueue {
   std::uint32_t head = 0;
-  std::vector<std::size_t> bytes;
+  std::vector<PendingMsg> msgs;
 
-  [[nodiscard]] bool empty() const { return head == bytes.size(); }
-  [[nodiscard]] std::size_t size() const { return bytes.size() - head; }
-  void push(std::size_t b) { bytes.push_back(b); }
-  std::size_t pop() { return bytes[head++]; }
+  [[nodiscard]] bool empty() const { return head == msgs.size(); }
+  [[nodiscard]] std::size_t size() const { return msgs.size() - head; }
+  void push(PendingMsg m) { msgs.push_back(m); }
+  PendingMsg pop() { return msgs[head++]; }
 };
 
 std::string step_context(const Schedule& sched, int rank, std::size_t index) {
@@ -32,7 +39,7 @@ std::string step_context(const Schedule& sched, int rank, std::size_t index) {
 
 }  // namespace
 
-void validate_schedule(const Schedule& sched) {
+ScheduleMatching match_schedule(const Schedule& sched) {
   const CollParams& pr = sched.params;
   check_params(pr);
   if (sched.ranks.size() != static_cast<std::size_t>(pr.p)) {
@@ -83,9 +90,25 @@ void validate_schedule(const Schedule& sched) {
     }
   }
 
+  ScheduleMatching matching;
+  matching.peer_step.resize(static_cast<std::size_t>(pr.p));
+  std::size_t total_steps = 0;
+  for (int r = 0; r < pr.p; ++r) {
+    const std::size_t count = sched.ranks[static_cast<std::size_t>(r)].steps.size();
+    matching.peer_step[static_cast<std::size_t>(r)]
+        .assign(count, ScheduleMatching::kUnmatched);
+    total_steps += count;
+  }
+  matching.topo.reserve(total_steps);
+
   // Logical execution: sends always progress; a receive progresses when the
   // head of its (source -> me, tag) channel matches. Detects deadlock,
-  // size/kind mismatches, and channel-order violations.
+  // size/kind mismatches, and channel-order violations. The retirement order
+  // of steps is recorded as a legal linearization (topo), and each message's
+  // send step is paired with the receive that consumed it (peer_step). This
+  // pairing is exactly the runtime's: per-(source, tag) channels are FIFO in
+  // post order (MPI non-overtaking), so the logical head-of-queue match is
+  // the real match.
   std::vector<std::size_t> pc(static_cast<std::size_t>(pr.p), 0);
   // Packed channel key: (src * p + dst) in the high bits, tag in the low 24
   // (tags stay well below 2^24: phase strides of 2^20 times <= 8 phases).
@@ -110,17 +133,19 @@ void validate_schedule(const Schedule& sched) {
       const std::size_t i = pc[static_cast<std::size_t>(r)];
       const Step& s = steps[i];
       if (s.kind == StepKind::kCopyInput) {
+        matching.topo.emplace_back(r, static_cast<std::uint32_t>(i));
         ++pc[static_cast<std::size_t>(r)];
         continue;
       }
       if (s.kind == StepKind::kSend || s.kind == StepKind::kSendInput) {
         const std::uint64_t key = channel_key(r, s.peer, s.tag);
-        channels[key].push(s.bytes);
+        channels[key].push(PendingMsg{s.bytes, static_cast<std::uint32_t>(i)});
         // Wake the receiver if it is parked on this channel.
         if (const auto blocked = blocked_on.find(key); blocked != blocked_on.end()) {
           worklist.push_back(blocked->second);
           blocked_on.erase(blocked);
         }
+        matching.topo.emplace_back(r, static_cast<std::uint32_t>(i));
         ++pc[static_cast<std::size_t>(r)];
         continue;
       }
@@ -131,13 +156,17 @@ void validate_schedule(const Schedule& sched) {
         blocked_on[key] = r;
         break;
       }
-      const std::size_t sent = it->second.pop();
-      if (sent != s.bytes) {
+      const PendingMsg sent = it->second.pop();
+      if (sent.bytes != s.bytes) {
         throw std::logic_error(step_context(sched, r, i) +
                                ": size mismatch with matched send (recv " +
                                std::to_string(s.bytes) + ", send " +
-                               std::to_string(sent) + ")");
+                               std::to_string(sent.bytes) + ")");
       }
+      matching.peer_step[static_cast<std::size_t>(r)][i] = sent.send_step;
+      matching.peer_step[static_cast<std::size_t>(s.peer)][sent.send_step] =
+          static_cast<std::uint32_t>(i);
+      matching.topo.emplace_back(r, static_cast<std::uint32_t>(i));
       ++pc[static_cast<std::size_t>(r)];
     }
   }
@@ -162,7 +191,10 @@ void validate_schedule(const Schedule& sched) {
           " tag=" + std::to_string(tag));
     }
   }
+  return matching;
 }
+
+void validate_schedule(const Schedule& sched) { (void)match_schedule(sched); }
 
 void validate_schedule_coverage(const Schedule& sched) {
   validate_schedule(sched);

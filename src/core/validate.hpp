@@ -1,15 +1,48 @@
 // Structural validation of schedules.
 //
-// validate_schedule() logically executes a schedule without data: it checks
+// match_schedule() logically executes a schedule without data: it checks
 // buffer bounds, element alignment of reduce targets, send/recv matching
 // (kind, size, FIFO order per (source, tag) channel), progress (no
-// deadlock), and that no message is left undelivered. Tests run it on every
-// generated schedule; executors may run it in debug builds.
+// deadlock), and that no message is left undelivered — and returns the
+// complete send<->recv pairing plus a legal linearization of all steps.
+// The pairing is deterministic under the runtime's matching contract
+// (per-(source, tag) FIFO, MPI non-overtaking), so downstream analyses
+// (src/check/'s provenance and happens-before engines) consume it instead
+// of re-deriving their own matching.
+//
+// validate_schedule() is the throw-on-violation wrapper tests and executors
+// use; validate_schedule_coverage() additionally checks result coverage.
 #pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "core/schedule.hpp"
 
 namespace gencoll::core {
+
+/// Complete matching of a schedule's messages, produced by one logical
+/// execution (sends never block; a receive consumes the head of its
+/// (source, tag) channel).
+struct ScheduleMatching {
+  static constexpr std::uint32_t kUnmatched = 0xFFFFFFFFu;
+
+  /// peer_step[rank][i] = step index *on the peer rank* of the send matched
+  /// to this receive (or the receive matched to this send); kUnmatched for
+  /// kCopyInput. The peer rank itself is Step::peer.
+  std::vector<std::vector<std::uint32_t>> peer_step;
+
+  /// All steps in the order the logical execution retired them — a legal
+  /// linearization of the happens-before order (program order + send-before-
+  /// matching-receive). Pairs are (rank, step index).
+  std::vector<std::pair<int, std::uint32_t>> topo;
+};
+
+/// Logically execute and match the schedule. Throws std::logic_error with a
+/// rank/step diagnostic on the first violation (bounds, alignment, size
+/// mismatch, deadlock, undelivered message).
+ScheduleMatching match_schedule(const Schedule& sched);
 
 /// Throws std::logic_error with a diagnostic on the first violation.
 void validate_schedule(const Schedule& sched);

@@ -1,0 +1,48 @@
+// Discrete closed-form costs of every schedule the registry can build —
+// the exact integer counterparts of the continuous models in
+// cost_model.hpp (Eqs. (1)-(14)), kept partition-aware so they match the
+// builders byte-for-byte at any element count, not just when p | count.
+//
+// The symbolic checker (src/check) asserts every compiled schedule equals
+// these forms, turning the paper's cost models into checked invariants:
+// a builder emitting one extra message or a missized segment fails the
+// sweep. Three quantities:
+//
+//  * total_send_bytes — sum over all send steps (the beta term's volume).
+//  * rounds — the longest chain of messages in the happens-before order.
+//    This is the *dependency* round count, which is what a multiport
+//    network can achieve; sequential-port terms in the continuous models
+//    (linear's alpha*p, pipeline's fill alpha*(p-2+s)) are port
+//    serialization on one rank, not chain depth, and are deliberately not
+//    counted here. Unset when small payloads make block messages vanish
+//    (a zero-byte step is never emitted, shortening chains).
+//  * intergroup_send_bytes — k-ring family only: traffic crossing a group
+//    boundary, the discrete Eq. (13)/(14) quantity ((g-1)*n per allgather
+//    sweep, every send for the k=1 ring).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "core/coll_params.hpp"
+
+namespace gencoll::model {
+
+struct DiscreteCost {
+  std::size_t total_send_bytes = 0;
+  /// Longest message chain; nullopt when the closed form requires every
+  /// partition block to be non-empty (count >= p) and the params do not
+  /// guarantee it, or when no exact form is claimed.
+  std::optional<std::size_t> rounds;
+  /// K-ring family bcast/allgather/allreduce only (allgather sweep; the
+  /// reduce-scatter half of allreduce and the scatter half of bcast are
+  /// excluded, matching the checker's tag-filtered measurement).
+  std::optional<std::size_t> intergroup_send_bytes;
+};
+
+/// The discrete cost of build_schedule(alg, params). Baselines pin their
+/// radix exactly as the registry does. Throws std::invalid_argument for
+/// (op, alg) pairs the registry cannot build.
+DiscreteCost discrete_cost(core::Algorithm alg, const core::CollParams& params);
+
+}  // namespace gencoll::model

@@ -1,0 +1,164 @@
+// Cost-model conformance: the discrete closed forms match measured
+// schedules, injected extra traffic is detected, and the discrete k-ring
+// inter-group quantity agrees with the paper's continuous Eq. (13)/(14).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "check/check.hpp"
+#include "core/registry.hpp"
+#include "model/closed_forms.hpp"
+#include "model/cost_model.hpp"
+
+namespace gencoll::check {
+namespace {
+
+using core::Algorithm;
+using core::CollOp;
+using core::CollParams;
+using core::Schedule;
+using core::StepKind;
+
+CollParams params_of(CollOp op, int p, int k, std::size_t count, int root = 0) {
+  CollParams pr;
+  pr.op = op;
+  pr.p = p;
+  pr.k = k;
+  pr.count = count;
+  pr.elem_size = 4;
+  pr.root = root;
+  return pr;
+}
+
+bool has_kind(const CheckReport& report, ViolationKind kind) {
+  return std::any_of(report.violations.begin(), report.violations.end(),
+                     [&](const Violation& v) { return v.kind == kind; });
+}
+
+TEST(Conformance, KnomialFormsAreExact) {
+  // p = 9, k = 3: two full base-3 digits.
+  const CollParams pr = params_of(CollOp::kBcast, 9, 3, 18);
+  const auto form = gencoll::model::discrete_cost(Algorithm::kKnomial, pr);
+  EXPECT_EQ(form.total_send_bytes, 8u * pr.nbytes());
+  ASSERT_TRUE(form.rounds.has_value());
+  EXPECT_EQ(*form.rounds, 2u);
+
+  const Schedule sched = core::build_schedule(Algorithm::kKnomial, pr);
+  const CheckReport report = check_schedule(sched, Algorithm::kKnomial);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.total_send_bytes, form.total_send_bytes);
+  EXPECT_EQ(report.rounds, *form.rounds);
+}
+
+TEST(Conformance, RoundsUnclaimedWhenBlocksCanVanish) {
+  // count < p empties partition blocks, shortening message chains: the
+  // closed form must decline to claim a round count rather than guess.
+  const CollParams tiny = params_of(CollOp::kAllgather, 12, 4, 5);
+  const auto form = gencoll::model::discrete_cost(Algorithm::kKring, tiny);
+  EXPECT_FALSE(form.rounds.has_value());
+  // Bytes stay exact even then, and the schedule still proves clean.
+  const Schedule sched = core::build_schedule(Algorithm::kKring, tiny);
+  const CheckReport report = check_schedule(sched, Algorithm::kKring);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.total_send_bytes, form.total_send_bytes);
+}
+
+TEST(Conformance, ExtraMessageDetected) {
+  const CollParams pr = params_of(CollOp::kBcast, 2, 2, 4);
+  Schedule sched = core::build_schedule(Algorithm::kLinear, pr);
+  // Ship the (correct) payload once more on a fresh tag: provenance stays
+  // clean, so only the conformance pass can catch the wasted traffic.
+  sched.ranks[0].send(1, 9, 0, pr.nbytes());
+  sched.ranks[1].recv(0, 9, 0, pr.nbytes());
+
+  const CheckReport report = check_schedule(sched, Algorithm::kLinear);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_kind(report, ViolationKind::kConformance));
+  EXPECT_FALSE(has_kind(report, ViolationKind::kProvenance));
+}
+
+TEST(Conformance, MissingMessageIsCaughtSomewhere) {
+  const CollParams pr = params_of(CollOp::kAllgather, 6, 2, 12);
+  Schedule sched = core::build_schedule(Algorithm::kKring, pr);
+  // Drop one send/recv pair entirely (a builder forgetting a round): the
+  // matcher deadlocks or the dataflow breaks — either way the check fails.
+  for (auto& prog : sched.ranks) {
+    const auto it = std::find_if(
+        prog.steps.begin(), prog.steps.end(),
+        [](const core::Step& s) { return s.kind == StepKind::kSend; });
+    if (it != prog.steps.end()) {
+      prog.steps.erase(it);
+      break;
+    }
+  }
+  const CheckReport report = check_schedule(sched, Algorithm::kKring);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(Conformance, KringIntergroupMatchesContinuousEq13) {
+  // Discrete sweep total: (g-1)*n. Continuous Eq. (13) is per-group-pair
+  // normalized: 2n(p-k)/p. With g = p/k groups the identity
+  //   (g-1)*n == g * kring_intergroup_bytes(n, p, k) / 2
+  // is exact whenever k | p and the payload splits evenly.
+  const int cases[][2] = {{8, 2}, {12, 4}, {12, 3}, {16, 16}, {24, 6}};
+  for (const auto& c : cases) {
+    const int p = c[0];
+    const int k = c[1];
+    const CollParams pr =
+        params_of(CollOp::kAllreduce, p, k, static_cast<std::size_t>(2 * p));
+    const auto form = gencoll::model::discrete_cost(Algorithm::kKring, pr);
+    ASSERT_TRUE(form.intergroup_send_bytes.has_value()) << p << "," << k;
+    const double n = static_cast<double>(pr.nbytes());
+    const double g = static_cast<double>(p) / k;
+    const double continuous =
+        g * gencoll::model::kring_intergroup_bytes(n, p, k) / 2.0;
+    EXPECT_DOUBLE_EQ(static_cast<double>(*form.intergroup_send_bytes), continuous)
+        << "p=" << p << " k=" << k;
+    // And the measured schedule agrees with both.
+    const Schedule sched = core::build_schedule(Algorithm::kKring, pr);
+    const CheckReport report = check_schedule(sched, Algorithm::kKring);
+    EXPECT_TRUE(report.ok()) << "p=" << p << " k=" << k;
+    EXPECT_EQ(report.intergroup_send_bytes, *form.intergroup_send_bytes);
+  }
+}
+
+TEST(Conformance, RingIntergroupMatchesContinuousEq14) {
+  // k = 1 ring: every sweep send crosses a group boundary, (p-1)*n total,
+  // which is p * ring_intergroup_bytes / 2 (Eq. (14)).
+  const CollParams pr = params_of(CollOp::kAllreduce, 10, 1, 20);
+  const auto form = gencoll::model::discrete_cost(Algorithm::kRing, pr);
+  ASSERT_TRUE(form.intergroup_send_bytes.has_value());
+  const double n = static_cast<double>(pr.nbytes());
+  EXPECT_DOUBLE_EQ(
+      static_cast<double>(*form.intergroup_send_bytes),
+      10.0 * gencoll::model::ring_intergroup_bytes(n, 10.0) / 2.0);
+}
+
+TEST(Conformance, BaselinesSharePinnedRadixForms) {
+  // binomial == knomial@2, recursive_doubling == recmul@2, ring == kring@1:
+  // the baseline's form must ignore the caller's k entirely.
+  CollParams pr = params_of(CollOp::kBcast, 16, 7, 16);
+  const auto baseline = gencoll::model::discrete_cost(Algorithm::kBinomial, pr);
+  pr.k = 2;
+  const auto pinned = gencoll::model::discrete_cost(Algorithm::kKnomial, pr);
+  EXPECT_EQ(baseline.total_send_bytes, pinned.total_send_bytes);
+  ASSERT_TRUE(baseline.rounds.has_value());
+  ASSERT_TRUE(pinned.rounds.has_value());
+  EXPECT_EQ(*baseline.rounds, *pinned.rounds);
+}
+
+TEST(Conformance, BarrierTokenCountFollowsDissemination) {
+  CollParams pr = params_of(CollOp::kBarrier, 9, 3, 0);
+  pr.elem_size = 1;
+  const auto form = gencoll::model::discrete_cost(Algorithm::kDissemination, pr);
+  // ceil(log3 9) = 2 rounds, every rank signalling k-1 = 2 peers per round.
+  ASSERT_TRUE(form.rounds.has_value());
+  EXPECT_EQ(*form.rounds, 2u);
+  EXPECT_EQ(form.total_send_bytes, 9u * 2u * 2u);
+  const Schedule sched = core::build_schedule(Algorithm::kDissemination, pr);
+  const CheckReport report = check_schedule(sched, Algorithm::kDissemination);
+  EXPECT_TRUE(report.ok());
+}
+
+}  // namespace
+}  // namespace gencoll::check

@@ -1,0 +1,205 @@
+// Concurrency hazards: happens-before classification of send-buffer
+// overwrites and FIFO-dependent message pairs, including the option flags
+// that promote each class to a violation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "check/check.hpp"
+#include "core/registry.hpp"
+
+namespace gencoll::check {
+namespace {
+
+using core::Algorithm;
+using core::CollOp;
+using core::CollParams;
+using core::Schedule;
+
+CollParams bcast_params(int p, std::size_t count, std::size_t elem = 1) {
+  CollParams pr;
+  pr.op = CollOp::kBcast;
+  pr.p = p;
+  pr.k = 2;
+  pr.count = count;
+  pr.elem_size = elem;
+  pr.root = 0;
+  return pr;
+}
+
+Schedule empty_schedule(const CollParams& pr, const char* name) {
+  Schedule sched;
+  sched.params = pr;
+  sched.name = name;
+  sched.ranks.resize(static_cast<std::size_t>(pr.p));
+  return sched;
+}
+
+bool has_kind(const CheckReport& report, ViolationKind kind) {
+  return std::any_of(report.violations.begin(), report.violations.end(),
+                     [&](const Violation& v) { return v.kind == kind; });
+}
+
+CheckOptions no_conformance() {
+  CheckOptions opts;
+  opts.conformance = false;
+  return opts;
+}
+
+TEST(Hazards, UnorderedOverwriteOfSendBufferIsAZeroCopyRace) {
+  const CollParams pr = bcast_params(2, 4);
+  Schedule sched = empty_schedule(pr, "overwrite_race");
+  sched.ranks[0].copy_input(0, 0, 4);
+  sched.ranks[0].send(1, 0, 0, 4);
+  // Rewrite of the in-flight range with nothing ordering the matched
+  // receive first: only the runtime's copy-at-post semantics save this.
+  sched.ranks[0].copy_input(0, 0, 4);
+  sched.ranks[1].recv(0, 0, 0, 4);
+
+  const CheckReport base = check_schedule(sched, Algorithm::kLinear, no_conformance());
+  EXPECT_TRUE(base.ok());
+  EXPECT_EQ(base.hazards.zero_copy_races, 1u);
+
+  CheckOptions zc = no_conformance();
+  zc.zero_copy = true;
+  const CheckReport strict = check_schedule(sched, Algorithm::kLinear, zc);
+  EXPECT_FALSE(strict.ok());
+  EXPECT_TRUE(has_kind(strict, ViolationKind::kBufferRace));
+}
+
+TEST(Hazards, OverwriteOrderedAfterMatchedRecvIsNotARace) {
+  const CollParams pr = bcast_params(2, 4);
+  Schedule sched = empty_schedule(pr, "ordered_overwrite");
+  sched.ranks[0].copy_input(0, 0, 4);
+  sched.ranks[0].send(1, 0, 0, 4);
+  sched.ranks[0].recv(1, 1, 0, 4);  // happens after rank 1's recv ...
+  sched.ranks[1].recv(0, 0, 0, 4);
+  sched.ranks[1].send(0, 1, 0, 4);  // ... because this send follows it
+
+  CheckOptions zc = no_conformance();
+  zc.zero_copy = true;
+  const CheckReport report = check_schedule(sched, Algorithm::kLinear, zc);
+  EXPECT_TRUE(report.ok()) << describe(report.violations.front());
+  EXPECT_EQ(report.hazards.zero_copy_races, 0u);
+}
+
+TEST(Hazards, SameChannelPairWithDifferentEffectIsFifoSilent) {
+  const CollParams pr = bcast_params(2, 2);
+  Schedule sched = empty_schedule(pr, "fifo_silent");
+  sched.ranks[0].copy_input(0, 0, 2);
+  sched.ranks[0].send(1, 0, 0, 1);  // byte 0 and byte 1 ride one channel,
+  sched.ranks[0].send(1, 0, 1, 1);  // same size, different payloads
+  sched.ranks[1].recv(0, 0, 0, 1);
+  sched.ranks[1].recv(0, 0, 1, 1);
+
+  const CheckReport base = check_schedule(sched, Algorithm::kLinear, no_conformance());
+  EXPECT_TRUE(base.ok());
+  EXPECT_EQ(base.hazards.fifo_silent_pairs, 1u);
+
+  CheckOptions strict = no_conformance();
+  strict.strict_reorder = true;
+  const CheckReport promoted = check_schedule(sched, Algorithm::kLinear, strict);
+  EXPECT_FALSE(promoted.ok());
+  EXPECT_TRUE(has_kind(promoted, ViolationKind::kMatchAmbiguity));
+}
+
+TEST(Hazards, ObservablyIdenticalPairIsBenignEvenUnderReordering) {
+  const CollParams pr = bcast_params(2, 1);
+  Schedule sched = empty_schedule(pr, "benign_pair");
+  sched.ranks[0].copy_input(0, 0, 1);
+  sched.ranks[0].send(1, 0, 0, 1);  // identical payload, identical landing
+  sched.ranks[0].send(1, 0, 0, 1);
+  sched.ranks[1].recv(0, 0, 0, 1);
+  sched.ranks[1].recv(0, 0, 0, 1);
+
+  CheckOptions strict = no_conformance();
+  strict.strict_reorder = true;
+  const CheckReport report = check_schedule(sched, Algorithm::kLinear, strict);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.hazards.benign_reorder_pairs, 1u);
+  EXPECT_EQ(report.hazards.fifo_silent_pairs, 0u);
+}
+
+TEST(Hazards, SizeMismatchedPairIsFailStopNotSilent) {
+  const CollParams pr = bcast_params(2, 3);
+  Schedule sched = empty_schedule(pr, "fail_stop_pair");
+  sched.ranks[0].copy_input(0, 0, 3);
+  sched.ranks[0].send(1, 0, 0, 1);
+  sched.ranks[0].send(1, 0, 1, 2);  // different size: reordering is detected
+  sched.ranks[1].recv(0, 0, 0, 1);
+  sched.ranks[1].recv(0, 0, 1, 2);
+
+  const CheckReport report = check_schedule(sched, Algorithm::kLinear, no_conformance());
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.hazards.fifo_fail_stop_pairs, 1u);
+  EXPECT_EQ(report.hazards.fifo_silent_pairs, 0u);
+}
+
+TEST(Hazards, RecursiveDoublingAllreduceRacesOnlyUnderZeroCopy) {
+  CollParams pr;
+  pr.op = CollOp::kAllreduce;
+  pr.p = 4;
+  pr.k = 2;
+  pr.count = 16;
+  pr.elem_size = 4;
+  const Schedule sched = core::build_schedule(Algorithm::kRecursiveDoubling, pr);
+
+  // In-place exchange rounds overwrite the just-sent vector every round:
+  // legal with buffered sends, fatal with zero-copy.
+  const CheckReport base = check_schedule(sched, Algorithm::kRecursiveDoubling);
+  EXPECT_TRUE(base.ok());
+  EXPECT_GT(base.hazards.zero_copy_races, 0u);
+
+  CheckOptions zc;
+  zc.zero_copy = true;
+  const CheckReport strict = check_schedule(sched, Algorithm::kRecursiveDoubling, zc);
+  EXPECT_FALSE(strict.ok());
+  EXPECT_TRUE(has_kind(strict, ViolationKind::kBufferRace));
+}
+
+TEST(Hazards, TreeBcastIsCleanUnderEveryContract) {
+  const CollParams pr = bcast_params(8, 32, 4);
+  const Schedule sched = core::build_schedule(Algorithm::kBinomial, pr);
+  CheckOptions strict;
+  strict.zero_copy = true;
+  strict.strict_reorder = true;
+  const CheckReport report = check_schedule(sched, Algorithm::kBinomial, strict);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.hazards.zero_copy_races, 0u);
+  EXPECT_EQ(report.hazards.fifo_silent_pairs, 0u);
+}
+
+TEST(Hazards, RoundCountIsLongestMessageChain) {
+  struct Case {
+    CollOp op;
+    Algorithm alg;
+    int p;
+    int k;
+    std::size_t expected;
+  };
+  const Case cases[] = {
+      {CollOp::kBcast, Algorithm::kLinear, 4, 2, 1},
+      {CollOp::kBcast, Algorithm::kPipeline, 5, 3, 4},
+      {CollOp::kBcast, Algorithm::kBinomial, 8, 2, 3},
+      // p=5 has no vrank with three nonzero bits, so the chain is 2, not
+      // ceil(log2 5) = 3.
+      {CollOp::kBcast, Algorithm::kBinomial, 5, 2, 2},
+      {CollOp::kBarrier, Algorithm::kDissemination, 8, 2, 3},
+      {CollOp::kAllgather, Algorithm::kRing, 6, 1, 5},
+  };
+  for (const Case& c : cases) {
+    CollParams pr;
+    pr.op = c.op;
+    pr.p = c.p;
+    pr.k = c.k;
+    pr.count = c.op == CollOp::kBarrier ? 0 : 32;
+    pr.elem_size = c.op == CollOp::kBarrier ? 1 : 4;
+    const Schedule sched = core::build_schedule(c.alg, pr);
+    const CheckReport report = check_schedule(sched, c.alg);
+    EXPECT_TRUE(report.ok()) << sched.name;
+    EXPECT_EQ(report.rounds, c.expected) << sched.name << " " << pr.describe();
+  }
+}
+
+}  // namespace
+}  // namespace gencoll::check

@@ -7,7 +7,9 @@
 
 #include <cmath>
 #include <cstring>
+#include <utility>
 
+#include "check/check.hpp"
 #include "core/executor.hpp"
 #include "core/reference.hpp"
 #include "core/registry.hpp"
@@ -91,6 +93,9 @@ TEST_P(CollectiveFuzz, RandomConfigsMatchReference) {
     Schedule sched;
     ASSERT_NO_THROW(sched = build_schedule(cfg.alg, cfg.params));
     ASSERT_NO_THROW(validate_schedule_coverage(sched));
+    // Prove the schedule symbolically before trusting the execution: exact
+    // dataflow provenance, hazard census, and closed-form cost conformance.
+    ASSERT_NO_THROW(check::require_ok(sched, check::check_schedule(sched, cfg.alg)));
 
     const auto inputs =
         make_inputs(cfg.params, cfg.type, 0xABCDULL + static_cast<std::uint64_t>(i));
@@ -118,6 +123,11 @@ class ScheduleProperty : public testing::TestWithParam<int> {};
 
 TEST_P(ScheduleProperty, TrafficInvariants) {
   util::SplitMix64 rng(0xFACE0000ULL + static_cast<std::uint64_t>(GetParam()));
+  // Auditor hook: every schedule the registry compiles inside this scope is
+  // proved by the symbolic checker before build_schedule() returns it.
+  auto previous = set_schedule_auditor([](const Schedule& s, Algorithm alg) {
+    check::require_ok(s, check::check_schedule(s, alg));
+  });
   for (int i = 0; i < 60; ++i) {
     const FuzzConfig cfg = draw(rng);
     const Schedule sched = build_schedule(cfg.alg, cfg.params);
@@ -154,6 +164,7 @@ TEST_P(ScheduleProperty, TrafficInvariants) {
       EXPECT_GE(total, n * (p - 1.0) / p - p * static_cast<double>(cfg.params.elem_size));
     }
   }
+  set_schedule_auditor(std::move(previous));
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ScheduleProperty, testing::Range(0, 8));
