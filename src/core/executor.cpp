@@ -1,5 +1,6 @@
 #include "core/executor.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 #include <string>
@@ -21,15 +22,17 @@ obs::SpanKind span_kind_of(StepKind kind) {
   return obs::SpanKind::kSend;
 }
 
-/// Emit one step's span (and message instant) after the step completed.
-/// Component fields stay zero: wall-clock execution has no cost model.
+/// Emit one span (and message instant) after a step — or one segment of a
+/// pipelined step — completed. `bytes` is the segment's size, so per-segment
+/// spans of one step sum to the step's bytes. Component fields stay zero:
+/// wall-clock execution has no cost model.
 void emit_step(obs::TraceSink& sink, int rank, std::size_t step, const Step& s,
-               double begin_us, double end_us) {
+               std::size_t bytes, double begin_us, double end_us) {
   obs::SpanEvent ev;
   ev.kind = span_kind_of(s.kind);
   ev.rank = rank;
   ev.step = static_cast<std::int32_t>(step);
-  ev.bytes = s.bytes;
+  ev.bytes = bytes;
   ev.begin_us = begin_us;
   ev.end_us = end_us;
   if (s.kind != StepKind::kCopyInput) {
@@ -46,9 +49,18 @@ void emit_step(obs::TraceSink& sink, int rank, std::size_t step, const Step& s,
   inst.rank = rank;
   inst.peer = s.peer;
   inst.tag = s.tag;
-  inst.bytes = s.bytes;
+  inst.bytes = bytes;
   inst.time_us = end_us;
   sink.instant(inst);
+}
+
+/// Segment size for pipelined steps: the configured segment rounded down to
+/// an element multiple, 0 when pipelining is off or cannot hold a whole
+/// element. Both sides of a matched message derive segmentation from the
+/// step's byte count alone, so sender and receiver always agree.
+std::size_t pipeline_segment_bytes(const ExecTuning& tuning, std::size_t elem_size) {
+  if (tuning.pipeline_threshold == 0 || tuning.pipeline_segment == 0) return 0;
+  return tuning.pipeline_segment - tuning.pipeline_segment % elem_size;
 }
 
 }  // namespace
@@ -56,7 +68,8 @@ void emit_step(obs::TraceSink& sink, int rank, std::size_t step, const Step& s,
 void execute_rank_program(const Schedule& sched, runtime::Communicator& comm,
                           std::span<const std::byte> input,
                           std::span<std::byte> output, runtime::DataType type,
-                          runtime::ReduceOp op, obs::TraceSink* sink) {
+                          runtime::ReduceOp op, obs::TraceSink* sink,
+                          const ExecTuning& tuning) {
   const CollParams& pr = sched.params;
   if (comm.size() != pr.p) {
     throw std::invalid_argument("execute_rank_program: communicator size != p");
@@ -76,37 +89,85 @@ void execute_rank_program(const Schedule& sched, runtime::Communicator& comm,
     throw std::invalid_argument("execute_rank_program: output too small");
   }
 
-  std::vector<std::byte> reduce_scratch;
+  // The fast paths require the plain in-process transport: reliability and
+  // fault injection own the wire bytes (envelopes, retransmits) and number
+  // whole messages, so both zero-copy views and segmentation stand down.
+  // plain_transport() comes from WorldOptions and is uniform across ranks.
+  const bool plain = comm.plain_transport();
+  const bool zero_copy = tuning.zero_copy && plain;
+  const std::size_t seg_bytes =
+      plain ? pipeline_segment_bytes(tuning, pr.elem_size) : 0;
+  const auto reduce_fn =
+      tuning.scalar_reduce ? runtime::apply_reduce_scalar : runtime::apply_reduce;
+
   const auto& steps = sched.ranks[static_cast<std::size_t>(rank)].steps;
   for (std::size_t i = 0; i < steps.size(); ++i) {
     const Step& s = steps[i];
-    const double begin_us = sink != nullptr ? obs::wallclock_us() : 0.0;
-    switch (s.kind) {
-      case StepKind::kCopyInput:
-        // Zero-byte copies happen for degenerate schedules; an empty span's
-        // data() may be null, and memcpy's pointer args must be non-null.
-        if (s.bytes != 0) {
-          std::memcpy(output.data() + s.off, input.data() + s.src_off, s.bytes);
-        }
-        break;
-      case StepKind::kSend:
-        comm.send(s.peer, s.tag, output.subspan(s.off, s.bytes));
-        break;
-      case StepKind::kSendInput:
-        comm.send(s.peer, s.tag, input.subspan(s.src_off, s.bytes));
-        break;
-      case StepKind::kRecv:
-        comm.recv(s.peer, s.tag, output.subspan(s.off, s.bytes));
-        break;
-      case StepKind::kRecvReduce: {
-        reduce_scratch.resize(s.bytes);
-        comm.recv(s.peer, s.tag, reduce_scratch);
-        runtime::apply_reduce(op, type, output.subspan(s.off, s.bytes),
-                              reduce_scratch, s.bytes / pr.elem_size);
-        break;
+    double begin_us = sink != nullptr ? obs::wallclock_us() : 0.0;
+
+    if (s.kind == StepKind::kCopyInput) {
+      // Zero-byte copies happen for degenerate schedules; an empty span's
+      // data() may be null, and memcpy's pointer args must be non-null.
+      if (s.bytes != 0) {
+        std::memcpy(output.data() + s.off, input.data() + s.src_off, s.bytes);
       }
+      if (sink != nullptr) {
+        emit_step(*sink, rank, i, s, s.bytes, begin_us, obs::wallclock_us());
+      }
+      continue;
     }
-    if (sink != nullptr) emit_step(*sink, rank, i, s, begin_us, obs::wallclock_us());
+
+    // Communication step, possibly pipelined: both endpoints of a matched
+    // message split identically because matched steps carry equal byte
+    // counts (validated at schedule build) and segmentation depends only on
+    // the count. Segments share the step's (peer, tag) channel; the
+    // transport's per-channel FIFO keeps them in order.
+    const bool pipelined =
+        seg_bytes != 0 && s.bytes >= tuning.pipeline_threshold && s.bytes > seg_bytes;
+    const std::size_t chunk = pipelined ? seg_bytes : s.bytes;
+    std::size_t done = 0;
+    do {
+      const std::size_t len = std::min(chunk, s.bytes - done);
+      switch (s.kind) {
+        case StepKind::kSend:
+          if (zero_copy) {
+            comm.send_view(s.peer, s.tag, output.subspan(s.off + done, len));
+          } else {
+            comm.send(s.peer, s.tag, output.subspan(s.off + done, len));
+          }
+          break;
+        case StepKind::kSendInput:
+          if (zero_copy) {
+            comm.send_view(s.peer, s.tag, input.subspan(s.src_off + done, len));
+          } else {
+            comm.send(s.peer, s.tag, input.subspan(s.src_off + done, len));
+          }
+          break;
+        case StepKind::kRecv: {
+          const runtime::Message m = comm.recv_msg(s.peer, s.tag, len);
+          if (len != 0) {
+            std::memcpy(output.data() + s.off + done, m.bytes().data(), len);
+          }
+          break;
+        }
+        case StepKind::kRecvReduce: {
+          // Reduce straight out of the matched message (a pooled buffer or
+          // the sender's own memory under zero-copy) — no staging copy.
+          const runtime::Message m = comm.recv_msg(s.peer, s.tag, len);
+          reduce_fn(op, type, output.subspan(s.off + done, len), m.bytes(),
+                    len / pr.elem_size);
+          break;
+        }
+        case StepKind::kCopyInput:
+          break;  // handled above
+      }
+      done += len;
+      if (sink != nullptr) {
+        const double now_us = obs::wallclock_us();
+        emit_step(*sink, rank, i, s, len, begin_us, now_us);
+        begin_us = now_us;
+      }
+    } while (done < s.bytes);
   }
 }
 
@@ -141,7 +202,8 @@ std::vector<std::vector<std::byte>> execute_threaded(
       pr.p,
       [&](runtime::Communicator& comm) {
         const auto r = static_cast<std::size_t>(comm.rank());
-        execute_rank_program(sched, comm, inputs[r], outputs[r], type, op, sink);
+        execute_rank_program(sched, comm, inputs[r], outputs[r], type, op, sink,
+                             options.tuning);
       },
       options.world);
   return outputs;

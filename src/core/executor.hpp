@@ -16,12 +16,36 @@
 
 namespace gencoll::core {
 
+/// Data-plane tuning for schedule execution. MUST be identical on every
+/// rank of one collective (execute_threaded guarantees this; callers driving
+/// execute_rank_program directly must pass the same tuning on all ranks,
+/// since segmentation decisions are made symmetrically from step sizes).
+struct ExecTuning {
+  /// Post sends as zero-copy views into the local buffers instead of copying
+  /// into pooled transport storage. Only sound for schedules the symbolic
+  /// prover passes with CheckOptions::zero_copy (zero_copy_races == 0) AND
+  /// when every rank's buffers outlive the whole collective (true under
+  /// execute_threaded, which joins before returning). Ignored — falls back
+  /// to copying — when reliability or fault injection is active.
+  bool zero_copy = false;
+  /// Steps moving at least this many bytes are pipelined into segments so
+  /// the receiver's copy/reduce of segment i overlaps delivery of segment
+  /// i+1. 0 disables pipelining. Ignored on non-plain transports.
+  std::size_t pipeline_threshold = 256 * 1024;
+  /// Segment size for pipelined steps (rounded down to an element multiple).
+  std::size_t pipeline_segment = 64 * 1024;
+  /// Force the scalar reduction backend (benchmark gate's naive mode).
+  bool scalar_reduce = false;
+};
+
 /// Knobs for execute_threaded beyond the schedule itself.
 struct ThreadedExecOptions {
   /// Tracing sink (see execute_threaded docs); nullptr disables.
   obs::TraceSink* sink = nullptr;
   /// Passed through to the World: fault plan, reliability, recv deadline.
   runtime::WorldOptions world;
+  /// Data-plane tuning, applied uniformly to every rank.
+  ExecTuning tuning;
 };
 
 /// Execute `sched` across World-spawned threads. inputs[r] must hold
@@ -51,10 +75,12 @@ std::vector<std::vector<std::byte>> execute_threaded(
 /// must have output_bytes(params) bytes. Exposed so the public API (api/)
 /// can run collectives on long-lived communicators, and reused by
 /// execute_threaded. `sink`, when non-null, receives this rank's step spans
-/// and message instants.
+/// and message instants (pipelined steps emit one span/instant per segment,
+/// all carrying the step's index). `tuning` must match across ranks.
 void execute_rank_program(const Schedule& sched, runtime::Communicator& comm,
                           std::span<const std::byte> input,
                           std::span<std::byte> output, runtime::DataType type,
-                          runtime::ReduceOp op, obs::TraceSink* sink = nullptr);
+                          runtime::ReduceOp op, obs::TraceSink* sink = nullptr,
+                          const ExecTuning& tuning = {});
 
 }  // namespace gencoll::core

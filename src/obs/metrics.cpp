@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <string>
 
 namespace gencoll::obs {
@@ -50,7 +51,12 @@ CollectiveMetrics collect_metrics(const TraceRecorder& recorder) {
     RankBreakdown& rb = m.per_rank[static_cast<std::size_t>(r)];
     std::size_t sends = 0;
     std::size_t recvs = 0;
+    std::int32_t last_step = -1;
     for (const SpanEvent& ev : recorder.spans(r)) {
+      // Per-rank spans arrive in execution order, so a repeated step index
+      // means the executor pipelined that step into multiple segments.
+      if (ev.step >= 0 && ev.step == last_step) ++m.pipelined_segments;
+      last_step = ev.step;
       if (!seen || ev.begin_us < t_min) t_min = ev.begin_us;
       if (!seen || ev.end_us > t_max) t_max = ev.end_us;
       seen = true;
@@ -116,6 +122,7 @@ util::Table metrics_summary_table(const CollectiveMetrics& m) {
   t.add_row({"bytes intra/inter",
              std::to_string(m.bytes_intra) + " / " + std::to_string(m.bytes_inter)});
   t.add_row({"rounds (comm depth)", std::to_string(m.rounds)});
+  t.add_row({"pipelined segments", std::to_string(m.pipelined_segments)});
   t.add_row({"max port queue depth", std::to_string(m.max_port_queue_depth)});
   t.add_row({"port/link queue total (us)", util::fmt(m.queue_us)});
   t.add_row({"retransmits", std::to_string(m.retransmits)});

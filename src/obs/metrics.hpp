@@ -38,6 +38,10 @@ struct CollectiveMetrics {
   /// busiest rank (2(p-1) for a ring allreduce; (k-1)*ceil(log_k p) at a
   /// k-nomial bcast root, the injection serialization of paper §III).
   std::size_t rounds = 0;
+  /// Extra spans emitted by segment-pipelined steps (threaded executor): a
+  /// step split into S segments contributes S-1 here. Zero when pipelining
+  /// never engaged and for simulator streams.
+  std::size_t pipelined_segments = 0;
   /// Max number of messages simultaneously queued (posted, not yet on the
   /// wire) by any single rank — NIC-port pressure. Simulator streams only.
   std::size_t max_port_queue_depth = 0;

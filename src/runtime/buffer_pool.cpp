@@ -1,0 +1,106 @@
+#include "runtime/buffer_pool.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace gencoll::runtime {
+
+void PoolBuffer::release() noexcept {
+  if (pool_ != nullptr) {
+    pool_->release(std::move(storage_));
+    pool_ = nullptr;
+  }
+  storage_.clear();
+}
+
+std::vector<std::byte> PoolBuffer::take() && {
+  if (pool_ != nullptr) {
+    pool_->detached_.fetch_add(1, std::memory_order_relaxed);
+    pool_->outstanding_.fetch_sub(1, std::memory_order_relaxed);
+    pool_ = nullptr;
+  }
+  return std::move(storage_);
+}
+
+std::size_t BufferPool::size_class(std::size_t bytes) {
+  if (bytes > kMaxPooledBytes) return bytes;
+  return std::max(kMinClassBytes, std::bit_ceil(bytes));
+}
+
+std::size_t BufferPool::class_index(std::size_t capacity) {
+  // File under the largest class <= capacity (clamped to the class range) so
+  // any storage routed to a class can serve every request of that class even
+  // when the allocator handed back more capacity than reserved.
+  const std::size_t cls =
+      std::clamp(std::bit_floor(capacity), kMinClassBytes, kMaxPooledBytes);
+  return static_cast<std::size_t>(std::countr_zero(cls)) -
+         static_cast<std::size_t>(std::countr_zero(kMinClassBytes));
+}
+
+PoolBuffer BufferPool::acquire(std::size_t bytes) {
+  acquires_.fetch_add(1, std::memory_order_relaxed);
+  outstanding_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t cls = size_class(bytes);
+  if (cls <= kMaxPooledBytes && !bypass()) {
+    ShardedFreelist& list = classes_[class_index(cls)];
+    std::vector<std::byte> storage;
+    {
+      std::lock_guard<std::mutex> lock(list.mu);
+      if (!list.buffers.empty()) {
+        storage = std::move(list.buffers.back());
+        list.buffers.pop_back();
+      }
+    }
+    if (storage.capacity() >= bytes) {
+      recycles_.fetch_add(1, std::memory_order_relaxed);
+      storage.resize(bytes);
+      return PoolBuffer(std::move(storage), this);
+    }
+  } else if (cls > kMaxPooledBytes) {
+    oversize_.fetch_add(1, std::memory_order_relaxed);
+  }
+  allocations_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<std::byte> storage;
+  storage.reserve(cls);
+  storage.resize(bytes);
+  return PoolBuffer(std::move(storage), this);
+}
+
+void BufferPool::release(std::vector<std::byte> storage) noexcept {
+  releases_.fetch_add(1, std::memory_order_relaxed);
+  outstanding_.fetch_sub(1, std::memory_order_relaxed);
+  const std::size_t cap = storage.capacity();
+  if (bypass() || cap < kMinClassBytes || cap > kMaxPooledBytes) {
+    return;  // freed by the vector destructor
+  }
+  ShardedFreelist& list = classes_[class_index(cap)];
+  std::lock_guard<std::mutex> lock(list.mu);
+  list.buffers.push_back(std::move(storage));
+}
+
+BufferPoolStats BufferPool::stats() const {
+  BufferPoolStats s;
+  s.acquires = acquires_.load(std::memory_order_relaxed);
+  s.allocations = allocations_.load(std::memory_order_relaxed);
+  s.recycles = recycles_.load(std::memory_order_relaxed);
+  s.oversize = oversize_.load(std::memory_order_relaxed);
+  s.releases = releases_.load(std::memory_order_relaxed);
+  s.detached = detached_.load(std::memory_order_relaxed);
+  s.outstanding = outstanding_.load(std::memory_order_relaxed);
+  for (const ShardedFreelist& list : classes_) {
+    std::lock_guard<std::mutex> lock(list.mu);
+    s.cached_buffers += list.buffers.size();
+    for (const auto& b : list.buffers) s.cached_bytes += b.capacity();
+  }
+  return s;
+}
+
+void BufferPool::trim() {
+  for (ShardedFreelist& list : classes_) {
+    std::lock_guard<std::mutex> lock(list.mu);
+    list.buffers.clear();
+    list.buffers.shrink_to_fit();
+  }
+}
+
+}  // namespace gencoll::runtime

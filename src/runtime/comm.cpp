@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -21,7 +22,7 @@ std::chrono::milliseconds remaining_ms(steady_clock::time_point deadline) {
                   std::chrono::ceil<std::chrono::milliseconds>(left));
 }
 
-void flip_bit(std::vector<std::byte>& wire, std::uint64_t bit_index) {
+void flip_bit(std::span<std::byte> wire, std::uint64_t bit_index) {
   if (wire.empty()) return;
   const std::uint64_t bit = bit_index % (wire.size() * 8);
   wire[bit / 8] ^= static_cast<std::byte>(1u << (bit % 8));
@@ -88,26 +89,54 @@ void Communicator::send(int dest, int tag, std::span<const std::byte> data) {
     return;
   }
 
-  const std::uint32_t seq = send_seq_[channel_key(dest, tag)]++;
   fault::FaultDecision d;
   if (plan_ != nullptr) {
+    const std::uint32_t seq = send_seq_[channel_key(dest, tag)]++;
     d = fault::decide(*plan_, rank_, dest, tag, seq, 0, fault::MsgStream::kData);
   }
   if (d.drop) return;
   Message m;
   m.source = rank_;
   m.tag = tag;
-  m.payload.assign(data.begin(), data.end());
-  if (d.corrupt) flip_bit(m.payload, d.corrupt_bit);
+  m.payload = world_->pool().acquire(data.size());
+  if (!data.empty()) std::memcpy(m.payload.data(), data.data(), data.size());
+  if (d.corrupt) flip_bit(m.payload.span(), d.corrupt_bit);
   if (d.delay_ms > 0.0) {
     m.deliver_at = steady_clock::now() +
                    std::chrono::duration_cast<steady_clock::duration>(
                        std::chrono::duration<double, std::milli>(d.delay_ms));
   }
   Message copy;
-  if (d.duplicate) copy = m;
+  if (d.duplicate) {
+    copy.source = m.source;
+    copy.tag = m.tag;
+    copy.deliver_at = m.deliver_at;
+    copy.payload = world_->pool().acquire(m.payload.size());
+    if (!m.payload.empty()) {
+      std::memcpy(copy.payload.data(), m.payload.data(), m.payload.size());
+    }
+  }
   world_->mailbox(dest).post(std::move(m));
   if (d.duplicate) world_->mailbox(dest).post(std::move(copy));
+}
+
+void Communicator::send_view(int dest, int tag, std::span<const std::byte> data) {
+  if (!plain_transport()) {
+    // Reliability/injection need ownership of the wire bytes (envelopes,
+    // retransmits, bit-flips): take the copying path.
+    send(dest, tag, data);
+    return;
+  }
+  if (dest < 0 || dest >= size()) {
+    throw std::out_of_range("send_view: destination rank out of range");
+  }
+  crash_check(dest, tag);
+  Message m;
+  m.source = rank_;
+  m.tag = tag;
+  m.zero_copy = true;
+  m.view = data;
+  world_->mailbox(dest).post(std::move(m));
 }
 
 void Communicator::reliable_send(int dest, int tag, std::span<const std::byte> data) {
@@ -147,7 +176,7 @@ void Communicator::reliable_send(int dest, int tag, std::span<const std::byte> d
         Message m;
         m.source = rank_;
         m.tag = tag;
-        m.payload = c + 1 == copies ? std::move(wire) : wire;
+        m.payload = c + 1 == copies ? std::move(wire) : std::vector<std::byte>(wire);
         if (dd.delay_ms > 0.0) {
           m.deliver_at = steady_clock::now() +
                          std::chrono::duration_cast<steady_clock::duration>(
@@ -257,11 +286,11 @@ std::vector<std::byte> Communicator::reliable_recv(int source, int tag) {
                            std::to_string(expected));
     }
     Message m = box.match(source, tag, left, rank_);
-    const fault::DataView v = fault::unwrap_data(m.payload, verify);
+    const fault::DataView v = fault::unwrap_data(m.bytes(), verify);
     if (!v.header_ok || !v.crc_ok) {
       // End-to-end corruption that slipped past (or was rejected by) the
       // destination NIC: discard and wait for the retransmission.
-      emit_instant(obs::InstantKind::kCorruptDetected, source, tag, m.payload.size());
+      emit_instant(obs::InstantKind::kCorruptDetected, source, tag, m.size());
       continue;
     }
     if (v.seq < expected) {
@@ -270,37 +299,43 @@ std::vector<std::byte> Communicator::reliable_recv(int source, int tag) {
     }
     if (v.seq > expected) {
       ++stats_.reordered;
-      stash.emplace(v.seq, std::move(m.payload));
+      stash.emplace(v.seq, std::move(m.payload).take());
       continue;
     }
-    return finish(std::move(m.payload));
+    return finish(std::move(m.payload).take());
   }
 }
 
-void Communicator::recv(int source, int tag, std::span<std::byte> out) {
+Message Communicator::recv_msg(int source, int tag, std::size_t expected) {
   if (source < 0 || source >= size()) {
     throw std::out_of_range("recv: source rank out of range");
   }
   crash_check(source, tag);
-  std::vector<std::byte> payload;
-  std::size_t skip = 0;
+  Message m;
   if (rel_.enabled) {
-    payload = reliable_recv(source, tag);
-    skip = fault::kDataHeaderBytes;
+    std::vector<std::byte> wire = reliable_recv(source, tag);
+    wire.erase(wire.begin(),
+               wire.begin() + static_cast<std::ptrdiff_t>(fault::kDataHeaderBytes));
+    m.source = source;
+    m.tag = tag;
+    m.payload = std::move(wire);
   } else {
-    payload = world_->mailbox(rank_).match(source, tag, timeout_, rank_).payload;
+    m = world_->mailbox(rank_).match(source, tag, timeout_, rank_);
   }
-  if (payload.size() - skip != out.size()) {
+  if (m.size() != expected) {
     throw FaultError(FaultKind::kSizeMismatch, rank_, source, tag,
-                     "recv size mismatch: posted a " + std::to_string(out.size()) +
-                         "-byte receive but matched a " +
-                         std::to_string(payload.size() - skip) +
+                     "recv size mismatch: posted a " + std::to_string(expected) +
+                         "-byte receive but matched a " + std::to_string(m.size()) +
                          "-byte message (source=" + std::to_string(source) +
                          ", tag=" + std::to_string(tag) +
                          ", receiver=" + std::to_string(rank_) + ")");
   }
-  std::copy(payload.begin() + static_cast<std::ptrdiff_t>(skip), payload.end(),
-            out.begin());
+  return m;
+}
+
+void Communicator::recv(int source, int tag, std::span<std::byte> out) {
+  const Message m = recv_msg(source, tag, out.size());
+  if (!out.empty()) std::memcpy(out.data(), m.bytes().data(), out.size());
 }
 
 std::vector<std::byte> Communicator::recv_any_size(int source, int tag) {
@@ -314,7 +349,9 @@ std::vector<std::byte> Communicator::recv_any_size(int source, int tag) {
                wire.begin() + static_cast<std::ptrdiff_t>(fault::kDataHeaderBytes));
     return wire;
   }
-  return world_->mailbox(rank_).match(source, tag, timeout_, rank_).payload;
+  Message m = world_->mailbox(rank_).match(source, tag, timeout_, rank_);
+  if (m.zero_copy) return {m.view.begin(), m.view.end()};
+  return std::move(m.payload).take();
 }
 
 void Communicator::sendrecv(int dest, int send_tag, std::span<const std::byte> send_data,

@@ -31,6 +31,7 @@
 #include "fault/error.hpp"
 #include "fault/plan.hpp"
 #include "obs/trace.hpp"
+#include "runtime/mailbox.hpp"
 
 namespace gencoll::runtime {
 
@@ -63,11 +64,28 @@ class Communicator {
   [[nodiscard]] int rank() const { return rank_; }
   [[nodiscard]] int size() const;
 
-  /// Buffered send: copies `data` and returns without waiting for the
+  /// Buffered send: copies `data` (into pool-recycled storage — no heap
+  /// allocation in steady state) and returns without waiting for the
   /// receiver thread. With reliability enabled it additionally confirms
   /// transport-level delivery (retransmitting as needed) and throws
   /// FaultError(kRetriesExhausted) when the channel stays dead.
   void send(int dest, int tag, std::span<const std::byte> data);
+
+  /// Zero-copy send: posts a non-owning view of `data` instead of copying.
+  /// The caller guarantees the bytes stay untouched until the receiver
+  /// consumes the matched message — the contract src/check/hazards.cpp
+  /// proves per schedule (zero_copy_races == 0). Falls back to the copying
+  /// send when the transport is not plain (reliability or fault injection
+  /// active), so it is always semantically safe to call.
+  void send_view(int dest, int tag, std::span<const std::byte> data);
+
+  /// Hot-path receive: matches the (source, tag) message and returns it
+  /// whole, payload uncopied — the caller reads Message::bytes() directly
+  /// (zero-copy views point into the sender's buffer; pooled payloads
+  /// recycle when the Message dies). The payload must have exactly
+  /// `expected` bytes or FaultError(kSizeMismatch) is thrown. Reliability
+  /// falls back to the enveloped path (header already stripped).
+  Message recv_msg(int source, int tag, std::size_t expected);
 
   /// Blocking receive into `out`. The matched message's payload must have
   /// exactly out.size() bytes (collective schedules know sizes precisely; a
@@ -96,6 +114,13 @@ class Communicator {
   [[nodiscard]] obs::TraceSink* trace_sink() const { return sink_; }
 
   [[nodiscard]] const ReliabilityStats& stats() const { return stats_; }
+
+  /// True when neither reliability nor fault injection interposes on the
+  /// transport — the precondition for the zero-copy and pipelined fast
+  /// paths (uniform across ranks: both come from WorldOptions).
+  [[nodiscard]] bool plain_transport() const {
+    return !rel_.enabled && plan_ == nullptr;
+  }
 
  private:
   /// Channel key for per-(peer, tag) sequence bookkeeping.

@@ -67,7 +67,7 @@ std::size_t Mailbox::drain_matching(
   queue_.erase(std::remove_if(queue_.begin(), queue_.end(),
                               [&](const Message& m) {
                                 return m.source == source && m.tag == tag &&
-                                       pred(m.payload);
+                                       pred(m.bytes());
                               }),
                queue_.end());
   return before - queue_.size();

@@ -30,16 +30,31 @@
 #include <vector>
 
 #include "fault/abort.hpp"
+#include "runtime/buffer_pool.hpp"
 
 namespace gencoll::runtime {
 
 struct Message {
   int source = -1;
   int tag = 0;
-  std::vector<std::byte> payload;
+  /// Owned payload bytes: pool-recycled storage on the hot path, adopted
+  /// heap vectors on the fault-envelope paths. Empty for zero-copy sends.
+  PoolBuffer payload;
+  /// Zero-copy fast path: a non-owning window into the *sender's* registered
+  /// buffer. Valid only under the executor's zero-copy contract (the sender
+  /// provably does not touch the range until the matched receive completes —
+  /// src/check/hazards.cpp classifies which schedules qualify).
+  std::span<const std::byte> view{};
+  bool zero_copy = false;
   /// Earliest instant match() may hand the message out; the epoch default
   /// means "immediately". Set by fault-injected delivery delays.
   std::chrono::steady_clock::time_point deliver_at{};
+
+  /// The payload bytes regardless of transport mode.
+  [[nodiscard]] std::span<const std::byte> bytes() const {
+    return zero_copy ? view : payload.span();
+  }
+  [[nodiscard]] std::size_t size() const { return bytes().size(); }
 };
 
 class Mailbox {

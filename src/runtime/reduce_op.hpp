@@ -29,11 +29,32 @@ std::optional<ReduceOp> parse_reduce_op(std::string_view name);
 bool op_supports(ReduceOp op, DataType type);
 
 /// inout[i] = op(inout[i], in[i]) for each of the `count` elements.
-/// Buffer byte lengths must be >= count * datatype_size(type).
-/// Throws std::invalid_argument on unsupported (op, type) pairs or short
-/// buffers.
+/// Buffer byte lengths must be >= count * datatype_size(type); `inout` and
+/// `in` must not overlap. Throws std::invalid_argument on unsupported
+/// (op, type) pairs or short buffers.
+///
+/// Hot path: kSum/kMax/kMin over int32/int64/float/double dispatch to a
+/// runtime-selected SIMD kernel (AVX2 on x86-64 hosts that support it,
+/// disable with GENCOLL_NO_SIMD=1); everything else runs the blocked scalar
+/// path. All backends are bit-exact against apply_reduce_scalar, including
+/// integer wraparound and float NaN propagation for min/max.
 void apply_reduce(ReduceOp op, DataType type, std::span<std::byte> inout,
                   std::span<const std::byte> in, std::size_t count);
+
+/// The always-scalar reference implementation of apply_reduce (identical
+/// argument contract). Used by the SIMD equivalence tests and the benchmark
+/// gate's naive configuration.
+void apply_reduce_scalar(ReduceOp op, DataType type, std::span<std::byte> inout,
+                         std::span<const std::byte> in, std::size_t count);
+
+/// Which kernel family apply_reduce selects for the vectorizable
+/// (op, datatype) pairs on this host (fixed at first call).
+enum class ReduceBackend {
+  kScalar,  ///< blocked auto-vectorized scalar loops only
+  kAvx2,    ///< runtime-dispatched AVX2 kernels for sum/max/min
+};
+ReduceBackend active_reduce_backend();
+const char* reduce_backend_name(ReduceBackend backend);
 
 inline constexpr ReduceOp kAllReduceOps[] = {
     ReduceOp::kSum, ReduceOp::kProd, ReduceOp::kMax,

@@ -31,6 +31,7 @@ World::World(int size, WorldOptions options)
       recv_timeout_(resolve_recv_timeout(options_)) {
   if (size <= 0) throw std::invalid_argument("World: size must be positive");
   if (options_.fault_plan != nullptr) options_.fault_plan->check();
+  if (options_.pool != nullptr) pool_ = options_.pool;
   mailboxes_.reserve(static_cast<std::size_t>(size));
   for (int i = 0; i < size; ++i) {
     mailboxes_.push_back(std::make_unique<Mailbox>());

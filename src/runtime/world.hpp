@@ -42,6 +42,12 @@ struct WorldOptions {
   /// Default blocking-receive deadline for this World's communicators.
   /// Unset: GENCOLL_RECV_TIMEOUT_MS from the environment, else 60 s.
   std::optional<std::chrono::milliseconds> recv_timeout;
+  /// Message-buffer pool backing this World's transport. nullptr: the World
+  /// owns a private pool (warm within one execution). Supplying an external
+  /// pool (non-owning; must outlive the World) keeps buffers warm *across*
+  /// executions — the benchmark gate uses this to reach zero steady-state
+  /// allocations per operation.
+  BufferPool* pool = nullptr;
 };
 
 class World {
@@ -70,6 +76,10 @@ class World {
   [[nodiscard]] const WorldOptions& options() const { return options_; }
   [[nodiscard]] std::chrono::milliseconds recv_timeout() const { return recv_timeout_; }
 
+  /// The transport's buffer pool (external when WorldOptions::pool was set,
+  /// otherwise this World's private pool).
+  [[nodiscard]] BufferPool& pool() { return *pool_; }
+
   /// Convenience: construct a World of `size` ranks, run `fn(comm)` on a
   /// thread per rank, join, and re-throw the first rank exception (if any).
   /// A throwing rank aborts the World so its peers fail fast.
@@ -81,6 +91,8 @@ class World {
   int size_;
   WorldOptions options_;
   std::chrono::milliseconds recv_timeout_;
+  BufferPool owned_pool_;
+  BufferPool* pool_ = &owned_pool_;  ///< points at options_.pool when set
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   fault::AbortFlag abort_;
 

@@ -9,7 +9,9 @@
 
 #include "core/reference.hpp"
 #include "core/registry.hpp"
+#include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
+#include "runtime/buffer_pool.hpp"
 #include "runtime/world.hpp"
 
 namespace gencoll::core {
@@ -219,6 +221,134 @@ TEST(Executor, ZeroCountCollectiveIsNoOp) {
   const std::vector<std::vector<std::byte>> inputs(4);
   const auto outputs = execute_threaded(sched, inputs, DataType::kInt32, ReduceOp::kSum);
   for (const auto& out : outputs) EXPECT_TRUE(out.empty());
+}
+
+// --- Data-plane tuning (ExecTuning): zero-copy sends + segment pipelining ---
+
+/// Output equality against the untuned executor, byte for byte: the fast
+/// paths change how bytes move, never which bytes arrive (and the SIMD
+/// reduce backend is bit-exact, so int32 sums compare with memcmp).
+void expect_tuning_matches_default(const Schedule& sched, const CollParams& params,
+                                   const ExecTuning& tuning) {
+  const auto inputs = make_inputs(params, DataType::kInt32, 21);
+  const auto want =
+      reference_outputs(params, inputs, DataType::kInt32, ReduceOp::kSum);
+  ThreadedExecOptions options;
+  options.tuning = tuning;
+  const auto got =
+      execute_threaded(sched, inputs, DataType::kInt32, ReduceOp::kSum, options);
+  for (int r = 0; r < params.p; ++r) {
+    const auto idx = static_cast<std::size_t>(r);
+    if (want[idx].empty()) continue;
+    ASSERT_EQ(std::memcmp(got[idx].data(), want[idx].data(), want[idx].size()), 0)
+        << "rank " << r;
+  }
+}
+
+TEST(ExecutorTuning, ZeroCopySendsMatchReference) {
+  // Knomial allreduce is prover-clean under CheckOptions::zero_copy (see
+  // check/hazards_test.cpp); execute_threaded keeps all buffers alive until
+  // join, so the view-based sends are safe here.
+  CollParams params = allreduce_params(8);
+  params.count = 256;
+  const Schedule sched = build_schedule(Algorithm::kKnomial, params);
+  ExecTuning tuning;
+  tuning.zero_copy = true;
+  expect_tuning_matches_default(sched, params, tuning);
+}
+
+TEST(ExecutorTuning, PipelinedStepsMatchReference) {
+  // Tiny threshold/segment so even this modest payload pipelines: every
+  // 1024-byte message travels as 128-byte segments on both endpoints.
+  CollParams params = allreduce_params(4);
+  params.count = 256;  // 1 KiB payload
+  for (Algorithm alg : {Algorithm::kRecursiveMultiplying, Algorithm::kKnomial,
+                        Algorithm::kKring}) {
+    const Schedule sched = build_schedule(alg, params);
+    ExecTuning tuning;
+    tuning.pipeline_threshold = 512;
+    tuning.pipeline_segment = 128;
+    expect_tuning_matches_default(sched, params, tuning);
+  }
+}
+
+TEST(ExecutorTuning, PipeliningEmitsPerSegmentSpans) {
+  CollParams params = allreduce_params(4);
+  params.count = 256;
+  const Schedule sched = build_schedule(Algorithm::kRecursiveDoubling, params);
+  const auto inputs = make_inputs(params, DataType::kInt32, 5);
+
+  obs::TraceRecorder recorder(params.p);
+  ThreadedExecOptions options;
+  options.sink = &recorder;
+  options.tuning.pipeline_threshold = 512;
+  options.tuning.pipeline_segment = 128;
+  execute_threaded(sched, inputs, DataType::kInt32, ReduceOp::kSum, options);
+
+  const auto metrics = obs::collect_metrics(recorder);
+  // 1024-byte steps split into 128-byte segments: repeated step indices on
+  // each rank's lane, surfaced as the pipelined_segments counter.
+  EXPECT_GT(metrics.pipelined_segments, 0u);
+  // Segment spans must sum to the full traffic: every payload byte appears
+  // exactly once across the (now more numerous) send spans.
+  std::size_t send_bytes = 0;
+  for (int r = 0; r < params.p; ++r) {
+    for (const auto& ev : recorder.spans(r)) {
+      if (obs::is_send(ev.kind)) send_bytes += ev.bytes;
+    }
+  }
+  EXPECT_EQ(send_bytes % 1024, 0u);
+  EXPECT_GT(send_bytes, 0u);
+}
+
+TEST(ExecutorTuning, FastPathsStandDownUnderReliability) {
+  // Reliability owns the wire format (envelopes, acks, retransmits), so both
+  // zero-copy and pipelining must silently fall back to whole-message copies
+  // — with identical results.
+  CollParams params = allreduce_params(4);
+  params.count = 256;
+  const Schedule sched = build_schedule(Algorithm::kRecursiveDoubling, params);
+  const auto inputs = make_inputs(params, DataType::kInt32, 9);
+  const auto want =
+      reference_outputs(params, inputs, DataType::kInt32, ReduceOp::kSum);
+
+  ThreadedExecOptions options;
+  options.world.reliability.enabled = true;
+  options.tuning.zero_copy = true;
+  options.tuning.pipeline_threshold = 512;
+  options.tuning.pipeline_segment = 128;
+  const auto got =
+      execute_threaded(sched, inputs, DataType::kInt32, ReduceOp::kSum, options);
+  for (int r = 0; r < params.p; ++r) {
+    const auto idx = static_cast<std::size_t>(r);
+    ASSERT_EQ(std::memcmp(got[idx].data(), want[idx].data(), want[idx].size()), 0)
+        << "rank " << r;
+  }
+}
+
+TEST(ExecutorTuning, ExternalPoolReachesSteadyStateZeroAllocs) {
+  // The bench gate's central claim, as a test: with a warm external pool,
+  // repeat executions of the same collective stop allocating.
+  CollParams params = allreduce_params(4);
+  params.count = 256;
+  const Schedule sched = build_schedule(Algorithm::kRecursiveMultiplying, params);
+  const auto inputs = make_inputs(params, DataType::kInt32, 13);
+
+  runtime::BufferPool pool;
+  ThreadedExecOptions options;
+  options.world.pool = &pool;
+  // Warm until an execution completes without touching the heap (the pool's
+  // peak depth depends on interleaving, so allow several rounds).
+  bool quiescent = false;
+  for (int i = 0; i < 12 && !quiescent; ++i) {
+    const auto before = pool.stats().allocations;
+    execute_threaded(sched, inputs, DataType::kInt32, ReduceOp::kSum, options);
+    quiescent = pool.stats().allocations == before;
+  }
+  EXPECT_TRUE(quiescent) << "pool never reached steady state";
+  const auto st = pool.stats();
+  EXPECT_GT(st.recycles, 0u);
+  EXPECT_EQ(st.outstanding, 0u);  // every message buffer came home
 }
 
 }  // namespace

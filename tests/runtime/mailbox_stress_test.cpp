@@ -11,6 +11,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstring>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -29,7 +30,7 @@ std::vector<std::byte> encode(int value) {
   return out;
 }
 
-int decode(const std::vector<std::byte>& payload) {
+int decode(std::span<const std::byte> payload) {
   int value = 0;
   std::memcpy(&value, payload.data(), sizeof(int));
   return value;

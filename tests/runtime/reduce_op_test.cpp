@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstring>
+#include <limits>
+#include <random>
 #include <vector>
 
 namespace gencoll::runtime {
@@ -120,6 +123,133 @@ TEST(ReduceOp, AllSupportedCombinationsApply) {
       EXPECT_NO_THROW(apply_reduce(op, type, a, b, 3));
     }
   }
+}
+
+// --- SIMD vs scalar equivalence ---
+//
+// apply_reduce may dispatch to AVX2 kernels; apply_reduce_scalar never does.
+// The contract is bit-exact agreement for every supported (op, type) pair,
+// including integer wraparound, float denormals, and NaN propagation for
+// min/max (where std::max/std::min's asymmetric NaN handling is the spec).
+// Counts straddle vector widths so both the SIMD body and scalar tail run.
+
+std::vector<std::byte> pattern_bytes(DataType type, std::size_t count,
+                                     std::uint64_t seed) {
+  std::vector<std::byte> out(count * datatype_size(type));
+  std::mt19937_64 rng(seed);
+  if (type == DataType::kFloat || type == DataType::kDouble) {
+    // Finite values of mixed sign and magnitude, plus injected specials.
+    for (std::size_t i = 0; i < count; ++i) {
+      const double v = (static_cast<double>(rng() % 4000) - 2000.0) / 16.0;
+      if (type == DataType::kFloat) {
+        auto f = static_cast<float>(v);
+        std::memcpy(out.data() + i * sizeof(float), &f, sizeof(float));
+      } else {
+        std::memcpy(out.data() + i * sizeof(double), &v, sizeof(double));
+      }
+    }
+  } else {
+    for (auto& b : out) b = static_cast<std::byte>(rng() & 0xFF);
+  }
+  return out;
+}
+
+template <typename T>
+void inject(std::vector<std::byte>& buf, std::size_t index, T value) {
+  std::memcpy(buf.data() + index * sizeof(T), &value, sizeof(T));
+}
+
+TEST(ReduceOpSimd, MatchesScalarForAllSupportedPairs) {
+  // 67 straddles every vector width (4, 8 lanes) with a ragged tail; 1 and 3
+  // exercise pure-tail paths.
+  for (const std::size_t count : {std::size_t{1}, std::size_t{3},
+                                  std::size_t{67}, std::size_t{256}}) {
+    for (ReduceOp op : kAllReduceOps) {
+      for (DataType type : kAllDataTypes) {
+        if (!op_supports(op, type)) continue;
+        auto simd_inout = pattern_bytes(type, count, 11);
+        const auto in = pattern_bytes(type, count, 22);
+        auto scalar_inout = simd_inout;
+        apply_reduce(op, type, simd_inout, in, count);
+        apply_reduce_scalar(op, type, scalar_inout, in, count);
+        EXPECT_EQ(simd_inout, scalar_inout)
+            << reduce_op_name(op) << " x " << datatype_name(type)
+            << " count=" << count << " diverges from scalar";
+      }
+    }
+  }
+}
+
+TEST(ReduceOpSimd, IntegerSumWrapsIdentically) {
+  // Force wraparound in every lane: INT32_MAX + positive, INT64_MIN - 1.
+  const std::size_t count = 19;
+  for (DataType type : {DataType::kInt32, DataType::kInt64}) {
+    auto a = pattern_bytes(type, count, 33);
+    auto b = pattern_bytes(type, count, 44);
+    if (type == DataType::kInt32) {
+      for (std::size_t i = 0; i < count; ++i) {
+        inject<std::int32_t>(a, i, std::numeric_limits<std::int32_t>::max());
+        inject<std::int32_t>(b, i, static_cast<std::int32_t>(i + 1));
+      }
+    } else {
+      for (std::size_t i = 0; i < count; ++i) {
+        inject<std::int64_t>(a, i, std::numeric_limits<std::int64_t>::min());
+        inject<std::int64_t>(b, i, -1 - static_cast<std::int64_t>(i));
+      }
+    }
+    auto scalar = a;
+    apply_reduce(ReduceOp::kSum, type, a, b, count);
+    apply_reduce_scalar(ReduceOp::kSum, type, scalar, b, count);
+    EXPECT_EQ(a, scalar) << datatype_name(type) << " wraparound diverges";
+  }
+}
+
+TEST(ReduceOpSimd, FloatSpecialsMatchScalarBitwise) {
+  // NaN in either operand, signed zeros, infinities, and denormals, spread
+  // so they land in both SIMD lanes and the scalar tail.
+  const std::size_t count = 37;
+  for (DataType type : {DataType::kFloat, DataType::kDouble}) {
+    for (ReduceOp op : {ReduceOp::kSum, ReduceOp::kMax, ReduceOp::kMin}) {
+      auto a = pattern_bytes(type, count, 55);
+      auto b = pattern_bytes(type, count, 66);
+      auto plant = [&](std::size_t i, double va, double vb) {
+        if (type == DataType::kFloat) {
+          inject<float>(a, i, static_cast<float>(va));
+          inject<float>(b, i, static_cast<float>(vb));
+        } else {
+          inject<double>(a, i, va);
+          inject<double>(b, i, vb);
+        }
+      };
+      const double nan = std::numeric_limits<double>::quiet_NaN();
+      const double inf = std::numeric_limits<double>::infinity();
+      const double denorm = std::numeric_limits<double>::denorm_min();
+      const float fdenorm = std::numeric_limits<float>::denorm_min();
+      plant(0, nan, 1.0);
+      plant(1, 1.0, nan);
+      plant(2, nan, nan);
+      plant(5, 0.0, -0.0);
+      plant(6, -0.0, 0.0);
+      plant(9, inf, -inf);
+      plant(12, type == DataType::kFloat ? fdenorm : denorm, 0.0);
+      plant(13, 0.0, type == DataType::kFloat ? fdenorm : denorm);
+      plant(34, nan, 2.0);   // tail territory for 4-lane doubles
+      plant(36, 3.0, nan);
+      auto scalar = a;
+      apply_reduce(op, type, a, b, count);
+      apply_reduce_scalar(op, type, scalar, b, count);
+      // Bitwise comparison: NaN payloads and zero signs must match too.
+      EXPECT_EQ(a, scalar) << reduce_op_name(op) << " x " << datatype_name(type)
+                           << " special values diverge from scalar";
+    }
+  }
+}
+
+TEST(ReduceOpSimd, BackendNameIsConsistent) {
+  const ReduceBackend backend = active_reduce_backend();
+  EXPECT_STRNE(reduce_backend_name(backend), "");
+  // The selection is latched: repeated queries agree.
+  EXPECT_EQ(active_reduce_backend(), backend);
 }
 
 }  // namespace

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Compare a bench_gate run against the checked-in baseline.
+
+Usage:
+    tools/bench_diff.py BASELINE.json CURRENT.json [--tolerance 0.25]
+
+Prints a per-configuration table (ns/op baseline vs current, ratio,
+allocs/op, verdict) and exits nonzero when any configuration regresses:
+
+  * ns_per_op more than ``--tolerance`` (default 25%) slower than baseline
+  * allocs_per_op differs from baseline at all (the pool either recycles in
+    steady state or it does not — there is no tolerance band)
+
+Configurations present in only one file are reported and treated as a
+failure (a silently dropped config must not pass the gate). Faster-than-
+baseline results never fail; refresh the baseline when they persist (see
+.github/workflows/ci.yml, job bench-gate).
+
+Stdlib only — CI calls this directly with the system python3.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    return {c["name"]: c for c in doc.get("configs", [])}
+
+
+def fmt_ns(ns):
+    if ns >= 1e6:
+        return f"{ns / 1e6:.2f} ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.1f} us"
+    return f"{ns:.0f} ns"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional ns/op slowdown vs baseline (default 0.25)",
+    )
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    rows = []
+    failures = []
+    for name in sorted(set(base) | set(cur)):
+        b, c = base.get(name), cur.get(name)
+        if b is None or c is None:
+            failures.append(f"{name}: present only in "
+                            f"{'current' if b is None else 'baseline'}")
+            continue
+        ratio = c["ns_per_op"] / b["ns_per_op"] if b["ns_per_op"] else float("inf")
+        verdict = "ok"
+        if ratio > 1.0 + args.tolerance:
+            verdict = "SLOWER"
+            failures.append(
+                f"{name}: {fmt_ns(c['ns_per_op'])} vs {fmt_ns(b['ns_per_op'])} "
+                f"baseline ({ratio:.2f}x > {1.0 + args.tolerance:.2f}x allowed)")
+        if round(c["allocs_per_op"]) != round(b["allocs_per_op"]):
+            verdict = "ALLOCS"
+            failures.append(
+                f"{name}: allocs/op {c['allocs_per_op']:.0f} != "
+                f"baseline {b['allocs_per_op']:.0f} (exact match required)")
+        rows.append((name, b["ns_per_op"], c["ns_per_op"], ratio,
+                     c["allocs_per_op"], verdict))
+
+    name_w = max((len(r[0]) for r in rows), default=4)
+    header = (f"{'config':<{name_w}}  {'baseline':>10}  {'current':>10}  "
+              f"{'ratio':>6}  {'allocs':>6}  verdict")
+    print(header)
+    print("-" * len(header))
+    for name, b_ns, c_ns, ratio, allocs, verdict in rows:
+        print(f"{name:<{name_w}}  {fmt_ns(b_ns):>10}  {fmt_ns(c_ns):>10}  "
+              f"{ratio:>5.2f}x  {allocs:>6.0f}  {verdict}")
+
+    if failures:
+        print(f"\n{len(failures)} regression(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(rows)} configs within tolerance "
+          f"(+{args.tolerance:.0%} ns/op, allocs exact)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
