@@ -39,6 +39,7 @@
 #include "check/check.hpp"
 #include "core/algorithms.hpp"
 #include "core/executor.hpp"
+#include "core/hierarchy.hpp"
 #include "core/reference.hpp"
 #include "runtime/buffer_pool.hpp"
 #include "runtime/reduce_op.hpp"
@@ -61,6 +62,11 @@ struct Config {
   Schedule (*build)(const CollParams&);
   int k;
   std::size_t bytes;
+  int p = kRanks;
+  /// >1: hierarchical composition (core/hierarchy.hpp) with `alg` as the
+  /// inter-group kernel over p/group_size leaders and shared-segment intra
+  /// phases. The build pointer is ignored for hierarchical rows.
+  int group_size = 1;
 };
 
 struct Result {
@@ -191,12 +197,21 @@ bool outputs_match(const std::vector<std::vector<std::byte>>& got,
 Result run_config(const Config& cfg, bool quick) {
   CollParams params;
   params.op = CollOp::kAllreduce;
-  params.p = kRanks;
+  params.p = cfg.p;
   params.count = cfg.bytes / sizeof(float);
   params.elem_size = sizeof(float);
   params.k = cfg.k;
 
-  const Schedule sched = cfg.build(params);
+  const Schedule sched = [&] {
+    if (cfg.group_size > 1) {
+      gencoll::core::HierSpec spec;
+      spec.group_size = cfg.group_size;
+      spec.inter_alg = cfg.alg;
+      spec.inter_k = cfg.k;
+      return gencoll::core::build_hierarchical_schedule(spec, params);
+    }
+    return cfg.build(params);
+  }();
   const auto inputs = gencoll::core::make_inputs(params, DataType::kFloat, kSeed);
 
   // Zero-copy only where the prover passes the schedule under the zero-copy
@@ -249,8 +264,27 @@ Result run_config(const Config& cfg, bool quick) {
 }
 
 std::string config_name(const Config& cfg) {
-  return std::string("allreduce_") + cfg.kernel + "_k" + std::to_string(cfg.k) +
-         "_p" + std::to_string(kRanks) + "_" + std::to_string(cfg.bytes) + "B";
+  std::string name = "allreduce_";
+  if (cfg.group_size > 1) name += "hier_g" + std::to_string(cfg.group_size) + "_";
+  return name + cfg.kernel + "_k" + std::to_string(cfg.k) + "_p" +
+         std::to_string(cfg.p) + "_" + std::to_string(cfg.bytes) + "B";
+}
+
+/// Hierarchical-vs-flat speedup: each hierarchical row divided by the flat
+/// row with the same (kernel, k, p, bytes). Returns 0 when no pair exists.
+double hier_speedup_vs_flat(const std::vector<Result>& results) {
+  double speedup = 0.0;
+  for (const Result& h : results) {
+    if (h.cfg.group_size <= 1) continue;
+    for (const Result& f : results) {
+      if (f.cfg.group_size == 1 && f.cfg.alg == h.cfg.alg &&
+          f.cfg.k == h.cfg.k && f.cfg.p == h.cfg.p &&
+          f.cfg.bytes == h.cfg.bytes && h.ns_per_op > 0.0) {
+        speedup = std::max(speedup, f.ns_per_op / h.ns_per_op);
+      }
+    }
+  }
+  return speedup;
 }
 
 std::string to_json(const std::vector<Result>& results) {
@@ -260,20 +294,24 @@ std::string to_json(const std::vector<Result>& results) {
          gencoll::runtime::reduce_backend_name(
              gencoll::runtime::active_reduce_backend()) +
          "\",\n";
-  out += "  \"configs\": [\n";
   char buf[512];
+  std::snprintf(buf, sizeof(buf), "  \"hier_speedup_vs_flat\": %.3f,\n",
+                hier_speedup_vs_flat(results));
+  out += buf;
+  out += "  \"configs\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const Result& r = results[i];
     std::snprintf(
         buf, sizeof(buf),
         "    {\"name\": \"%s\", \"kernel\": \"%s\", \"k\": %d, \"p\": %d, "
-        "\"bytes\": %zu, \"zero_copy\": %s, \"ns_per_op\": %.0f, "
-        "\"bytes_per_sec\": %.0f, \"allocs_per_op\": %.2f, "
-        "\"naive_ns_per_op\": %.0f, \"speedup_vs_naive\": %.3f}%s\n",
-        config_name(r.cfg).c_str(), r.cfg.kernel, r.cfg.k, kRanks, r.cfg.bytes,
-        r.zero_copy ? "true" : "false", r.ns_per_op, r.bytes_per_sec,
-        r.allocs_per_op, r.naive_ns_per_op, r.speedup_vs_naive,
-        i + 1 < results.size() ? "," : "");
+        "\"group_size\": %d, \"bytes\": %zu, \"zero_copy\": %s, "
+        "\"ns_per_op\": %.0f, \"bytes_per_sec\": %.0f, "
+        "\"allocs_per_op\": %.2f, \"naive_ns_per_op\": %.0f, "
+        "\"speedup_vs_naive\": %.3f}%s\n",
+        config_name(r.cfg).c_str(), r.cfg.kernel, r.cfg.k, r.cfg.p,
+        r.cfg.group_size, r.cfg.bytes, r.zero_copy ? "true" : "false",
+        r.ns_per_op, r.bytes_per_sec, r.allocs_per_op, r.naive_ns_per_op,
+        r.speedup_vs_naive, i + 1 < results.size() ? "," : "");
     out += buf;
   }
   out += "  ]\n}\n";
@@ -314,6 +352,13 @@ int main(int argc, char** argv) {
                       gencoll::core::build_kring_allreduce, k, bytes});
       }
     }
+    // Hierarchical pair at p=32: flat recursive multiplying vs the same
+    // kernel over 4 leaders with shared-segment intra phases (groups of 8).
+    // bench_diff's --require hier_speedup_vs_flat gate compares these two.
+    cs.push_back({"recursive_multiplying", Algorithm::kRecursiveMultiplying,
+                  gencoll::core::build_recmul_allreduce, 2, 1048576, 32, 1});
+    cs.push_back({"recursive_multiplying", Algorithm::kRecursiveMultiplying,
+                  gencoll::core::build_recmul_allreduce, 2, 1048576, 32, 8});
     return cs;
   }();
 

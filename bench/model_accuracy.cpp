@@ -17,6 +17,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "core/hierarchy.hpp"
 #include "model/cost_model.hpp"
 
 namespace {
@@ -104,6 +105,80 @@ int main(int argc, char** argv) {
               << sim_best_k << "; tuning regret of trusting the model = "
               << util::fmt(regret, 2) << "x"
               << (regret < 1.1 ? "  (model picks a near-optimal radix)"
+                               : "  (hardware overtakes the model)")
+              << "; mean |latency error| = " << util::fmt(100.0 * err.mean(), 1)
+              << "%\n";
+  }
+
+  // Hierarchical regime: the composed closed form (alpha_shm/beta_shm intra
+  // hops + the flat model over p/g leaders, model/cost_model.hpp) against the
+  // simulator running the actual composed schedule, sweeping the group size
+  // at a fixed inter-group kernel. The actionable question mirrors the radix
+  // ones above: if a user trusts the model's g, how much do they lose?
+  {
+    bench::BenchContext hctx = ctx;
+    if (ctx.machine.ppn != 8) {
+      const auto m = netsim::machine_by_name(ctx.machine.name, ctx.machine.nodes, 8);
+      if (m) hctx.machine = *m;
+    }
+    const int p = hctx.machine.total_ranks();
+    const model::ModelParams mp = model::params_from_machine(hctx.machine);
+    const std::uint64_t nbytes = 1u << 20;
+    const int inter_k = 2;
+    const Algorithm inter_alg = Algorithm::kRecursiveMultiplying;
+
+    util::Table table({"g", "model_us", "sim_us", "error"});
+    int model_best_g = 1;
+    int sim_best_g = 1;
+    double model_best = std::numeric_limits<double>::infinity();
+    double sim_best = std::numeric_limits<double>::infinity();
+    double sim_at_model_best = 0.0;
+    util::Accumulator err;
+    for (int g : {1, 2, 4, 8}) {
+      if (p % g != 0) continue;
+      core::CollParams params;
+      params.op = CollOp::kAllreduce;
+      params.p = p;
+      params.count = nbytes;
+      params.elem_size = 1;
+      params.k = inter_k;
+      core::Schedule sched;
+      if (g == 1) {
+        if (!core::supports_params(inter_alg, params)) continue;
+        sched = core::build_schedule(inter_alg, params);
+      } else {
+        core::HierSpec spec;
+        spec.group_size = g;
+        spec.inter_alg = inter_alg;
+        spec.inter_k = inter_k;
+        if (!core::supports_hierarchical(spec, params)) continue;
+        sched = core::build_hierarchical_schedule(spec, params);
+      }
+      const double predicted = model::hierarchical_cost(
+          inter_alg, CollOp::kAllreduce, static_cast<double>(nbytes), p, g,
+          inter_k, mp);
+      const double simulated = bench::measure_us(sched, hctx);
+      if (predicted < model_best) {
+        model_best = predicted;
+        model_best_g = g;
+        sim_at_model_best = simulated;
+      }
+      if (simulated < sim_best) {
+        sim_best = simulated;
+        sim_best_g = g;
+      }
+      const double rel = std::abs(predicted - simulated) / simulated;
+      err.add(rel);
+      table.add_row({std::to_string(g), util::fmt(predicted), util::fmt(simulated),
+                     util::fmt(100.0 * rel, 1) + "%"});
+    }
+    bench::emit(table, hctx,
+                "Model vs simulator: hier_allreduce_1MB_recmul_k2_sweep_g");
+    const double regret = sim_at_model_best / sim_best;
+    std::cout << "model-best g = " << model_best_g << ", simulator-best g = "
+              << sim_best_g << "; tuning regret of trusting the model = "
+              << util::fmt(regret, 2) << "x"
+              << (regret < 1.1 ? "  (model picks a near-optimal group size)"
                                : "  (hardware overtakes the model)")
               << "; mean |latency error| = " << util::fmt(100.0 * err.mean(), 1)
               << "%\n";

@@ -1,24 +1,41 @@
 #include "api/gencoll.hpp"
 
+#include <cstdlib>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace gencoll {
 
+namespace {
+
+int env_group_size() {
+  const char* text = std::getenv("GENCOLL_GROUP_SIZE");
+  if (text == nullptr) return 0;
+  const int g = std::atoi(text);
+  return g >= 2 ? g : 0;
+}
+
+}  // namespace
+
 Collectives::Collectives(runtime::Communicator& comm, tuning::SelectionConfig config)
-    : comm_(comm), config_(std::move(config)) {}
+    : comm_(comm), config_(std::move(config)), env_group_size_(env_group_size()) {}
 
 tuning::AlgorithmChoice Collectives::resolve(CollOp op, std::size_t nbytes,
                                              const AlgSpec& spec) const {
+  tuning::AlgorithmChoice choice;
   if (spec.algorithm) {
-    tuning::AlgorithmChoice choice;
     choice.algorithm = *spec.algorithm;
     choice.k = core::effective_radix(*spec.algorithm, spec.k.value_or(2));
-    return choice;
+  } else {
+    choice = config_.choose(op, comm_.size(), nbytes);
+    if (spec.k) choice.k = core::effective_radix(choice.algorithm, *spec.k);
   }
-  tuning::AlgorithmChoice choice = config_.choose(op, comm_.size(), nbytes);
-  if (spec.k) choice.k = core::effective_radix(choice.algorithm, *spec.k);
+  if (spec.group_size) {
+    choice.group_size = *spec.group_size;
+  } else if (choice.group_size <= 1 && env_group_size_ > 1) {
+    choice.group_size = env_group_size_;
+  }
   return choice;
 }
 
@@ -34,6 +51,20 @@ const core::Schedule& Collectives::schedule_for(CollOp op, std::size_t count,
   params.count = count;
   params.elem_size = elem_size;
   params.k = choice.k;
+
+  if (choice.group_size > 1) {
+    core::HierSpec hspec;
+    hspec.group_size = choice.group_size;
+    hspec.inter_alg = choice.algorithm;
+    hspec.inter_k = choice.k;
+    hspec.intra_shm = choice.intra == tuning::HierIntra::kShm;
+    // Shapes the composition cannot express (p % g != 0, ragged allgather
+    // blocks, uncovered ops) fall through to the flat path below.
+    if (core::supports_hierarchical(hspec, params)) {
+      return cached_build_hier(hspec, params);
+    }
+  }
+
   if (!core::supports_params(choice.algorithm, params)) {
     // Selection config may request e.g. k-ring with k not dividing p; fall
     // back to the vendor default rather than failing the collective.
@@ -58,8 +89,30 @@ const core::Schedule& Collectives::cached_build(const core::CollParams& params,
   return *it->second;
 }
 
+const core::Schedule& Collectives::cached_build_hier(const core::HierSpec& hspec,
+                                                     const core::CollParams& params) {
+  std::string key = "hier";
+  key += std::to_string(hspec.group_size);
+  key += hspec.intra_shm ? "s" : "m";
+  key += '|';
+  key += core::algorithm_name(hspec.inter_alg);
+  key += '|';
+  key += params.describe();
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    auto sched = std::make_unique<core::Schedule>(
+        core::build_hierarchical_schedule(hspec, params));
+    it = cache_.emplace(std::move(key), std::move(sched)).first;
+  }
+  return *it->second;
+}
+
 void Collectives::execute(const core::Schedule& sched, std::span<const std::byte> input,
                           std::span<std::byte> output, DataType type, ReduceOp op) {
+  if (sched.hier) {
+    core::execute_hierarchical(sched, comm_, input, output, type, op, sink_);
+    return;
+  }
   core::execute_rank_program(sched, comm_, input, output, type, op, sink_);
 }
 

@@ -26,6 +26,7 @@
 
 #include "core/coll_params.hpp"
 #include "core/executor.hpp"
+#include "core/hierarchy.hpp"
 #include "core/registry.hpp"
 #include "fault/error.hpp"
 #include "obs/trace.hpp"
@@ -46,12 +47,25 @@ using CollOp = core::CollOp;
 struct AlgSpec {
   std::optional<Algorithm> algorithm;
   std::optional<int> k;
+  /// Hierarchical composition override: >1 groups ranks in blocks of this
+  /// size and runs the algorithm over the p/group_size leaders
+  /// (core/hierarchy.hpp); 1 forces the flat path even when the config or
+  /// GENCOLL_GROUP_SIZE would go hierarchical.
+  std::optional<int> group_size;
 };
 
 class Collectives {
  public:
   /// Wrap a communicator. `config` follows the gencoll selection-file format
   /// (see tuning/selector.hpp); every rank must use an identical config.
+  ///
+  /// The GENCOLL_GROUP_SIZE environment variable (read once, here) turns on
+  /// hierarchical execution for every collective the composition supports:
+  /// rules without an explicit `hier` clause behave as if they carried
+  /// `hier $GENCOLL_GROUP_SIZE shm`. Per-call AlgSpec::group_size and
+  /// explicit config clauses take precedence; incompatible shapes (p not a
+  /// multiple of the group size, non-uniform allgather blocks, ops the
+  /// composition does not cover) silently run the flat schedule.
   explicit Collectives(runtime::Communicator& comm,
                        tuning::SelectionConfig config = {});
 
@@ -137,12 +151,15 @@ class Collectives {
                                      const AlgSpec& spec);
   const core::Schedule& cached_build(const core::CollParams& params,
                                      Algorithm algorithm);
+  const core::Schedule& cached_build_hier(const core::HierSpec& hspec,
+                                          const core::CollParams& params);
   void execute(const core::Schedule& sched, std::span<const std::byte> input,
                std::span<std::byte> output, DataType type, ReduceOp op);
 
   runtime::Communicator& comm_;
   tuning::SelectionConfig config_;
   obs::TraceSink* sink_ = nullptr;
+  int env_group_size_ = 0;  ///< GENCOLL_GROUP_SIZE; 0 = unset
   std::map<std::string, std::unique_ptr<core::Schedule>> cache_;
 };
 

@@ -63,7 +63,13 @@ ConformanceResult check_conformance(const Schedule& sched, core::Algorithm alg,
 
   model::DiscreteCost form;
   try {
-    form = model::discrete_cost(alg, sched.params);
+    // Composed two-level schedules (core/hierarchy.hpp) carry their own
+    // form: intra fan-in + the leader kernel's form over p/g + fan-out.
+    // `alg` names the inter kernel for those.
+    form = sched.hier ? model::hierarchical_discrete_cost(
+                            sched.hier->inter_alg, sched.hier->group_size,
+                            sched.params)
+                      : model::discrete_cost(alg, sched.params);
   } catch (const std::invalid_argument& e) {
     // The registry built this schedule, so a missing form is a checker gap,
     // not a skip: surface it as a violation so the sweep stays honest.

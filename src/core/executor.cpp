@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/hierarchy.hpp"
 #include "runtime/world.hpp"
 
 namespace gencoll::core {
@@ -27,7 +28,8 @@ obs::SpanKind span_kind_of(StepKind kind) {
 /// spans of one step sum to the step's bytes. Component fields stay zero:
 /// wall-clock execution has no cost model.
 void emit_step(obs::TraceSink& sink, int rank, std::size_t step, const Step& s,
-               std::size_t bytes, double begin_us, double end_us) {
+               std::size_t bytes, double begin_us, double end_us,
+               int group = -1, obs::LinkClass link = obs::LinkClass::kUnknown) {
   obs::SpanEvent ev;
   ev.kind = span_kind_of(s.kind);
   ev.rank = rank;
@@ -35,9 +37,11 @@ void emit_step(obs::TraceSink& sink, int rank, std::size_t step, const Step& s,
   ev.bytes = bytes;
   ev.begin_us = begin_us;
   ev.end_us = end_us;
+  ev.group = group;
   if (s.kind != StepKind::kCopyInput) {
     ev.peer = s.peer;
     ev.tag = s.tag;
+    ev.link = link;
   }
   if (obs::is_send(ev.kind)) ev.post_us = end_us;
   sink.span(ev);
@@ -89,6 +93,19 @@ void execute_rank_program(const Schedule& sched, runtime::Communicator& comm,
     throw std::invalid_argument("execute_rank_program: output too small");
   }
 
+  execute_step_range(sched, comm, input, output, type, op, sink, tuning, 0,
+                     sched.ranks[static_cast<std::size_t>(rank)].steps.size());
+}
+
+void execute_step_range(const Schedule& sched, runtime::Communicator& comm,
+                        std::span<const std::byte> input,
+                        std::span<std::byte> output, runtime::DataType type,
+                        runtime::ReduceOp op, obs::TraceSink* sink,
+                        const ExecTuning& tuning, std::size_t begin_step,
+                        std::size_t end_step) {
+  const CollParams& pr = sched.params;
+  const int rank = comm.rank();
+
   // The fast paths require the plain in-process transport: reliability and
   // fault injection own the wire bytes (envelopes, retransmits) and number
   // whole messages, so both zero-copy views and segmentation stand down.
@@ -100,8 +117,20 @@ void execute_rank_program(const Schedule& sched, runtime::Communicator& comm,
   const auto reduce_fn =
       tuning.scalar_reduce ? runtime::apply_reduce_scalar : runtime::apply_reduce;
 
+  // Hierarchical schedules carry topology: classify each message as intra-
+  // or inter-group so obs metrics split traffic by link class.
+  const int gsize = sched.hier ? sched.hier->group_size : 0;
+  const int group = gsize > 1 ? rank / gsize : -1;
+  const auto link_of = [&](const Step& st) {
+    if (gsize <= 1 || st.kind == StepKind::kCopyInput || st.peer < 0) {
+      return obs::LinkClass::kUnknown;
+    }
+    return st.peer / gsize == group ? obs::LinkClass::kIntra
+                                    : obs::LinkClass::kInter;
+  };
+
   const auto& steps = sched.ranks[static_cast<std::size_t>(rank)].steps;
-  for (std::size_t i = 0; i < steps.size(); ++i) {
+  for (std::size_t i = begin_step; i < end_step; ++i) {
     const Step& s = steps[i];
     double begin_us = sink != nullptr ? obs::wallclock_us() : 0.0;
 
@@ -112,7 +141,8 @@ void execute_rank_program(const Schedule& sched, runtime::Communicator& comm,
         std::memcpy(output.data() + s.off, input.data() + s.src_off, s.bytes);
       }
       if (sink != nullptr) {
-        emit_step(*sink, rank, i, s, s.bytes, begin_us, obs::wallclock_us());
+        emit_step(*sink, rank, i, s, s.bytes, begin_us, obs::wallclock_us(),
+                  group);
       }
       continue;
     }
@@ -164,7 +194,7 @@ void execute_rank_program(const Schedule& sched, runtime::Communicator& comm,
       done += len;
       if (sink != nullptr) {
         const double now_us = obs::wallclock_us();
-        emit_step(*sink, rank, i, s, len, begin_us, now_us);
+        emit_step(*sink, rank, i, s, len, begin_us, now_us, group, link_of(s));
         begin_us = now_us;
       }
     } while (done < s.bytes);
@@ -202,8 +232,13 @@ std::vector<std::vector<std::byte>> execute_threaded(
       pr.p,
       [&](runtime::Communicator& comm) {
         const auto r = static_cast<std::size_t>(comm.rank());
-        execute_rank_program(sched, comm, inputs[r], outputs[r], type, op, sink,
-                             options.tuning);
+        if (sched.hier) {
+          execute_hierarchical(sched, comm, inputs[r], outputs[r], type, op,
+                               sink, options.tuning);
+        } else {
+          execute_rank_program(sched, comm, inputs[r], outputs[r], type, op,
+                               sink, options.tuning);
+        }
       },
       options.world);
   return outputs;

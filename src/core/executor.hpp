@@ -83,4 +83,17 @@ void execute_rank_program(const Schedule& sched, runtime::Communicator& comm,
                           runtime::ReduceOp op, obs::TraceSink* sink = nullptr,
                           const ExecTuning& tuning = {});
 
+/// Execute only steps [begin_step, end_step) of this rank's program. This is
+/// the body of execute_rank_program without the validation prologue; the
+/// hierarchical executor (core/hierarchy.hpp) uses it to run the leader-level
+/// phase of a composed schedule between its shared-segment intra phases.
+/// Callers are responsible for buffer validation and for setting the
+/// communicator's trace sink.
+void execute_step_range(const Schedule& sched, runtime::Communicator& comm,
+                        std::span<const std::byte> input,
+                        std::span<std::byte> output, runtime::DataType type,
+                        runtime::ReduceOp op, obs::TraceSink* sink,
+                        const ExecTuning& tuning, std::size_t begin_step,
+                        std::size_t end_step);
+
 }  // namespace gencoll::core

@@ -1,0 +1,434 @@
+#include "core/hierarchy.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "core/algorithms.hpp"
+#include "core/registry.hpp"
+#include "core/validate.hpp"
+#include "runtime/shm_group.hpp"
+#include "runtime/world.hpp"
+
+namespace gencoll::core {
+
+namespace {
+
+/// Inter-group kernels whose schedules compose soundly: every CopyInput
+/// writes the rank's own contribution at its *absolute* output offset (so
+/// the intra phase primes exactly the same image) and every SendInput reads
+/// the contribution at its absolute input offset. Bruck-style rotated
+/// layouts are excluded; the symbolic prover would reject them anyway.
+bool offset_preserving_inter(Algorithm alg) {
+  switch (alg) {
+    case Algorithm::kBinomial:
+    case Algorithm::kRecursiveDoubling:
+    case Algorithm::kRing:
+    case Algorithm::kKnomial:
+    case Algorithm::kRecursiveMultiplying:
+    case Algorithm::kKring:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// The leader-level subproblem: the same collective over the p/g leaders.
+CollParams leader_params(const HierSpec& spec, const CollParams& params) {
+  CollParams lp = params;
+  lp.p = params.p / spec.group_size;
+  lp.root = params.root / spec.group_size;
+  lp.k = spec.inter_k;
+  return lp;
+}
+
+const char* reject(const HierSpec& spec, const CollParams& params) {
+  if (!hier_supported_op(params.op)) return "op has no hierarchical composition";
+  if (spec.group_size < 2) return "group_size must be >= 2";
+  if (params.p % spec.group_size != 0) return "group_size must divide p";
+  if (params.count < 1) return "count must be >= 1";
+  if (params.op == CollOp::kAllgather &&
+      params.count % static_cast<std::size_t>(params.p) != 0) {
+    return "allgather composition requires p | count (uniform blocks)";
+  }
+  if (!offset_preserving_inter(spec.inter_alg)) {
+    return "inter kernel is not offset-preserving";
+  }
+  if (!supports_params(spec.inter_alg, leader_params(spec, params))) {
+    return "inter kernel does not support the leader subproblem";
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+bool hier_supported_op(CollOp op) {
+  switch (op) {
+    case CollOp::kBcast:
+    case CollOp::kReduce:
+    case CollOp::kAllreduce:
+    case CollOp::kAllgather:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool supports_hierarchical(const HierSpec& spec, const CollParams& params) {
+  return reject(spec, params) == nullptr;
+}
+
+Schedule build_hierarchical_schedule(const HierSpec& spec,
+                                     const CollParams& params) {
+  if (const char* why = reject(spec, params)) {
+    throw unsupported_params("hierarchical", params, why);
+  }
+  const int p = params.p;
+  const int g = spec.group_size;
+  const int G = p / g;
+  const std::size_t n = params.nbytes();
+  const std::size_t bb = n / static_cast<std::size_t>(p);  // allgather block
+  const int root = params.root;
+  const int root_leader = (root / g) * g;
+
+  Schedule sub = build_schedule(spec.inter_alg, leader_params(spec, params));
+
+  Schedule out;
+  out.params = params;
+  out.params.k = sub.params.k;  // effective inter radix, for reports
+  out.name = "hier_g" + std::to_string(g) + "+" + sub.name;
+  out.ranks.resize(static_cast<std::size_t>(p));
+  const auto rk = [&out](int r) -> RankProgram& {
+    return out.ranks[static_cast<std::size_t>(r)];
+  };
+
+  HierInfo info;
+  info.group_size = g;
+  info.inter_alg = spec.inter_alg;
+  info.inter_k = sub.params.k;
+  info.intra_shm = spec.intra_shm;
+  info.intra_end.resize(static_cast<std::size_t>(p));
+  info.leader_end.resize(static_cast<std::size_t>(p));
+
+  // ---- phase A: intra-group fan-in -------------------------------------
+  switch (params.op) {
+    case CollOp::kBcast:
+      // Only the root's group acts: stage the payload at its leader.
+      if (root != root_leader) {
+        rk(root).send_input(root_leader, kHierIntraTag, 0, n);
+        rk(root_leader).recv(root, kHierIntraTag, 0, n);
+      } else {
+        rk(root).copy_input(0, 0, n);
+      }
+      break;
+    case CollOp::kReduce:
+    case CollOp::kAllreduce:
+      for (int j = 0; j < G; ++j) {
+        const int leader = j * g;
+        rk(leader).copy_input(0, 0, n);
+        for (int m = 1; m < g; ++m) {
+          const int r = leader + m;
+          rk(r).send_input(leader, kHierIntraTag, 0, n);
+          rk(leader).recv_reduce(r, kHierIntraTag, 0, n);
+        }
+      }
+      break;
+    case CollOp::kAllgather:
+      for (int j = 0; j < G; ++j) {
+        const int leader = j * g;
+        rk(leader).copy_input(0, static_cast<std::size_t>(leader) * bb, bb);
+        for (int m = 1; m < g; ++m) {
+          const int r = leader + m;
+          rk(r).send_input(leader, kHierIntraTag, 0, bb);
+          rk(leader).recv(r, kHierIntraTag,
+                                 static_cast<std::size_t>(r) * bb, bb);
+        }
+      }
+      break;
+    default:
+      break;  // unreachable: reject() filtered
+  }
+  for (int r = 0; r < p; ++r) {
+    info.intra_end[static_cast<std::size_t>(r)] = rk(r).steps.size();
+  }
+
+  // ---- phase B: the leader-level kernel, spliced in place ---------------
+  // The intra phase primed every leader's output with exactly the image the
+  // sub-kernel's CopyInput steps would have written, so those are dropped;
+  // SendInput steps become plain sends of the corresponding output region
+  // (for Allgather, leader j's sub-input is its superblock at j*g*bb).
+  // Leader-kernel peers map q -> q*g; tags are already disjoint from the
+  // kHier* bases. The provenance prover re-verifies this transform for every
+  // composed schedule the sweep emits.
+  for (int j = 0; j < G; ++j) {
+    const int leader = j * g;
+    const std::size_t input_base =
+        params.op == CollOp::kAllgather
+            ? static_cast<std::size_t>(j) * static_cast<std::size_t>(g) * bb
+            : 0;
+    for (const Step& s : sub.ranks[static_cast<std::size_t>(j)].steps) {
+      Step t = s;
+      if (t.peer >= 0) t.peer = t.peer * g;
+      switch (s.kind) {
+        case StepKind::kCopyInput:
+          continue;
+        case StepKind::kSendInput:
+          t.kind = StepKind::kSend;
+          t.off = input_base + s.src_off;
+          t.src_off = 0;
+          break;
+        default:
+          break;
+      }
+      rk(leader).steps.push_back(t);
+    }
+  }
+  for (int r = 0; r < p; ++r) {
+    info.leader_end[static_cast<std::size_t>(r)] = rk(r).steps.size();
+  }
+
+  // ---- phase C: intra-group fan-out / final root hop --------------------
+  switch (params.op) {
+    case CollOp::kBcast:
+    case CollOp::kAllreduce:
+    case CollOp::kAllgather:
+      for (int j = 0; j < G; ++j) {
+        const int leader = j * g;
+        for (int m = 1; m < g; ++m) {
+          const int r = leader + m;
+          rk(leader).send(r, kHierFanoutTag, 0, n);
+          rk(r).recv(leader, kHierFanoutTag, 0, n);
+        }
+      }
+      break;
+    case CollOp::kReduce:
+      if (root != root_leader) {
+        rk(root_leader).send(root, kHierRootHopTag, 0, n);
+        rk(root).recv(root_leader, kHierRootHopTag, 0, n);
+      }
+      break;
+    default:
+      break;  // unreachable: reject() filtered
+  }
+
+  out.hier = std::move(info);
+  validate_schedule(out);  // bounds, matching, FIFO, progress — like any build
+  if (const ScheduleAuditor& audit = current_schedule_auditor()) {
+    audit(out, spec.inter_alg);
+  }
+  return out;
+}
+
+namespace {
+
+obs::SpanKind shm_span_kind(StepKind kind) {
+  switch (kind) {
+    case StepKind::kCopyInput: return obs::SpanKind::kCopyInput;
+    case StepKind::kSend: return obs::SpanKind::kSend;
+    case StepKind::kSendInput: return obs::SpanKind::kSendInput;
+    case StepKind::kRecv: return obs::SpanKind::kRecv;
+    case StepKind::kRecvReduce: return obs::SpanKind::kRecvReduce;
+  }
+  return obs::SpanKind::kSend;
+}
+
+/// Emit the span for one intra step executed over the shared segment. The
+/// flat step program is the source of truth for kind/peer/tag/bytes, so
+/// traces of the shm path and the mailbox path line up step for step; only
+/// the transport differs (and shm steps post no message instants — there is
+/// no message).
+void emit_shm_step(obs::TraceSink* sink, const Schedule& sched, int rank,
+                   int group, std::size_t step_idx, double begin_us,
+                   double end_us) {
+  if (sink == nullptr) return;
+  const Step& s = sched.ranks[static_cast<std::size_t>(rank)].steps[step_idx];
+  obs::SpanEvent ev;
+  ev.kind = shm_span_kind(s.kind);
+  ev.rank = rank;
+  ev.step = static_cast<std::int32_t>(step_idx);
+  ev.bytes = s.bytes;
+  ev.begin_us = begin_us;
+  ev.end_us = end_us;
+  ev.group = group;
+  if (s.kind != StepKind::kCopyInput) {
+    ev.peer = s.peer;
+    ev.tag = s.tag;
+    ev.link = obs::LinkClass::kIntra;
+  }
+  if (obs::is_send(ev.kind)) ev.post_us = end_us;
+  sink->span(ev);
+}
+
+}  // namespace
+
+void execute_hierarchical(const Schedule& sched, runtime::Communicator& comm,
+                          std::span<const std::byte> input,
+                          std::span<std::byte> output, runtime::DataType type,
+                          runtime::ReduceOp op, obs::TraceSink* sink,
+                          const ExecTuning& tuning) {
+  if (!sched.hier) {
+    execute_rank_program(sched, comm, input, output, type, op, sink, tuning);
+    return;
+  }
+  const HierInfo& h = *sched.hier;
+  // The shm fast path needs the plain transport: under fault injection or
+  // reliability the flat composed program runs over the mailbox, so crashes
+  // and corruption surface through the existing fault machinery.
+  if (!h.intra_shm || h.group_size < 2 || !comm.plain_transport()) {
+    execute_rank_program(sched, comm, input, output, type, op, sink, tuning);
+    return;
+  }
+
+  const CollParams& pr = sched.params;
+  if (comm.size() != pr.p) {
+    throw std::invalid_argument("execute_hierarchical: communicator size != p");
+  }
+  if (runtime::datatype_size(type) != pr.elem_size) {
+    throw std::invalid_argument("execute_hierarchical: elem_size != datatype size");
+  }
+  const int rank = comm.rank();
+  comm.set_trace_sink(sink);
+  if (input.size() < input_bytes(pr, rank)) {
+    throw std::invalid_argument("execute_hierarchical: input too small");
+  }
+  if (output.size() < output_bytes(pr)) {
+    throw std::invalid_argument("execute_hierarchical: output too small");
+  }
+
+  const int g = h.group_size;
+  const int group = rank / g;
+  const int leader = group * g;
+  const int m = rank - leader;  // 0 = leader
+  const std::size_t n = pr.nbytes();
+  const std::size_t bb = n / static_cast<std::size_t>(pr.p);
+  const int root = pr.root;
+  const int root_leader = (root / g) * g;
+  const auto reduce_fn =
+      tuning.scalar_reduce ? runtime::apply_reduce_scalar : runtime::apply_reduce;
+
+  runtime::ShmGroup& grp = comm.world().shm_group(g, group);
+  const auto now = [&] { return sink != nullptr ? obs::wallclock_us() : 0.0; };
+
+  // ---- phase A over the shared segment ----------------------------------
+  // Action order mirrors the flat steps [0, intra_end) exactly, so span step
+  // indices line up with the composed program.
+  std::size_t idx = 0;
+  const auto step_done = [&](double begin_us) {
+    emit_shm_step(sink, sched, rank, group, idx, begin_us, now());
+    ++idx;
+  };
+  switch (pr.op) {
+    case CollOp::kBcast:
+      if (rank == root && root != root_leader) {
+        const double b = now();
+        grp.publish(m, input.first(n));
+        grp.await_release(m, rank);
+        step_done(b);
+      } else if (rank == root_leader) {
+        const double b = now();
+        if (root != root_leader) {
+          const auto sp = grp.await_publication(root - root_leader, rank);
+          std::memcpy(output.data(), sp.data(), n);
+          grp.release_publication(root - root_leader);
+        } else {
+          std::memcpy(output.data(), input.data(), n);
+        }
+        step_done(b);
+      }
+      break;
+    case CollOp::kReduce:
+    case CollOp::kAllreduce:
+      if (m != 0) {
+        const double b = now();
+        grp.publish(m, input.first(n));
+        grp.await_release(m, rank);
+        step_done(b);
+      } else {
+        double b = now();
+        std::memcpy(output.data(), input.data(), n);
+        step_done(b);
+        for (int q = 1; q < g; ++q) {
+          b = now();
+          const auto sp = grp.await_publication(q, rank);
+          reduce_fn(op, type, output.first(n), sp, pr.count);
+          grp.release_publication(q);
+          step_done(b);
+        }
+      }
+      break;
+    case CollOp::kAllgather:
+      if (m != 0) {
+        const double b = now();
+        grp.publish(m, input.first(bb));
+        grp.await_release(m, rank);
+        step_done(b);
+      } else {
+        double b = now();
+        std::memcpy(output.data() + static_cast<std::size_t>(leader) * bb,
+                    input.data(), bb);
+        step_done(b);
+        for (int q = 1; q < g; ++q) {
+          b = now();
+          const auto sp = grp.await_publication(q, rank);
+          std::memcpy(output.data() + static_cast<std::size_t>(leader + q) * bb,
+                      sp.data(), bb);
+          grp.release_publication(q);
+          step_done(b);
+        }
+      }
+      break;
+    default:
+      throw std::logic_error("execute_hierarchical: unsupported op in schedule");
+  }
+
+  // ---- phase B: leader-level kernel over the mailbox --------------------
+  execute_step_range(sched, comm, input, output, type, op, sink, tuning,
+                     h.intra_end[static_cast<std::size_t>(rank)],
+                     h.leader_end[static_cast<std::size_t>(rank)]);
+
+  // ---- phase C over the shared segment ----------------------------------
+  idx = h.leader_end[static_cast<std::size_t>(rank)];
+  switch (pr.op) {
+    case CollOp::kBcast:
+    case CollOp::kAllreduce:
+    case CollOp::kAllgather:
+      if (m == 0) {
+        const double b = now();
+        grp.leader_publish(output.first(n));
+        grp.await_leader_releases(rank);
+        // One flat send step per member; the publish covered them all.
+        for (int q = 1; q < g; ++q) step_done(b);
+      } else {
+        const double b = now();
+        const auto sp = grp.await_leader(m, rank);
+        std::memcpy(output.data(), sp.data(), n);
+        grp.release_leader(m);
+        step_done(b);
+      }
+      break;
+    case CollOp::kReduce:
+      // Final hop to the root; non-recipient members still acknowledge so
+      // the group's generation counters stay in lockstep.
+      if (root != root_leader && group == root / g) {
+        if (m == 0) {
+          const double b = now();
+          grp.leader_publish(output.first(n));
+          grp.await_leader_releases(rank);
+          step_done(b);
+        } else {
+          const double b = now();
+          const auto sp = grp.await_leader(m, rank);
+          if (rank == root) {
+            std::memcpy(output.data(), sp.data(), n);
+          }
+          grp.release_leader(m);
+          if (rank == root) step_done(b);
+        }
+      }
+      break;
+    default:
+      break;  // unreachable
+  }
+}
+
+}  // namespace gencoll::core

@@ -1,0 +1,88 @@
+// Two-level hierarchical collectives: intra-group phase -> leader-level
+// generalized kernel -> intra-group fan-out.
+//
+// The paper's machines are deeply hierarchical (8 GPUs/node behind a few
+// NICs), yet the flat kernels in core/ pay the inter-group alpha/beta even
+// between ranks that share an address space. build_hierarchical_schedule
+// composes any supported inter-group kernel over the p/g group *leaders*
+// with dense intra-group phases, modeling ppn with a configurable group size
+// g (ranks are grouped in consecutive blocks [j*g, (j+1)*g), leader j*g):
+//
+//   Bcast      root -> its leader (one hop, if distinct), leader-level
+//              bcast, every leader fans out to its g-1 members.
+//   Reduce     members send inputs to their leader (leader reduces in member
+//              order — deterministic, bit-exact), leader-level reduce, one
+//              final hop leader(root) -> root if distinct.
+//   Allreduce  intra reduce, leader-level allreduce, intra fan-out.
+//   Allgather  members send their block to the leader (requires p | count so
+//              group blocks are contiguous), leader-level allgather over
+//              g-sized superblocks, full-result fan-out.
+//
+// The composed Schedule is complete and flat — any executor can run it over
+// the mailbox transport, and the symbolic prover (src/check/) verifies its
+// provenance and cost like any other schedule. Schedule::hier records the
+// phase boundaries; execute_hierarchical additionally replaces the intra
+// phases with shared-segment copies (runtime/shm_group.hpp, zero mailbox
+// traffic) whenever the transport is plain.
+#pragma once
+
+#include <span>
+
+#include "core/coll_params.hpp"
+#include "core/executor.hpp"
+#include "core/schedule.hpp"
+#include "obs/trace.hpp"
+#include "runtime/comm.hpp"
+
+namespace gencoll::core {
+
+/// Tag bases for the composed phases: high multiples of the kernels' phase
+/// stride (1 << 20), above every flat kernel's tag space (they use at most
+/// 3 strides) yet below the schedule validator's 1 << 24 tag ceiling, so
+/// spliced leader-kernel tags can never collide with the intra/fan-out hops.
+inline constexpr int kHierIntraTag = 8 << 20;
+inline constexpr int kHierFanoutTag = 9 << 20;
+inline constexpr int kHierRootHopTag = 10 << 20;
+
+/// How a hierarchical composition is configured: the group size g (modeling
+/// processes-per-node) and the generalized kernel + radix that runs over the
+/// p/g leaders.
+struct HierSpec {
+  int group_size = 1;
+  Algorithm inter_alg = Algorithm::kRecursiveMultiplying;
+  int inter_k = 2;
+  /// Execute intra phases over shared segments (runtime/shm_group.hpp) when
+  /// the transport allows; false forces the mailbox path even then.
+  bool intra_shm = true;
+};
+
+/// Collectives the hierarchical composition implements.
+[[nodiscard]] bool hier_supported_op(CollOp op);
+
+/// True when build_hierarchical_schedule(spec, params) would succeed:
+/// supported op, g >= 2 dividing p, count >= 1 (and p | count for
+/// Allgather), and an inter kernel that supports the p/g-leader subproblem
+/// with offset-preserving composition.
+[[nodiscard]] bool supports_hierarchical(const HierSpec& spec,
+                                         const CollParams& params);
+
+/// Compose the two-level schedule. Throws UnsupportedParams (with reason)
+/// when unsupported. The result carries Schedule::hier and is submitted to
+/// the registry's schedule auditor, like every registry-built schedule.
+Schedule build_hierarchical_schedule(const HierSpec& spec,
+                                     const CollParams& params);
+
+/// Execute one rank of a hierarchical schedule. On a plain transport with
+/// hier->intra_shm set, the intra phases run over the rank's ShmGroup
+/// (direct memcpy / apply_reduce from the publisher's buffers, zero mailbox
+/// traffic) and only the leader-level phase touches the mailbox; otherwise
+/// the flat composed program is executed as-is, so fault injection and
+/// reliability keep working unchanged. Non-hier schedules fall through to
+/// execute_rank_program.
+void execute_hierarchical(const Schedule& sched, runtime::Communicator& comm,
+                          std::span<const std::byte> input,
+                          std::span<std::byte> output, runtime::DataType type,
+                          runtime::ReduceOp op, obs::TraceSink* sink = nullptr,
+                          const ExecTuning& tuning = {});
+
+}  // namespace gencoll::core

@@ -19,6 +19,8 @@ ScheduleAuditor set_schedule_auditor(ScheduleAuditor auditor) {
   return previous;
 }
 
+const ScheduleAuditor& current_schedule_auditor() { return schedule_auditor(); }
+
 std::vector<Algorithm> algorithms_for(CollOp op) {
   switch (op) {
     case CollOp::kBcast:

@@ -46,6 +46,12 @@ Schedule build_schedule(Algorithm alg, const CollParams& params);
 using ScheduleAuditor = std::function<void(const Schedule&, Algorithm)>;
 ScheduleAuditor set_schedule_auditor(ScheduleAuditor auditor);
 
+/// The currently installed auditor (may be empty). Exposed so composing
+/// builders outside the registry — build_hierarchical_schedule in
+/// core/hierarchy.cpp — can submit their finished schedules to the same
+/// audit the registry applies.
+const ScheduleAuditor& current_schedule_auditor();
+
 /// The generalized kernel corresponding to a fixed-radix baseline
 /// (binomial -> knomial, recursive_doubling -> recursive_multiplying,
 /// ring -> kring); identity for everything else. Used by the Fig. 7

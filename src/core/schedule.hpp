@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -48,10 +49,30 @@ struct RankProgram {
   void recv_reduce(int peer, int tag, std::size_t off, std::size_t bytes);
 };
 
+/// Metadata attached to a two-level composed schedule (core/hierarchy.hpp).
+/// Ranks are grouped into consecutive blocks of `group_size`; each rank's
+/// step program is three contiguous phases:
+///   [0, intra_end)           intra-group fan-in (group members -> leader),
+///   [intra_end, leader_end)  the leader-level inter-group kernel (empty for
+///                            non-leader ranks),
+///   [leader_end, end)        intra-group fan-out / final root hop.
+/// The flat program is complete on its own (any executor can run it over the
+/// mailbox); executors that recognise `intra_shm` may replace the intra
+/// phases with shared-segment copies (runtime/shm_group.hpp).
+struct HierInfo {
+  int group_size = 1;
+  Algorithm inter_alg = Algorithm::kRecursiveMultiplying;
+  int inter_k = 2;
+  bool intra_shm = true;
+  std::vector<std::size_t> intra_end;   ///< per-rank phase boundary
+  std::vector<std::size_t> leader_end;  ///< per-rank phase boundary
+};
+
 struct Schedule {
   CollParams params;
   std::string name;                 ///< algorithm name + radix, for reports
   std::vector<RankProgram> ranks;   ///< size params.p
+  std::optional<HierInfo> hier;     ///< set for composed two-level schedules
 
   [[nodiscard]] std::size_t total_steps() const;
   /// Sum of bytes over all kSend steps (network traffic of the collective).

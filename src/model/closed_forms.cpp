@@ -432,4 +432,68 @@ DiscreteCost discrete_cost(Algorithm alg, const CollParams& params) {
   }
 }
 
+DiscreteCost hierarchical_discrete_cost(Algorithm inter_alg, int group_size,
+                                        const CollParams& params) {
+  const int g = group_size;
+  const int p = params.p;
+  if (g < 2 || p % g != 0) {
+    throw std::invalid_argument("hierarchical form: group_size must divide p, >= 2");
+  }
+  const int G = p / g;
+  const std::size_t n = params.nbytes();
+  if (n == 0) {
+    throw std::invalid_argument("hierarchical form: empty payload");
+  }
+  if (params.op == CollOp::kAllgather &&
+      params.count % static_cast<std::size_t>(p) != 0) {
+    throw std::invalid_argument("hierarchical form: allgather requires p | count");
+  }
+
+  CollParams lp = params;
+  lp.p = G;
+  lp.root = params.root / g;
+  const DiscreteCost sub = discrete_cost(inter_alg, lp);
+
+  const int root_leader = (params.root / g) * g;
+  const std::size_t fanout = static_cast<std::size_t>(G) *
+                             static_cast<std::size_t>(g - 1) * n;
+  std::size_t intra = 0;
+  std::size_t tail = 0;
+  std::size_t pre_hops = 0;
+  std::size_t post_hops = 0;
+  switch (params.op) {
+    case CollOp::kBcast:
+      intra = params.root != root_leader ? n : 0;
+      pre_hops = intra != 0 ? 1 : 0;
+      tail = fanout;
+      post_hops = 1;
+      break;
+    case CollOp::kReduce:
+      intra = static_cast<std::size_t>(p - G) * n;
+      pre_hops = 1;
+      tail = params.root != root_leader ? n : 0;
+      post_hops = tail != 0 ? 1 : 0;
+      break;
+    case CollOp::kAllreduce:
+      intra = static_cast<std::size_t>(p - G) * n;
+      pre_hops = 1;
+      tail = fanout;
+      post_hops = 1;
+      break;
+    case CollOp::kAllgather:
+      intra = static_cast<std::size_t>(p - G) * (n / static_cast<std::size_t>(p));
+      pre_hops = 1;
+      tail = fanout;
+      post_hops = 1;
+      break;
+    default:
+      throw std::invalid_argument("hierarchical form: op has no composition");
+  }
+
+  DiscreteCost c;
+  c.total_send_bytes = intra + sub.total_send_bytes + tail;
+  if (sub.rounds) c.rounds = pre_hops + *sub.rounds + post_hops;
+  return c;
+}
+
 }  // namespace gencoll::model

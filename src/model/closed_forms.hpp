@@ -45,4 +45,18 @@ struct DiscreteCost {
 /// (op, alg) pairs the registry cannot build.
 DiscreteCost discrete_cost(core::Algorithm alg, const core::CollParams& params);
 
+/// The discrete cost of build_hierarchical_schedule({group_size, inter_alg,
+/// params.k}, params): the intra fan-in bytes + the leader-level kernel's
+/// discrete cost over p/g ranks + the fan-out / final-hop bytes. Rounds are
+/// additive — every leader's kernel sends are program-ordered after its
+/// intra receives, and every fan-out send after the leader's last kernel
+/// receive, so the composed longest chain is (intra hop, if any) +
+/// sub-rounds + (fan-out / root hop, if any); nullopt propagates from the
+/// sub-form. intergroup_send_bytes stays unset: the composed schedule's
+/// group structure is the hierarchy itself, not the k-ring's group notion.
+/// Throws std::invalid_argument when the composition is unsupported.
+DiscreteCost hierarchical_discrete_cost(core::Algorithm inter_alg,
+                                        int group_size,
+                                        const core::CollParams& params);
+
 }  // namespace gencoll::model

@@ -18,6 +18,11 @@ ModelParams params_from_machine(const netsim::MachineConfig& machine) {
                machine.recv_overhead_us + machine.port_msg_overhead_us;
   m.beta_us_per_byte = machine.inter.beta_us_per_byte;
   m.gamma_us_per_byte = machine.gamma_us_per_byte;
+  // Intranode handoffs skip the NIC: no port overhead, just the software
+  // posting costs on top of the intra link.
+  m.alpha_shm_us =
+      machine.intra.alpha_us + machine.send_overhead_us + machine.recv_overhead_us;
+  m.beta_shm_us_per_byte = machine.intra.beta_us_per_byte;
   return m;
 }
 
@@ -261,6 +266,43 @@ double predict_cost(Algorithm alg, CollOp op, double n, double p, double k,
     default:
       throw std::invalid_argument("predict_cost: bad algorithm");
   }
+}
+
+double hierarchical_cost(Algorithm inter_alg, CollOp op, double n, int p,
+                         int group_size, double k, const ModelParams& m) {
+  const int g = group_size;
+  if (g < 1 || p <= 0 || p % g != 0) {
+    throw std::invalid_argument("hierarchical_cost: group_size must divide p");
+  }
+  if (g == 1) {
+    return predict_cost(inter_alg, op, n, static_cast<double>(p), k, m);
+  }
+  const int G = p / g;
+  const double hop = m.alpha_shm_us + n * m.beta_shm_us_per_byte;
+  double intra = 0.0;
+  double tail = 0.0;
+  switch (op) {
+    case CollOp::kBcast:
+      intra = hop;  // root -> its leader (worst case: root not a leader)
+      tail = hop;   // one fan-out publication, members read concurrently
+      break;
+    case CollOp::kReduce:
+    case CollOp::kAllreduce:
+      // The leader folds its g-1 members' contributions sequentially.
+      intra = (g - 1) * (m.alpha_shm_us +
+                         n * (m.beta_shm_us_per_byte + m.gamma_us_per_byte));
+      tail = hop;  // fan-out (allreduce) / final root hop (reduce, worst case)
+      break;
+    case CollOp::kAllgather:
+      intra = (g - 1) * (m.alpha_shm_us +
+                         (n / static_cast<double>(p)) * m.beta_shm_us_per_byte);
+      tail = hop;
+      break;
+    default:
+      throw std::invalid_argument("hierarchical_cost: op has no composition");
+  }
+  return intra + predict_cost(inter_alg, op, n, static_cast<double>(G), k, m) +
+         tail;
 }
 
 int model_optimal_radix(Algorithm alg, CollOp op, double n, int p, const ModelParams& m) {

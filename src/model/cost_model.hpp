@@ -20,11 +20,19 @@ struct ModelParams {
   double alpha_us = 1.0;
   double beta_us_per_byte = 0.0;
   double gamma_us_per_byte = 0.0;
+  /// Shared-segment (intra-group) hop parameters, used only by the
+  /// hierarchical composition (hierarchical_cost): a handoff through the
+  /// group's shared segment costs alpha_shm + bytes * beta_shm. Defaults
+  /// match the flat link so a model with no intra calibration degrades to
+  /// the single-link-class equations.
+  double alpha_shm_us = 1.0;
+  double beta_shm_us_per_byte = 0.0;
 };
 
 /// Derive model parameters from a machine description: alpha/beta follow the
 /// internode link (the paper's models are single-link-class), gamma the
-/// reduction rate. Per-message software overhead folds into alpha.
+/// reduction rate, alpha_shm/beta_shm the intranode link. Per-message
+/// software overhead folds into both alphas.
 ModelParams params_from_machine(const netsim::MachineConfig& machine);
 
 /// Real-valued log_k(p), with log of p <= 1 clamped to 0 (the paper's models
@@ -92,5 +100,17 @@ double predict_cost(core::Algorithm alg, core::CollOp op, double n, double p, do
 /// predict_cost — the model-optimal radix of §III-D/§IV-D.
 int model_optimal_radix(core::Algorithm alg, core::CollOp op, double n, int p,
                         const ModelParams& m);
+
+// --- Hierarchical composition (core/hierarchy.hpp) ---
+/// Predicted time of the two-level schedule: the intra fan-in over the
+/// shared segment (alpha_shm/beta_shm, plus gamma for the leader's g-1
+/// sequential reductions), the inter kernel's Eq. (1)-(14) term over the
+/// p/g leaders, and the fan-out (one shared-segment publication read by
+/// g-1 members concurrently — charged once, the segment is read in place).
+/// Bcast/Reduce add their root<->leader hop when root is not a leader.
+/// Throws std::invalid_argument for ops without a hierarchical composition
+/// (hier_supported_op) or when g does not divide p.
+double hierarchical_cost(core::Algorithm inter_alg, core::CollOp op, double n,
+                         int p, int group_size, double k, const ModelParams& m);
 
 }  // namespace gencoll::model

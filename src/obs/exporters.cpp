@@ -48,14 +48,34 @@ class EventArray {
   bool first_ = true;
 };
 
-void emit_metadata(EventArray& out, int pid, const std::string& name, int ranks) {
+/// The hierarchy group a rank's stream belongs to, or -1 for flat streams
+/// (executor.cpp stamps every span of a hierarchical run with its group).
+int rank_group(const TraceRecorder& rec, int r) {
+  for (const SpanEvent& ev : rec.spans(r)) {
+    if (ev.group >= 0) return ev.group;
+  }
+  return -1;
+}
+
+void emit_metadata(EventArray& out, int pid, const std::string& name,
+                   const TraceRecorder& rec) {
   out.next() << "  {\"ph\":\"M\",\"pid\":" << pid
              << ",\"name\":\"process_name\",\"args\":{\"name\":\""
              << json_escape(name) << "\"}}";
-  for (int r = 0; r < ranks; ++r) {
-    out.next() << "  {\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << r
-               << ",\"name\":\"thread_name\",\"args\":{\"name\":\"rank " << r
-               << "\"}}";
+  for (int r = 0; r < rec.ranks(); ++r) {
+    const int group = rank_group(rec, r);
+    std::ostream& os = out.next();
+    os << "  {\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << r
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\"rank " << r;
+    if (group >= 0) os << " (group " << group << ")";
+    os << "\"}}";
+    if (group >= 0) {
+      // Lane-sort hierarchical runs by group, then rank within the group, so
+      // each shared-segment clique renders as one contiguous band.
+      out.next() << "  {\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << r
+                 << ",\"name\":\"thread_sort_index\",\"args\":{\"sort_index\":"
+                 << (group * 65536 + r) << "}}";
+    }
   }
 }
 
@@ -73,7 +93,7 @@ void write_chrome_trace(std::ostream& os, std::span<const TraceRun> runs) {
     // virtual clock and the threaded executor's wall clock would otherwise
     // sit an arbitrary epoch apart in one file.
     const double run_t0 = rec.min_time_us();
-    emit_metadata(out, pid, run.name, rec.ranks());
+    emit_metadata(out, pid, run.name, rec);
     for (int r = 0; r < rec.ranks(); ++r) {
       for (const SpanEvent& ev : rec.spans(r)) {
         const double dur = ev.end_us - ev.begin_us;
@@ -83,8 +103,9 @@ void write_chrome_trace(std::ostream& os, std::span<const TraceRun> runs) {
                    << ",\"cat\":\"step\",\"name\":\"" << span_kind_name(ev.kind)
                    << "\",\"args\":{\"step\":" << ev.step
                    << ",\"peer\":" << ev.peer << ",\"tag\":" << ev.tag
-                   << ",\"bytes\":" << ev.bytes << ",\"link\":\""
-                   << link_class_name(ev.link) << "\",\"queue_us\":"
+                   << ",\"bytes\":" << ev.bytes << ",\"group\":" << ev.group
+                   << ",\"link\":\"" << link_class_name(ev.link)
+                   << "\",\"queue_us\":"
                    << util::fmt(ev.queue_us, 3) << ",\"arrival_us\":"
                    << util::fmt(ev.arrival_us - run_t0, 3) << "}}";
       }
@@ -109,13 +130,13 @@ void write_chrome_trace(std::ostream& os, const std::string& name,
 
 void write_trace_csv(std::ostream& os, const TraceRecorder& recorder) {
   const double t0 = recorder.min_time_us();
-  os << "rank,step,kind,peer,tag,bytes,link,begin_us,end_us,post_us,start_us,"
-        "arrival_us,queue_us\n";
+  os << "rank,step,kind,peer,tag,bytes,group,link,begin_us,end_us,post_us,"
+        "start_us,arrival_us,queue_us\n";
   for (int r = 0; r < recorder.ranks(); ++r) {
     for (const SpanEvent& ev : recorder.spans(r)) {
       os << ev.rank << ',' << ev.step << ',' << span_kind_name(ev.kind) << ','
-         << ev.peer << ',' << ev.tag << ',' << ev.bytes << ','
-         << link_class_name(ev.link) << ',' << util::fmt(ev.begin_us - t0, 3)
+         << ev.peer << ',' << ev.tag << ',' << ev.bytes << ',' << ev.group
+         << ',' << link_class_name(ev.link) << ',' << util::fmt(ev.begin_us - t0, 3)
          << ',' << util::fmt(ev.end_us - t0, 3) << ','
          << util::fmt(is_send(ev.kind) ? ev.post_us - t0 : 0.0, 3) << ','
          << util::fmt(is_send(ev.kind) ? ev.start_us - t0 : 0.0, 3) << ','

@@ -1,9 +1,11 @@
 // Per-collective metrics aggregated from a trace stream.
 //
 // collect_metrics() folds a recorded run (either executor) into counts and
-// per-rank time breakdowns. The intra/inter splits are only populated for
-// simulator streams (the threaded executor has no topology and reports
-// LinkClass::kUnknown); totals are always exact.
+// per-rank time breakdowns. The intra/inter splits are populated whenever the
+// stream carries topology: always for simulator streams, and for threaded
+// runs of hierarchical schedules (core/hierarchy.hpp), whose executor
+// classifies each step as intra- or inter-group. Flat threaded runs report
+// LinkClass::kUnknown and land in neither split; totals are always exact.
 #pragma once
 
 #include <cstddef>
@@ -28,7 +30,7 @@ struct RankBreakdown {
 
 struct CollectiveMetrics {
   std::size_t messages = 0;
-  std::size_t messages_intra = 0;  ///< simulator streams only
+  std::size_t messages_intra = 0;  ///< streams with topology (see file comment)
   std::size_t messages_inter = 0;
   std::size_t bytes = 0;  ///< payload bytes over all messages
   std::size_t bytes_intra = 0;

@@ -60,6 +60,8 @@ struct SpanEvent {
                                  ///< program (simulator fills; -1 unknown)
   std::size_t bytes = 0;
   LinkClass link = LinkClass::kUnknown;
+  int group = -1;  ///< hierarchical group of `rank` (core/hierarchy.hpp);
+                   ///< -1 when the schedule has no grouping
 
   double begin_us = 0.0;  ///< rank reached the step
   double end_us = 0.0;    ///< step completed on the rank's timeline

@@ -122,6 +122,11 @@ class Communicator {
     return !rel_.enabled && plan_ == nullptr;
   }
 
+  /// The World this communicator belongs to (non-owning). The hierarchical
+  /// executor uses it to reach the rank's shared-segment group
+  /// (World::shm_group, runtime/shm_group.hpp).
+  [[nodiscard]] World& world() { return *world_; }
+
  private:
   /// Channel key for per-(peer, tag) sequence bookkeeping.
   static std::uint64_t channel_key(int peer, int tag) {

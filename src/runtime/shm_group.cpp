@@ -1,0 +1,140 @@
+#include "runtime/shm_group.hpp"
+
+#include <chrono>
+#include <memory>
+#include <new>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "fault/error.hpp"
+#include "runtime/world.hpp"
+
+namespace gencoll::runtime {
+
+namespace {
+constexpr std::size_t kLine = 64;
+}  // namespace
+
+ShmGroup::ShmGroup(World& world, int base_rank, int size)
+    : world_(world), base_rank_(base_rank), size_(size) {
+  if (size < 2) {
+    throw std::invalid_argument("ShmGroup: group size must be >= 2");
+  }
+  if (base_rank < 0 || base_rank + size > world.size()) {
+    throw std::invalid_argument("ShmGroup: group exceeds world");
+  }
+  // One slot per rank (slot 0 = leader fan-out) plus one fan-out ack line
+  // per rank; +kLine slack so the first slot can be aligned up manually.
+  const std::size_t want = 2 * static_cast<std::size_t>(size) * sizeof(Slot) + kLine;
+  segment_ = world.pool().acquire(want);
+  void* raw = segment_.data();
+  std::size_t space = segment_.size();
+  raw = std::align(alignof(Slot), 2 * static_cast<std::size_t>(size) * sizeof(Slot),
+                   raw, space);
+  slots_ = static_cast<Slot*>(raw);
+  for (int i = 0; i < 2 * size; ++i) {
+    new (&slots_[i]) Slot();
+  }
+}
+
+ShmGroup::~ShmGroup() {
+  for (int i = 0; i < 2 * size_; ++i) {
+    slots_[i].~Slot();
+  }
+}
+
+ShmGroup::Slot& ShmGroup::slot(int index) const { return slots_[index]; }
+
+ShmGroup::Slot& ShmGroup::fan_ack(int member) const {
+  return slots_[size_ + member];
+}
+
+std::uint64_t ShmGroup::wait_ge(const std::atomic<std::uint64_t>& cell,
+                                std::uint64_t target, int self_rank,
+                                const char* what) const {
+  using Clock = std::chrono::steady_clock;
+  const auto deadline = Clock::now() + world_.recv_timeout();
+  int spins = 0;
+  for (;;) {
+    const std::uint64_t v = cell.load(std::memory_order_acquire);
+    if (v >= target) {
+      return v;
+    }
+    if (world_.aborted()) {
+      throw FaultError(FaultKind::kAborted, self_rank, -1, -1,
+                       std::string("shm_group: woken by abort while waiting for ") +
+                           what + ": " + world_.abort_reason());
+    }
+    ++spins;
+    if (spins < 64) {
+      continue;  // brief spin: intra-group handoffs are usually immediate
+    }
+    if (spins < 1024) {
+      std::this_thread::yield();
+      continue;
+    }
+    if (Clock::now() >= deadline) {
+      throw FaultError(FaultKind::kTimeout, self_rank, -1, -1,
+                       std::string("shm_group: deadline expired waiting for ") + what);
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+}
+
+void ShmGroup::publish(int member, std::span<const std::byte> data) {
+  Slot& s = slot(member);
+  const std::uint64_t gen = s.seq.load(std::memory_order_relaxed);
+  s.ptr = data.data();
+  s.len = data.size();
+  s.seq.store(gen + 1, std::memory_order_release);
+}
+
+std::span<const std::byte> ShmGroup::await_publication(int member, int self_rank) {
+  Slot& s = slot(member);
+  const std::uint64_t target = s.ack.load(std::memory_order_relaxed) + 1;
+  wait_ge(s.seq, target, self_rank, "member publication");
+  return {s.ptr, s.len};
+}
+
+void ShmGroup::release_publication(int member) {
+  Slot& s = slot(member);
+  const std::uint64_t gen = s.ack.load(std::memory_order_relaxed);
+  s.ack.store(gen + 1, std::memory_order_release);
+}
+
+void ShmGroup::await_release(int member, int self_rank) {
+  Slot& s = slot(member);
+  const std::uint64_t target = s.seq.load(std::memory_order_relaxed);
+  wait_ge(s.ack, target, self_rank, "leader release");
+}
+
+void ShmGroup::leader_publish(std::span<const std::byte> data) {
+  Slot& s = slot(0);
+  const std::uint64_t gen = s.seq.load(std::memory_order_relaxed);
+  s.ptr = data.data();
+  s.len = data.size();
+  s.seq.store(gen + 1, std::memory_order_release);
+}
+
+std::span<const std::byte> ShmGroup::await_leader(int member, int self_rank) {
+  const std::uint64_t target = fan_ack(member).seq.load(std::memory_order_relaxed) + 1;
+  Slot& s = slot(0);
+  wait_ge(s.seq, target, self_rank, "leader publication");
+  return {s.ptr, s.len};
+}
+
+void ShmGroup::release_leader(int member) {
+  Slot& a = fan_ack(member);
+  const std::uint64_t gen = a.seq.load(std::memory_order_relaxed);
+  a.seq.store(gen + 1, std::memory_order_release);
+}
+
+void ShmGroup::await_leader_releases(int self_rank) {
+  const std::uint64_t target = slot(0).seq.load(std::memory_order_relaxed);
+  for (int m = 1; m < size_; ++m) {
+    wait_ge(fan_ack(m).seq, target, self_rank, "member fan-out ack");
+  }
+}
+
+}  // namespace gencoll::runtime

@@ -1,0 +1,128 @@
+// Shared-segment intra-group primitive for hierarchical collectives.
+//
+// A ShmGroup connects one *group* of the World's ranks — a consecutive block
+// [base_rank, base_rank + size) whose first rank is the leader — through a
+// cache-line-padded control segment drawn from the World's BufferPool. The
+// threads already share an address space, so the intra-group phases of a
+// hierarchical collective (core/hierarchy.hpp) move bytes by direct
+// memcpy / apply_reduce from the publisher's buffer with *zero mailbox
+// traffic*: the segment carries only flags, never payloads.
+//
+// Protocol (seqlock-style generation counters, all monotonically increasing,
+// never reset — safe across back-to-back collectives on the same World):
+//
+//   fan-in   slot m (owned by member m, m in [1, size)):
+//            member m   publish()            ptr/len := data, then
+//                                            seq.store(seq+1, release)
+//            leader     await_publication()  wait seq >= ack+1 (acquire),
+//                                            read through ptr/len
+//            leader     release_publication() ack.store(ack+1, release)
+//            member m   await_release()      wait ack >= seq (acquire);
+//                                            only now may m reuse/republish
+//
+//   fan-out  slot 0 (owned by the leader) + one padded ack per member:
+//            leader     leader_publish()     ptr/len := data, seq+1 release
+//            member m   await_leader()       wait seq >= taken_m+1, read
+//            member m   release_leader()     fan_ack_m := taken_m+1 release
+//            leader     await_leader_releases() wait all fan_ack_m >= seq
+//
+// The release/acquire pairs on the generation counters order the plain
+// ptr/len fields and the published payload bytes, so the whole exchange is
+// TSan-clean without locking the data path. Readers that skip the payload
+// (e.g. a non-root member of the final Reduce hop) still acknowledge, which
+// keeps every counter in lockstep across the group's deterministic
+// collective sequence.
+//
+// Every wait spins briefly, yields, then sleeps in short slices while
+// polling the World's abort poison and the receive deadline — a crashed peer
+// surfaces as FaultError(kAborted) / FaultError(kTimeout) exactly like a
+// mailbox wait, never as a silent stall.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "runtime/buffer_pool.hpp"
+
+namespace gencoll::runtime {
+
+class World;
+
+class ShmGroup {
+ public:
+  /// `base_rank` is the group's first world rank (the leader); `size` >= 2
+  /// is the group size g. The control segment (size slots + size fan-out
+  /// acks, one cache line each) is acquired from `world.pool()`.
+  ShmGroup(World& world, int base_rank, int size);
+  ~ShmGroup();
+  ShmGroup(const ShmGroup&) = delete;
+  ShmGroup& operator=(const ShmGroup&) = delete;
+
+  [[nodiscard]] int size() const { return size_; }
+  [[nodiscard]] int base_rank() const { return base_rank_; }
+
+  // ---- fan-in: member -> leader ----------------------------------------
+
+  /// Member `member` (in [1, size)) publishes `data` for the leader. The
+  /// buffer must stay valid and unmodified until await_release() returns.
+  void publish(int member, std::span<const std::byte> data);
+
+  /// Leader: block until member's next unconsumed publication; returns a
+  /// view of the publisher's buffer (read in place — no copy has happened).
+  std::span<const std::byte> await_publication(int member, int self_rank);
+
+  /// Leader: done reading member's current publication; the member may
+  /// reuse its buffer.
+  void release_publication(int member);
+
+  /// Member: block until the leader released this member's latest
+  /// publication.
+  void await_release(int member, int self_rank);
+
+  // ---- fan-out: leader -> members --------------------------------------
+
+  /// Leader publishes `data` for every member. The buffer must stay valid
+  /// and unmodified until await_leader_releases() returns.
+  void leader_publish(std::span<const std::byte> data);
+
+  /// Member: block until the leader's next unconsumed publication; returns
+  /// a view of the leader's buffer.
+  std::span<const std::byte> await_leader(int member, int self_rank);
+
+  /// Member: acknowledge the leader's current publication (consumers that
+  /// do not copy the payload still call this to stay in lockstep).
+  void release_leader(int member);
+
+  /// Leader: block until every member acknowledged the latest publication;
+  /// only then may the leader's buffer change again.
+  void await_leader_releases(int self_rank);
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> seq{0};  ///< publications by the slot owner
+    std::atomic<std::uint64_t> ack{0};  ///< publications released by reader
+    const std::byte* ptr = nullptr;     ///< guarded by seq release/acquire
+    std::size_t len = 0;                ///< guarded by seq release/acquire
+  };
+  static_assert(sizeof(std::atomic<std::uint64_t>) == 8);
+
+  [[nodiscard]] Slot& slot(int index) const;
+  [[nodiscard]] Slot& fan_ack(int member) const;
+
+  /// Wait until cell (acquire-loaded) >= target; spin -> yield -> sleep,
+  /// polling abort poison and the receive deadline. Returns the observed
+  /// value; throws FaultError(kAborted/kTimeout) instead of stalling.
+  std::uint64_t wait_ge(const std::atomic<std::uint64_t>& cell,
+                        std::uint64_t target, int self_rank,
+                        const char* what) const;
+
+  World& world_;
+  int base_rank_;
+  int size_;
+  PoolBuffer segment_;  ///< raw storage for 2 * size_ cache-line Slots
+  Slot* slots_ = nullptr;
+};
+
+}  // namespace gencoll::runtime

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "fault/error.hpp"
+#include "runtime/shm_group.hpp"
 
 namespace gencoll::runtime {
 
@@ -39,8 +40,23 @@ World::World(int size, WorldOptions options)
   }
 }
 
+World::~World() = default;
+
 Mailbox& World::mailbox(int rank) {
   return *mailboxes_.at(static_cast<std::size_t>(rank));
+}
+
+ShmGroup& World::shm_group(int group_size, int group_id) {
+  if (group_size < 2 || group_id < 0 ||
+      (group_id + 1) * group_size > size_) {
+    throw std::invalid_argument("World::shm_group: group outside world");
+  }
+  std::lock_guard<std::mutex> lock(shm_mu_);
+  auto& entry = shm_groups_[{group_size, group_id}];
+  if (!entry) {
+    entry = std::make_unique<ShmGroup>(*this, group_id * group_size, group_size);
+  }
+  return *entry;
 }
 
 void World::barrier_wait() {

@@ -20,10 +20,12 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "fault/abort.hpp"
@@ -32,6 +34,8 @@
 #include "runtime/mailbox.hpp"
 
 namespace gencoll::runtime {
+
+class ShmGroup;
 
 struct WorldOptions {
   /// Deterministic fault injection applied to every message post. Non-owning;
@@ -53,6 +57,7 @@ struct WorldOptions {
 class World {
  public:
   explicit World(int size, WorldOptions options = {});
+  ~World();  // out of line: shm_groups_ holds incomplete ShmGroup here
   World(const World&) = delete;
   World& operator=(const World&) = delete;
 
@@ -80,6 +85,13 @@ class World {
   /// otherwise this World's private pool).
   [[nodiscard]] BufferPool& pool() { return *pool_; }
 
+  /// The shared-segment primitive for the group of `group_size` consecutive
+  /// ranks starting at group_id * group_size (runtime/shm_group.hpp).
+  /// Created lazily on first request and kept for the World's lifetime, so
+  /// generation counters persist across back-to-back collectives. Thread
+  /// safe; every member of a group receives the same object.
+  ShmGroup& shm_group(int group_size, int group_id);
+
   /// Convenience: construct a World of `size` ranks, run `fn(comm)` on a
   /// thread per rank, join, and re-throw the first rank exception (if any).
   /// A throwing rank aborts the World so its peers fail fast.
@@ -100,6 +112,10 @@ class World {
   std::condition_variable barrier_cv_;
   int barrier_arrived_ = 0;
   bool barrier_sense_ = false;
+
+  // Declared after the pool members: segments must release into a live pool.
+  std::mutex shm_mu_;
+  std::map<std::pair<int, int>, std::unique_ptr<ShmGroup>> shm_groups_;
 };
 
 }  // namespace gencoll::runtime

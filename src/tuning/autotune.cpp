@@ -4,6 +4,7 @@
 #include <limits>
 #include <set>
 
+#include "core/hierarchy.hpp"
 #include "core/registry.hpp"
 #include "util/bytes.hpp"
 
@@ -69,9 +70,46 @@ AutotuneReport autotune_op(CollOp op, const netsim::MachineConfig& machine,
         if (!core::supports_params(alg, params)) continue;
         const double us = netsim::simulate_us(core::build_schedule(alg, params),
                                               machine, options.sim);
-        MeasuredPoint point{op, nbytes, alg, core::effective_radix(alg, k), us};
+        MeasuredPoint point{op, nbytes, alg, core::effective_radix(alg, k), 1, us};
         report.all_points.push_back(point);
         if (us < best.latency_us) best = point;
+      }
+    }
+
+    // Hierarchical candidates: intra phase over shared segments, `alg` as the
+    // inter-group kernel over the p/g leaders. The composed schedule is
+    // simulated like any flat one; the intra hops route over the machine's
+    // intra link, so the simulator prices the two-level structure directly.
+    std::set<int> gset;
+    if (!options.group_sizes.empty()) {
+      gset.insert(options.group_sizes.begin(), options.group_sizes.end());
+    } else {
+      gset.insert({2, 4, 8});
+      gset.insert(machine.ppn);
+    }
+    for (int g : gset) {
+      if (g < 2 || p % g != 0 || p / g < 2) continue;
+      for (Algorithm alg : core::algorithms_for(op)) {
+        for (int k : pruned_radixes(op, alg, p / g, machine, options.radixes)) {
+          CollParams params;
+          params.op = op;
+          params.p = p;
+          params.count = nbytes;
+          params.elem_size = 1;
+          params.k = k;
+          core::HierSpec spec;
+          spec.group_size = g;
+          spec.inter_alg = alg;
+          spec.inter_k = k;
+          if (!core::supports_hierarchical(spec, params)) continue;
+          const double us = netsim::simulate_us(
+              core::build_hierarchical_schedule(spec, params), machine,
+              options.sim);
+          MeasuredPoint point{op, nbytes, alg, core::effective_radix(alg, k),
+                              g,  us};
+          report.all_points.push_back(point);
+          if (us < best.latency_us) best = point;
+        }
       }
     }
     report.winners.push_back(best);
@@ -86,10 +124,13 @@ AutotuneReport autotune_op(CollOp op, const netsim::MachineConfig& machine,
         si + 1 == sizes.size() ? SIZE_MAX : (nbytes + sizes[si + 1]) / 2 + 1;
     rule.algorithm = best.algorithm;
     rule.k = best.k;
+    rule.group_size = best.group_size;
+    rule.intra = HierIntra::kShm;
     if (!report.config.rules().empty()) {
       const SelectionRule& prev = report.config.rules().back();
       if (prev.op == rule.op && prev.algorithm == rule.algorithm &&
-          prev.k == rule.k && prev.max_bytes == rule.min_bytes) {
+          prev.k == rule.k && prev.group_size == rule.group_size &&
+          prev.intra == rule.intra && prev.max_bytes == rule.min_bytes) {
         report.config.mutable_rules().back().max_bytes = rule.max_bytes;
         continue;
       }

@@ -24,6 +24,10 @@ struct AutotuneOptions {
   std::vector<int> radixes;
   /// Include the non-generalized baselines in the candidate pool.
   bool include_baselines = true;
+  /// Hierarchical group sizes to sweep for the ops core/hierarchy.hpp can
+  /// compose (group_size 1 — the flat candidates — is always swept). Empty =
+  /// {2, 4, 8} plus the machine's ppn; {1} alone disables the hier sweep.
+  std::vector<int> group_sizes;
   netsim::SimOptions sim;
 };
 
@@ -32,6 +36,7 @@ struct MeasuredPoint {
   std::size_t nbytes = 0;
   core::Algorithm algorithm = core::Algorithm::kBinomial;
   int k = 2;
+  int group_size = 1;  ///< 1 = flat; >1 = hier composition over p/g leaders
   double latency_us = 0.0;
 };
 

@@ -9,7 +9,9 @@ namespace gencoll::tuning {
 std::optional<AlgorithmChoice> SelectionConfig::lookup(core::CollOp op,
                                                        std::size_t nbytes) const {
   for (const SelectionRule& rule : rules_) {
-    if (rule.matches(op, nbytes)) return AlgorithmChoice{rule.algorithm, rule.k};
+    if (rule.matches(op, nbytes)) {
+      return AlgorithmChoice{rule.algorithm, rule.k, rule.group_size, rule.intra};
+    }
   }
   return std::nullopt;
 }
@@ -32,7 +34,11 @@ void SelectionConfig::save(std::ostream& os) const {
     } else {
       os << rule.max_bytes;
     }
-    os << ' ' << core::algorithm_name(rule.algorithm) << ' ' << rule.k << "\n";
+    os << ' ' << core::algorithm_name(rule.algorithm) << ' ' << rule.k;
+    if (rule.group_size > 1) {
+      os << " hier " << rule.group_size << ' ' << hier_intra_name(rule.intra);
+    }
+    os << "\n";
   }
 }
 
@@ -83,6 +89,20 @@ SelectionConfig SelectionConfig::load(std::istream& is) {
     if (!alg) fail("unknown algorithm '" + alg_name + "'");
     rule.algorithm = *alg;
     if (rule.k < 1) fail("k must be >= 1");
+    if (std::string clause; ls >> clause) {
+      if (clause != "hier") fail("unknown rule clause '" + clause + "'");
+      std::string intra_name;
+      if (!(ls >> rule.group_size >> intra_name)) {
+        fail("malformed hier clause (want: hier <g> <shm|mailbox>)");
+      }
+      if (rule.group_size < 2) fail("hier group size must be >= 2");
+      const auto intra = parse_hier_intra(intra_name);
+      if (!intra) fail("unknown hier intra transport '" + intra_name + "'");
+      rule.intra = *intra;
+      if (std::string extra; ls >> extra) {
+        fail("trailing token '" + extra + "' after hier clause");
+      }
+    }
     config.add_rule(rule);
   }
   return config;

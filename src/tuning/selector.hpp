@@ -22,6 +22,11 @@ struct SelectionRule {
   std::size_t max_bytes = SIZE_MAX;             ///< exclusive; SIZE_MAX = open
   core::Algorithm algorithm = core::Algorithm::kBinomial;
   int k = 2;
+  /// Hierarchical clause (`hier <g> <shm|mailbox>` in the file format):
+  /// group_size > 1 makes `algorithm` the inter-group kernel over p/g
+  /// leaders with the given intra-phase transport. 1 = flat rule.
+  int group_size = 1;
+  HierIntra intra = HierIntra::kShm;
 
   [[nodiscard]] bool matches(core::CollOp o, std::size_t nbytes) const {
     return o == op && nbytes >= min_bytes && nbytes < max_bytes;
@@ -53,7 +58,9 @@ class SelectionConfig {
   /// Line-oriented serialization:
   ///   # comments
   ///   machine <name> nodes <n> ppn <n>
-  ///   rule <op> <min_bytes> <max_bytes|inf> <algorithm> <k>
+  ///   rule <op> <min_bytes> <max_bytes|inf> <algorithm> <k> [hier <g> <intra>]
+  /// where <g> >= 2 and <intra> is `shm` or `mailbox`. A malformed or
+  /// truncated hier clause — or any trailing token — fails the load.
   void save(std::ostream& os) const;
   static SelectionConfig load(std::istream& is);  ///< throws on parse errors
 

@@ -8,14 +8,31 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
+#include <string_view>
 
 #include "core/coll_params.hpp"
 
 namespace gencoll::tuning {
 
+/// How a hierarchical choice executes its intra-group phases: over shared
+/// segments (runtime/shm_group.hpp) or as plain mailbox messages (useful to
+/// measure the shm win, and under transports that disable the fast path).
+enum class HierIntra {
+  kShm,
+  kMailbox,
+};
+
+const char* hier_intra_name(HierIntra intra);
+std::optional<HierIntra> parse_hier_intra(std::string_view name);
+
 struct AlgorithmChoice {
   core::Algorithm algorithm = core::Algorithm::kBinomial;
   int k = 2;  ///< effective radix (informational for fixed-radix baselines)
+  /// Hierarchical composition (core/hierarchy.hpp): group ranks in blocks of
+  /// group_size and run `algorithm` over the leaders. 1 = flat (default).
+  int group_size = 1;
+  HierIntra intra = HierIntra::kShm;
 };
 
 /// The vendor default for (op, p, nbytes).

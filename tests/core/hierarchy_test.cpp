@@ -1,0 +1,227 @@
+// Hierarchical composition tests: structure of the composed schedules
+// (phase boundaries, tags, leader mapping), rejection of shapes the
+// composition cannot express, end-to-end correctness over the threaded
+// runtime (shared-segment intra phases) against core/reference, and the
+// observability contract (group-stamped spans with intra/inter link
+// classes).
+#include "core/hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/algorithms.hpp"
+#include "core/executor.hpp"
+#include "core/reference.hpp"
+#include "core/registry.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "runtime/world.hpp"
+
+namespace gencoll::core {
+namespace {
+
+using runtime::DataType;
+using runtime::ReduceOp;
+
+CollParams params_of(CollOp op, int p, std::size_t count, int root = 0) {
+  CollParams params;
+  params.op = op;
+  params.p = p;
+  params.count = count;
+  params.elem_size = 4;
+  params.root = root;
+  return params;
+}
+
+HierSpec spec_of(int g, Algorithm alg = Algorithm::kRecursiveMultiplying,
+                 int k = 2) {
+  HierSpec spec;
+  spec.group_size = g;
+  spec.inter_alg = alg;
+  spec.inter_k = k;
+  return spec;
+}
+
+TEST(Hierarchy, SupportedOpsAndShapes) {
+  EXPECT_TRUE(hier_supported_op(CollOp::kBcast));
+  EXPECT_TRUE(hier_supported_op(CollOp::kReduce));
+  EXPECT_TRUE(hier_supported_op(CollOp::kAllreduce));
+  EXPECT_TRUE(hier_supported_op(CollOp::kAllgather));
+  EXPECT_FALSE(hier_supported_op(CollOp::kAlltoall));
+  EXPECT_FALSE(hier_supported_op(CollOp::kScan));
+
+  const CollParams ok = params_of(CollOp::kAllreduce, 8, 16);
+  EXPECT_TRUE(supports_hierarchical(spec_of(4), ok));
+  EXPECT_FALSE(supports_hierarchical(spec_of(1), ok));  // g >= 2
+  EXPECT_FALSE(supports_hierarchical(spec_of(3), ok));  // p % g != 0
+  // g == p is legal: one group, a degenerate single-leader kernel, and a
+  // pure shared-segment collective.
+  EXPECT_TRUE(supports_hierarchical(spec_of(8), ok));
+  // The leader subproblem must itself be supported: recursive multiplying
+  // has no reduce kernel, so a hierarchical reduce over it is rejected.
+  EXPECT_FALSE(
+      supports_hierarchical(spec_of(4), params_of(CollOp::kReduce, 8, 16)));
+  // Allgather needs uniform blocks: p must divide count.
+  EXPECT_TRUE(
+      supports_hierarchical(spec_of(4), params_of(CollOp::kAllgather, 8, 16)));
+  EXPECT_FALSE(
+      supports_hierarchical(spec_of(4), params_of(CollOp::kAllgather, 8, 17)));
+  // Rotated-layout inter kernels are not offset-preserving.
+  EXPECT_FALSE(supports_hierarchical(spec_of(4, Algorithm::kBruck), ok));
+  EXPECT_THROW(build_hierarchical_schedule(spec_of(3), ok), UnsupportedParams);
+}
+
+TEST(Hierarchy, ComposedScheduleStructure) {
+  const CollParams params = params_of(CollOp::kAllreduce, 12, 24);
+  const Schedule sched =
+      build_hierarchical_schedule(spec_of(4, Algorithm::kKnomial, 3), params);
+
+  ASSERT_TRUE(sched.hier.has_value());
+  EXPECT_EQ(sched.hier->group_size, 4);
+  EXPECT_EQ(sched.hier->inter_alg, Algorithm::kKnomial);
+  EXPECT_EQ(sched.name, "hier_g4+knomial_allreduce(k=3)");
+  ASSERT_EQ(sched.ranks.size(), 12u);
+  ASSERT_EQ(sched.hier->intra_end.size(), 12u);
+  ASSERT_EQ(sched.hier->leader_end.size(), 12u);
+
+  for (int r = 0; r < 12; ++r) {
+    const auto ur = static_cast<std::size_t>(r);
+    const auto& steps = sched.ranks[ur].steps;
+    const std::size_t intra_end = sched.hier->intra_end[ur];
+    const std::size_t leader_end = sched.hier->leader_end[ur];
+    ASSERT_LE(intra_end, leader_end);
+    ASSERT_LE(leader_end, steps.size());
+    if (r % 4 != 0) {
+      // Members take no part in the leader phase, and every comm step of
+      // theirs stays inside their own group.
+      EXPECT_EQ(intra_end, leader_end) << "rank " << r;
+      for (const Step& s : steps) {
+        if (s.kind == StepKind::kCopyInput) continue;
+        EXPECT_EQ(s.peer / 4, r / 4) << "rank " << r;
+      }
+    } else {
+      // Leader-phase peers are other leaders (multiples of g).
+      for (std::size_t i = intra_end; i < leader_end; ++i) {
+        if (steps[i].kind == StepKind::kCopyInput) continue;
+        EXPECT_EQ(steps[i].peer % 4, 0) << "rank " << r << " step " << i;
+      }
+    }
+    // Phase tags partition: intra/fan-out tags outside, kernel tags inside.
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+      if (steps[i].kind == StepKind::kCopyInput) continue;
+      const bool hier_tag = steps[i].tag >= kHierIntraTag;
+      EXPECT_EQ(hier_tag, i < intra_end || i >= leader_end)
+          << "rank " << r << " step " << i << " tag " << steps[i].tag;
+    }
+  }
+}
+
+struct EndToEndCase {
+  CollOp op;
+  Algorithm inter;
+  int g;
+  int root;
+};
+
+class HierarchyEndToEnd : public testing::TestWithParam<EndToEndCase> {};
+
+TEST_P(HierarchyEndToEnd, MatchesReferenceOnThreadedRuntime) {
+  const EndToEndCase c = GetParam();
+  const int p = 8;
+  const CollParams params = params_of(c.op, p, 16, c.root);
+  HierSpec spec = spec_of(c.g, c.inter, 2);
+  ASSERT_TRUE(supports_hierarchical(spec, params))
+      << algorithm_name(c.inter) << " g=" << c.g;
+  const Schedule sched = build_hierarchical_schedule(spec, params);
+
+  const auto inputs = make_inputs(params, DataType::kInt32, 11);
+  const auto want = reference_outputs(params, inputs, DataType::kInt32,
+                                      ReduceOp::kSum);
+  // execute_threaded dispatches on Schedule::hier to the shared-segment
+  // executor; int32 sums must match the reference bit-for-bit.
+  const auto got =
+      execute_threaded(sched, inputs, DataType::kInt32, ReduceOp::kSum);
+  for (int r = 0; r < p; ++r) {
+    if (!has_result(params, r)) continue;
+    const auto ur = static_cast<std::size_t>(r);
+    for (const Seg& seg : result_segments(params, r)) {
+      ASSERT_TRUE(std::memcmp(got[ur].data() + seg.off,
+                              want[ur].data() + seg.off, seg.len) == 0)
+          << sched.name << " rank " << r;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OpsKernelsGroups, HierarchyEndToEnd,
+    testing::Values(
+        EndToEndCase{CollOp::kBcast, Algorithm::kRecursiveMultiplying, 2, 5},
+        EndToEndCase{CollOp::kBcast, Algorithm::kKnomial, 4, 0},
+        EndToEndCase{CollOp::kReduce, Algorithm::kKnomial, 2, 3},
+        EndToEndCase{CollOp::kReduce, Algorithm::kKnomial, 4, 6},
+        EndToEndCase{CollOp::kAllreduce, Algorithm::kRecursiveMultiplying, 8, 0},
+        EndToEndCase{CollOp::kAllreduce, Algorithm::kRecursiveMultiplying, 2, 0},
+        EndToEndCase{CollOp::kAllreduce, Algorithm::kKring, 4, 0},
+        EndToEndCase{CollOp::kAllgather, Algorithm::kKring, 2, 0},
+        EndToEndCase{CollOp::kAllgather, Algorithm::kRecursiveMultiplying, 4,
+                     0}));
+
+TEST(Hierarchy, RepeatedCollectivesOnOneWorld) {
+  // Monotonic segment counters must survive back-to-back collectives on the
+  // same World (the API path caches schedules and reuses the shm groups).
+  const int p = 8;
+  const CollParams params = params_of(CollOp::kAllreduce, p, 32);
+  const Schedule sched = build_hierarchical_schedule(spec_of(4), params);
+  const auto inputs = make_inputs(params, DataType::kInt32, 3);
+  const auto want = reference_outputs(params, inputs, DataType::kInt32,
+                                      ReduceOp::kSum);
+
+  runtime::World::run(p, [&](runtime::Communicator& comm) {
+    const auto r = static_cast<std::size_t>(comm.rank());
+    for (int repeat = 0; repeat < 4; ++repeat) {
+      std::vector<std::byte> out(output_bytes(params));
+      execute_hierarchical(sched, comm, inputs[r], out, DataType::kInt32,
+                           ReduceOp::kSum);
+      ASSERT_EQ(std::memcmp(out.data(), want[r].data(), out.size()), 0)
+          << "repeat " << repeat << " rank " << r;
+    }
+  });
+}
+
+TEST(Hierarchy, SpansCarryGroupAndLinkClass) {
+  const int p = 8;
+  const CollParams params = params_of(CollOp::kAllreduce, p, 16);
+  const Schedule sched = build_hierarchical_schedule(spec_of(4), params);
+  const auto inputs = make_inputs(params, DataType::kInt32, 5);
+
+  obs::TraceRecorder rec(p);
+  execute_threaded(sched, inputs, DataType::kInt32, ReduceOp::kSum, &rec);
+  ASSERT_GT(rec.total_spans(), 0u);
+
+  std::size_t intra = 0;
+  std::size_t inter = 0;
+  for (int r = 0; r < p; ++r) {
+    for (const obs::SpanEvent& ev : rec.spans(r)) {
+      EXPECT_EQ(ev.group, r / 4) << "rank " << r;
+      if (ev.kind == obs::SpanKind::kCopyInput) continue;
+      if (ev.link == obs::LinkClass::kIntra) ++intra;
+      if (ev.link == obs::LinkClass::kInter) ++inter;
+    }
+  }
+  // Both phases appear: shared-segment hops inside groups, kernel messages
+  // between leaders.
+  EXPECT_GT(intra, 0u);
+  EXPECT_GT(inter, 0u);
+
+  // And the metrics fold sees the same split (threaded + hierarchical is a
+  // topology-carrying stream now).
+  const obs::CollectiveMetrics m = obs::collect_metrics(rec);
+  EXPECT_GT(m.messages_intra, 0u);
+  EXPECT_GT(m.messages_inter, 0u);
+  EXPECT_EQ(m.messages, m.messages_intra + m.messages_inter);
+}
+
+}  // namespace
+}  // namespace gencoll::core

@@ -1,0 +1,289 @@
+// ShmGroup flag-protocol tests: geometry validation, fan-in/fan-out
+// round-trips on persistent generation counters, a multi-round stress
+// designed to surface ordering bugs under TSan, and the fault contract —
+// every blocked wait must surface abort poison or the receive deadline as a
+// typed FaultError, never a silent stall. The chaos suite at the bottom runs
+// hierarchical schedules (whose intra phases ride this primitive) under
+// injected rank crashes.
+#include "runtime/shm_group.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "core/executor.hpp"
+#include "core/hierarchy.hpp"
+#include "core/reference.hpp"
+#include "fault/error.hpp"
+#include "fault/plan.hpp"
+#include "runtime/comm.hpp"
+#include "runtime/world.hpp"
+
+namespace gencoll::runtime {
+namespace {
+
+using gencoll::FaultError;
+using gencoll::FaultKind;
+using std::chrono::steady_clock;
+
+TEST(ShmGroup, RejectsBadGeometry) {
+  World world(4);
+  EXPECT_THROW(world.shm_group(1, 0), std::invalid_argument);   // g < 2
+  EXPECT_THROW(world.shm_group(4, 1), std::invalid_argument);   // past the end
+  EXPECT_THROW(world.shm_group(3, 1), std::invalid_argument);   // 2*3 > 4
+  EXPECT_THROW(world.shm_group(2, -1), std::invalid_argument);  // bad id
+  EXPECT_NO_THROW(world.shm_group(2, 1));
+}
+
+TEST(ShmGroup, SameObjectForEveryMember) {
+  World world(8);
+  ShmGroup& a = world.shm_group(4, 1);
+  ShmGroup& b = world.shm_group(4, 1);
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.base_rank(), 4);
+  EXPECT_EQ(a.size(), 4);
+  EXPECT_NE(&a, &world.shm_group(4, 0));
+  // Distinct geometry over the same ranks is a distinct segment.
+  EXPECT_NE(static_cast<void*>(&a), static_cast<void*>(&world.shm_group(8, 0)));
+}
+
+TEST(ShmGroup, FanInFanOutRoundTripsAcrossRounds) {
+  // Counters are monotonic and never reset: several back-to-back exchanges
+  // on one segment must each see exactly the data published for that round.
+  constexpr int kSize = 4;
+  constexpr int kRounds = 5;
+  World world(kSize);
+  ShmGroup& grp = world.shm_group(kSize, 0);
+
+  std::vector<std::thread> threads;
+  for (int r = 0; r < kSize; ++r) {
+    threads.emplace_back([&, r] {
+      std::vector<std::uint64_t> mine(8);
+      std::vector<std::uint64_t> result(8);
+      for (int round = 0; round < kRounds; ++round) {
+        for (std::size_t i = 0; i < mine.size(); ++i) {
+          mine[i] = static_cast<std::uint64_t>(1000 * round + 10 * r) + i;
+        }
+        const std::span<const std::byte> bytes{
+            reinterpret_cast<const std::byte*>(mine.data()),
+            mine.size() * sizeof(std::uint64_t)};
+        if (r == 0) {
+          result = mine;
+          for (int m = 1; m < kSize; ++m) {
+            const auto view = grp.await_publication(m, r);
+            ASSERT_EQ(view.size(), bytes.size());
+            for (std::size_t i = 0; i < result.size(); ++i) {
+              std::uint64_t v = 0;
+              std::memcpy(&v, view.data() + i * sizeof(v), sizeof(v));
+              result[i] += v;
+            }
+            grp.release_publication(m);
+          }
+          grp.leader_publish(
+              {reinterpret_cast<const std::byte*>(result.data()),
+               result.size() * sizeof(std::uint64_t)});
+          grp.await_leader_releases(r);
+        } else {
+          grp.publish(r, bytes);
+          grp.await_release(r, r);
+          const auto view = grp.await_leader(r, r);
+          ASSERT_EQ(view.size(), bytes.size());
+          std::memcpy(result.data(), view.data(), view.size());
+          grp.release_leader(r);
+        }
+        // Every rank checks the reduced value for its round.
+        for (std::size_t i = 0; i < result.size(); ++i) {
+          std::uint64_t want = 0;
+          for (int m = 0; m < kSize; ++m) {
+            want += static_cast<std::uint64_t>(1000 * round + 10 * m) + i;
+          }
+          ASSERT_EQ(result[i], want) << "round " << round << " rank " << r;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+TEST(ShmGroupStress, ManyRoundsTwoGroupsStayOrdered) {
+  // The TSan target: two independent groups hammer publish/await/release
+  // cycles back to back. Any missing release/acquire edge on the counters
+  // (which guard the plain ptr/len fields and the payloads) shows up as a
+  // data race or a cross-round value leak.
+  constexpr int kGroup = 3;
+  constexpr int kGroups = 2;
+  constexpr int kRanks = kGroup * kGroups;
+#if defined(__SANITIZE_THREAD__)
+  constexpr int kRounds = 60;  // GCC TSan
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+  constexpr int kRounds = 60;  // Clang TSan
+#else
+  constexpr int kRounds = 400;
+#endif
+#else
+  constexpr int kRounds = 400;
+#endif
+  World world(kRanks);
+
+  std::vector<std::thread> threads;
+  for (int rank = 0; rank < kRanks; ++rank) {
+    threads.emplace_back([&, rank] {
+      const int group = rank / kGroup;
+      const int member = rank % kGroup;
+      ShmGroup& grp = world.shm_group(kGroup, group);
+      std::uint64_t mine = 0;
+      std::uint64_t out = 0;
+      for (int round = 0; round < kRounds; ++round) {
+        mine = static_cast<std::uint64_t>(round) * 100 +
+               static_cast<std::uint64_t>(rank);
+        const std::span<const std::byte> bytes{
+            reinterpret_cast<const std::byte*>(&mine), sizeof(mine)};
+        if (member == 0) {
+          out = mine;
+          for (int m = 1; m < kGroup; ++m) {
+            const auto view = grp.await_publication(m, rank);
+            std::uint64_t v = 0;
+            std::memcpy(&v, view.data(), sizeof(v));
+            out += v;
+            grp.release_publication(m);
+          }
+          grp.leader_publish({reinterpret_cast<const std::byte*>(&out),
+                              sizeof(out)});
+          grp.await_leader_releases(rank);
+        } else {
+          grp.publish(member, bytes);
+          grp.await_release(member, rank);
+          const auto view = grp.await_leader(member, rank);
+          std::memcpy(&out, view.data(), sizeof(out));
+          grp.release_leader(member);
+        }
+        std::uint64_t want = 0;
+        for (int m = 0; m < kGroup; ++m) {
+          want += static_cast<std::uint64_t>(round) * 100 +
+                  static_cast<std::uint64_t>(group * kGroup + m);
+        }
+        ASSERT_EQ(out, want) << "round " << round << " rank " << rank;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+TEST(ShmGroupFault, AbortWakesBlockedWaiter) {
+  WorldOptions options;
+  options.recv_timeout = std::chrono::seconds(30);
+  World world(2, options);
+  ShmGroup& grp = world.shm_group(2, 0);
+
+  const auto start = steady_clock::now();
+  std::thread poisoner([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    world.abort(1, "member died mid-phase");
+  });
+  try {
+    grp.await_publication(1, 0);  // member never publishes
+    FAIL() << "await_publication returned without a publication";
+  } catch (const FaultError& e) {
+    EXPECT_EQ(e.kind(), FaultKind::kAborted);
+  }
+  poisoner.join();
+  // Fail-fast: nowhere near the 30 s receive deadline.
+  EXPECT_LT(steady_clock::now() - start, std::chrono::seconds(10));
+}
+
+TEST(ShmGroupFault, DeadlineSurfacesAsTypedTimeout) {
+  WorldOptions options;
+  options.recv_timeout = std::chrono::milliseconds(100);
+  World world(2, options);
+  ShmGroup& grp = world.shm_group(2, 0);
+  try {
+    grp.await_publication(1, 0);
+    FAIL() << "await_publication returned without a publication";
+  } catch (const FaultError& e) {
+    EXPECT_EQ(e.kind(), FaultKind::kTimeout);
+    EXPECT_EQ(e.rank(), 0);
+  }
+}
+
+// ---- chaos: crashes inside hierarchical runs ----------------------------
+//
+// A rank that dies while its group is mid-exchange must poison the World and
+// wake every peer parked on a shared-segment flag. The acceptable outcomes
+// per seed are exactly two: bit-correct results, or a typed FaultError —
+// never a hang, never a wrong answer.
+
+constexpr int kChaosRanks = 8;
+
+class ShmGroupCrashChaos : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ShmGroupCrashChaos, CrashedRankSurfacesAsCleanFaultError) {
+  const std::uint64_t seed = GetParam();
+  const core::CollOp ops[] = {core::CollOp::kBcast, core::CollOp::kReduce,
+                              core::CollOp::kAllreduce,
+                              core::CollOp::kAllgather};
+  core::CollParams params;
+  params.op = ops[seed % 4];
+  params.p = kChaosRanks;
+  params.root = static_cast<int>(seed / 4) % kChaosRanks;
+  params.count = params.op == core::CollOp::kAllgather ? 64 : 61;
+  params.elem_size = 4;
+  params.k = 2;
+
+  core::HierSpec spec;
+  spec.group_size = (seed % 2) != 0 ? 4 : 2;
+  // K-nomial is the one inter kernel supporting all four composed ops.
+  spec.inter_alg = core::Algorithm::kKnomial;
+  spec.inter_k = 2;
+  ASSERT_TRUE(core::supports_hierarchical(spec, params));
+  const core::Schedule sched = core::build_hierarchical_schedule(spec, params);
+
+  fault::FaultPlan plan;
+  plan.seed = seed;
+  // Kill one rank at its first transport operation. Leaders always reach
+  // one; a pure-intra member may never, in which case the run completes —
+  // also a legal outcome below.
+  plan.crashes.push_back({static_cast<int>(seed % kChaosRanks), 0});
+
+  const auto inputs = core::make_inputs(params, DataType::kInt32, seed);
+  const auto want =
+      core::reference_outputs(params, inputs, DataType::kInt32, ReduceOp::kSum);
+
+  core::ThreadedExecOptions options;
+  options.world.fault_plan = &plan;
+  options.world.recv_timeout = std::chrono::seconds(30);
+
+  const auto start = steady_clock::now();
+  try {
+    const auto got = core::execute_threaded(sched, inputs, DataType::kInt32,
+                                            ReduceOp::kSum, options);
+    for (int r = 0; r < params.p; ++r) {
+      if (!core::has_result(params, r)) continue;
+      const auto& g = got[static_cast<std::size_t>(r)];
+      const auto& w = want[static_cast<std::size_t>(r)];
+      for (const core::Seg& seg : core::result_segments(params, r)) {
+        ASSERT_TRUE(std::memcmp(g.data() + seg.off, w.data() + seg.off,
+                                seg.len) == 0)
+            << "seed " << seed << " rank " << r;
+      }
+    }
+  } catch (const FaultError& e) {
+    EXPECT_TRUE(e.kind() == FaultKind::kRankDeath ||
+                e.kind() == FaultKind::kAborted ||
+                e.kind() == FaultKind::kTimeout)
+        << "seed " << seed << " raised " << e.what();
+  }
+  // Abort poison reaches shared-segment waits: well inside the deadline.
+  EXPECT_LT(steady_clock::now() - start, std::chrono::seconds(15))
+      << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShmGroupCrashChaos,
+                         testing::Range<std::uint64_t>(0, 66));
+
+}  // namespace
+}  // namespace gencoll::runtime

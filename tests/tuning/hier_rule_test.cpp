@@ -1,0 +1,113 @@
+// The `hier <g> <shm|mailbox>` rule clause: save/load round-trips, lookup
+// surfacing group_size + intra transport, and strict rejection of every
+// malformed-clause shape (a truncated or misspelled clause silently parsed
+// as flat would make a tuned config lie about what it runs).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "tuning/selector.hpp"
+
+namespace gencoll::tuning {
+namespace {
+
+using core::Algorithm;
+using core::CollOp;
+
+TEST(HierRule, SaveLoadRoundTripsHierAndFlatRules) {
+  SelectionConfig config;
+  config.machine = "frontier";
+  config.nodes = 16;
+  config.ppn = 8;
+  config.add_rule({CollOp::kAllreduce, 0, 65536, Algorithm::kKnomial, 4});
+  config.add_rule({CollOp::kAllreduce, 65536, SIZE_MAX,
+                   Algorithm::kRecursiveMultiplying, 2, 8, HierIntra::kShm});
+  config.add_rule({CollOp::kBcast, 0, SIZE_MAX, Algorithm::kKring, 4, 4,
+                   HierIntra::kMailbox});
+
+  std::stringstream ss;
+  config.save(ss);
+  // The hier clause appears only on hierarchical rules.
+  const std::string text = ss.str();
+  EXPECT_NE(text.find("hier 8 shm"), std::string::npos) << text;
+  EXPECT_NE(text.find("hier 4 mailbox"), std::string::npos) << text;
+
+  const SelectionConfig loaded = SelectionConfig::load(ss);
+  ASSERT_EQ(loaded.rules().size(), 3u);
+  EXPECT_EQ(loaded.rules()[0].group_size, 1);
+  EXPECT_EQ(loaded.rules()[1].group_size, 8);
+  EXPECT_EQ(loaded.rules()[1].intra, HierIntra::kShm);
+  EXPECT_EQ(loaded.rules()[2].group_size, 4);
+  EXPECT_EQ(loaded.rules()[2].intra, HierIntra::kMailbox);
+  EXPECT_EQ(loaded.rules()[2].algorithm, Algorithm::kKring);
+
+  // Round-tripping again is byte-stable.
+  std::stringstream again;
+  loaded.save(again);
+  EXPECT_EQ(again.str(), text);
+}
+
+TEST(HierRule, LookupCarriesGroupSizeAndIntra) {
+  SelectionConfig config;
+  config.add_rule({CollOp::kAllreduce, 1024, SIZE_MAX,
+                   Algorithm::kRecursiveMultiplying, 2, 8, HierIntra::kShm});
+  const auto hit = config.lookup(CollOp::kAllreduce, 4096);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->algorithm, Algorithm::kRecursiveMultiplying);
+  EXPECT_EQ(hit->k, 2);
+  EXPECT_EQ(hit->group_size, 8);
+  EXPECT_EQ(hit->intra, HierIntra::kShm);
+  // Below the range: no rule; vendor fallback is always flat.
+  EXPECT_FALSE(config.lookup(CollOp::kAllreduce, 512).has_value());
+  EXPECT_EQ(config.choose(CollOp::kAllreduce, 64, 512).group_size, 1);
+}
+
+TEST(HierRule, IntraTransportNamesRoundTrip) {
+  EXPECT_STREQ(hier_intra_name(HierIntra::kShm), "shm");
+  EXPECT_STREQ(hier_intra_name(HierIntra::kMailbox), "mailbox");
+  EXPECT_EQ(parse_hier_intra("shm"), HierIntra::kShm);
+  EXPECT_EQ(parse_hier_intra("mailbox"), HierIntra::kMailbox);
+  EXPECT_FALSE(parse_hier_intra("sideband").has_value());
+}
+
+// Each malformed clause must fail the load with the offending line number,
+// never be swallowed as a flat rule.
+void expect_rejected(const std::string& rule_line, const std::string& why) {
+  std::stringstream ss;
+  ss << "# header comment\n" << rule_line << "\n";
+  try {
+    SelectionConfig::load(ss);
+    FAIL() << "accepted: " << rule_line;
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << why << ": " << e.what();
+  }
+}
+
+TEST(HierRule, MalformedClausesAreRejected) {
+  const std::string flat = "rule allreduce 0 inf recursive_multiplying 2";
+  expect_rejected(flat + " hier", "truncated: no g");
+  expect_rejected(flat + " hier 8", "truncated: no intra");
+  expect_rejected(flat + " hier 1 shm", "g below 2");
+  expect_rejected(flat + " hier 0 shm", "g zero");
+  expect_rejected(flat + " hier 8 rdma", "unknown intra transport");
+  expect_rejected(flat + " tier 8 shm", "unknown clause word");
+  expect_rejected(flat + " hier 8 shm extra", "trailing token");
+  // And the clause does not rescue an otherwise-broken rule.
+  expect_rejected("rule allreduce 0 inf no_such_alg 2 hier 8 shm",
+                  "unknown algorithm");
+}
+
+TEST(HierRule, WellFormedClauseStillLoadsAfterRejections) {
+  std::stringstream ss;
+  ss << "rule allgather 0 inf kring 4 hier 2 mailbox\n";
+  const SelectionConfig config = SelectionConfig::load(ss);
+  ASSERT_EQ(config.rules().size(), 1u);
+  EXPECT_EQ(config.rules()[0].group_size, 2);
+  EXPECT_EQ(config.rules()[0].intra, HierIntra::kMailbox);
+}
+
+}  // namespace
+}  // namespace gencoll::tuning

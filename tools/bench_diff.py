@@ -3,18 +3,31 @@
 
 Usage:
     tools/bench_diff.py BASELINE.json CURRENT.json [--tolerance 0.25]
+        [--metric ns_per_op --metric allocs_per_op]
+        [--require hier_speedup_vs_flat=2.0]
 
 Prints a per-configuration table (ns/op baseline vs current, ratio,
-allocs/op, verdict) and exits nonzero when any configuration regresses:
+allocs/op, verdict) and exits nonzero when any configuration regresses on a
+gated metric:
 
-  * ns_per_op more than ``--tolerance`` (default 25%) slower than baseline
-  * allocs_per_op differs from baseline at all (the pool either recycles in
-    steady state or it does not — there is no tolerance band)
+  * ``ns_per_op`` (and any other ratio metric listed via ``--metric``) more
+    than ``--tolerance`` (default 25%) slower than baseline
+  * ``allocs_per_op`` differs from baseline at all (the pool either recycles
+    in steady state or it does not — there is no tolerance band)
 
-Configurations present in only one file are reported and treated as a
-failure (a silently dropped config must not pass the gate). Faster-than-
-baseline results never fail; refresh the baseline when they persist (see
-.github/workflows/ci.yml, job bench-gate).
+Only metrics named by ``--metric`` (default: ns_per_op, allocs_per_op) are
+gated; any other per-config keys are informational and never fail the gate,
+so a bench run may grow new measurement fields without a lockstep baseline
+refresh. A config present only in the current run is reported as NEW with
+its metric values — new rows (e.g. freshly added hierarchical configs) pass
+until the baseline is refreshed to include them. A config present only in
+the baseline is a failure (a silently dropped config must not pass the
+gate). Faster-than-baseline results never fail; refresh the baseline when
+they persist (see .github/workflows/ci.yml, job bench-gate).
+
+``--require NAME=MIN`` (repeatable) gates a top-level summary field of the
+current run, e.g. ``--require hier_speedup_vs_flat=2.0`` enforces the
+hierarchical-vs-flat speedup floor; a missing field fails.
 
 Stdlib only — CI calls this directly with the system python3.
 """
@@ -27,7 +40,7 @@ import sys
 def load(path):
     with open(path, "r", encoding="utf-8") as f:
         doc = json.load(f)
-    return {c["name"]: c for c in doc.get("configs", [])}
+    return doc, {c["name"]: c for c in doc.get("configs", [])}
 
 
 def fmt_ns(ns):
@@ -38,6 +51,18 @@ def fmt_ns(ns):
     return f"{ns:.0f} ns"
 
 
+def parse_require(text):
+    name, sep, minimum = text.partition("=")
+    if not sep or not name:
+        raise argparse.ArgumentTypeError(
+            f"--require wants NAME=MIN, got {text!r}")
+    try:
+        return name, float(minimum)
+    except ValueError as e:
+        raise argparse.ArgumentTypeError(
+            f"--require {text!r}: bad minimum: {e}") from e
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("baseline")
@@ -46,35 +71,69 @@ def main():
         "--tolerance",
         type=float,
         default=0.25,
-        help="allowed fractional ns/op slowdown vs baseline (default 0.25)",
+        help="allowed fractional slowdown vs baseline on ratio metrics "
+             "(default 0.25)",
+    )
+    ap.add_argument(
+        "--metric",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="per-config metric to gate (repeatable; default: ns_per_op and "
+             "allocs_per_op). allocs_per_op must match exactly; every other "
+             "metric is gated by --tolerance as a ratio",
+    )
+    ap.add_argument(
+        "--require",
+        action="append",
+        type=parse_require,
+        default=[],
+        metavar="NAME=MIN",
+        help="require a top-level field of the current run to be >= MIN "
+             "(repeatable), e.g. hier_speedup_vs_flat=2.0",
     )
     args = ap.parse_args()
+    metrics = args.metric or ["ns_per_op", "allocs_per_op"]
 
-    base = load(args.baseline)
-    cur = load(args.current)
+    _, base = load(args.baseline)
+    cur_doc, cur = load(args.current)
 
     rows = []
     failures = []
+    new_configs = []
     for name in sorted(set(base) | set(cur)):
         b, c = base.get(name), cur.get(name)
-        if b is None or c is None:
-            failures.append(f"{name}: present only in "
-                            f"{'current' if b is None else 'baseline'}")
+        if b is None:
+            new_configs.append(name)
+            deltas = ", ".join(
+                f"{m}={c[m]:.0f}" for m in metrics if m in c)
+            print(f"NEW {name}: {deltas} (no baseline; gated after refresh)")
             continue
-        ratio = c["ns_per_op"] / b["ns_per_op"] if b["ns_per_op"] else float("inf")
+        if c is None:
+            failures.append(f"{name}: present only in baseline")
+            continue
+        ratio = 1.0
         verdict = "ok"
-        if ratio > 1.0 + args.tolerance:
-            verdict = "SLOWER"
-            failures.append(
-                f"{name}: {fmt_ns(c['ns_per_op'])} vs {fmt_ns(b['ns_per_op'])} "
-                f"baseline ({ratio:.2f}x > {1.0 + args.tolerance:.2f}x allowed)")
-        if round(c["allocs_per_op"]) != round(b["allocs_per_op"]):
-            verdict = "ALLOCS"
-            failures.append(
-                f"{name}: allocs/op {c['allocs_per_op']:.0f} != "
-                f"baseline {b['allocs_per_op']:.0f} (exact match required)")
-        rows.append((name, b["ns_per_op"], c["ns_per_op"], ratio,
-                     c["allocs_per_op"], verdict))
+        for m in metrics:
+            if m not in b or m not in c:
+                continue  # informational key absent on one side: not gated
+            if m == "allocs_per_op":
+                if round(c[m]) != round(b[m]):
+                    verdict = "ALLOCS"
+                    failures.append(
+                        f"{name}: allocs/op {c[m]:.0f} != "
+                        f"baseline {b[m]:.0f} (exact match required)")
+                continue
+            r = c[m] / b[m] if b[m] else float("inf")
+            if m == "ns_per_op":
+                ratio = r
+            if r > 1.0 + args.tolerance:
+                verdict = "SLOWER"
+                failures.append(
+                    f"{name}: {m} {c[m]:.0f} vs {b[m]:.0f} baseline "
+                    f"({r:.2f}x > {1.0 + args.tolerance:.2f}x allowed)")
+        rows.append((name, b.get("ns_per_op", 0.0), c.get("ns_per_op", 0.0),
+                     ratio, c.get("allocs_per_op", 0.0), verdict))
 
     name_w = max((len(r[0]) for r in rows), default=4)
     header = (f"{'config':<{name_w}}  {'baseline':>10}  {'current':>10}  "
@@ -85,13 +144,24 @@ def main():
         print(f"{name:<{name_w}}  {fmt_ns(b_ns):>10}  {fmt_ns(c_ns):>10}  "
               f"{ratio:>5.2f}x  {allocs:>6.0f}  {verdict}")
 
+    for field, minimum in args.require:
+        value = cur_doc.get(field)
+        if value is None:
+            failures.append(f"--require {field}: not present in current run")
+        elif float(value) < minimum:
+            failures.append(
+                f"--require {field}: {float(value):.3f} < {minimum:.3f}")
+        else:
+            print(f"require {field}: {float(value):.3f} >= {minimum:.3f} ok")
+
     if failures:
         print(f"\n{len(failures)} regression(s):", file=sys.stderr)
         for f in failures:
             print(f"  {f}", file=sys.stderr)
         return 1
-    print(f"\nall {len(rows)} configs within tolerance "
-          f"(+{args.tolerance:.0%} ns/op, allocs exact)")
+    note = f", {len(new_configs)} new" if new_configs else ""
+    print(f"\nall {len(rows)} gated configs within tolerance "
+          f"(+{args.tolerance:.0%} on ratio metrics, allocs exact{note})")
     return 0
 
 

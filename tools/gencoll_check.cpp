@@ -15,6 +15,7 @@
 #include "check/check.hpp"
 #include "core/algorithms.hpp"
 #include "core/coll_params.hpp"
+#include "core/hierarchy.hpp"
 #include "core/registry.hpp"
 #include "util/cli.hpp"
 
@@ -115,15 +116,8 @@ bool rooted(CollOp op) {
          op == CollOp::kGather || op == CollOp::kScatter;
 }
 
-void sweep_one(Algorithm alg, const CollParams& params, const CheckOptions& opts,
-               SweepTotals& totals) {
-  Schedule sched;
-  try {
-    sched = gencoll::core::build_schedule(alg, params);
-  } catch (const gencoll::core::UnsupportedParams&) {
-    ++totals.skipped;
-    return;
-  }
+void check_and_record(const Schedule& sched, Algorithm alg,
+                      const CheckOptions& opts, SweepTotals& totals) {
   const CheckReport report = gencoll::check::check_schedule(sched, alg, opts);
   ++totals.checked;
   totals.hazards.zero_copy_races += report.hazards.zero_copy_races;
@@ -134,6 +128,30 @@ void sweep_one(Algorithm alg, const CollParams& params, const CheckOptions& opts
     totals.failures.push_back(
         Failure{sched.name, sched.params.describe(), report.violations});
   }
+}
+
+void sweep_one(Algorithm alg, const CollParams& params, const CheckOptions& opts,
+               SweepTotals& totals) {
+  Schedule sched;
+  try {
+    sched = gencoll::core::build_schedule(alg, params);
+  } catch (const gencoll::core::UnsupportedParams&) {
+    ++totals.skipped;
+    return;
+  }
+  check_and_record(sched, alg, opts, totals);
+}
+
+void sweep_hier(const gencoll::core::HierSpec& spec, const CollParams& params,
+                const CheckOptions& opts, SweepTotals& totals) {
+  Schedule sched;
+  try {
+    sched = gencoll::core::build_hierarchical_schedule(spec, params);
+  } catch (const gencoll::core::UnsupportedParams&) {
+    ++totals.skipped;
+    return;
+  }
+  check_and_record(sched, spec.inter_alg, opts, totals);
 }
 
 int run_sweep(const gencoll::util::Cli& cli, const CheckOptions& opts) {
@@ -169,6 +187,46 @@ int run_sweep(const gencoll::util::Cli& cli, const CheckOptions& opts) {
             for (int root : roots) {
               params.root = root;
               sweep_one(alg, params, opts, totals);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Hierarchical compositions (core/hierarchy.hpp): shared-segment intra
+  // phases spliced with each offset-preserving generalized kernel over the
+  // p/g leaders. Proving the composed flat IR checks both the splice
+  // transform and the hierarchical closed forms (conformance dispatches on
+  // Schedule::hier).
+  const CollOp hier_ops[] = {CollOp::kBcast, CollOp::kReduce,
+                             CollOp::kAllreduce, CollOp::kAllgather};
+  const Algorithm hier_algs[] = {Algorithm::kKnomial,
+                                 Algorithm::kRecursiveMultiplying,
+                                 Algorithm::kKring};
+  for (CollOp op : hier_ops) {
+    for (Algorithm alg : hier_algs) {
+      for (int p : pset) {
+        for (int g : {2, 4, 8}) {
+          if (p % g != 0 || p / g < 2) continue;
+          for (int k : gencoll::core::candidate_radixes(op, alg, p / g)) {
+            for (std::size_t count : sweep_counts(p, user_counts)) {
+              CollParams params;
+              params.op = op;
+              params.p = p;
+              params.count = count;
+              params.elem_size = elem;
+              params.k = k;
+              gencoll::core::HierSpec spec;
+              spec.group_size = g;
+              spec.inter_alg = alg;
+              spec.inter_k = k;
+              std::vector<int> roots{0};
+              if (rooted(op) && p > 1) roots.push_back(p - 1);
+              for (int root : roots) {
+                params.root = root;
+                sweep_hier(spec, params, opts, totals);
+              }
             }
           }
         }
@@ -231,6 +289,10 @@ int main(int argc, char** argv) {
   cli.add_flag("count", "element count", "64");
   cli.add_flag("elem", "element size in bytes", "4");
   cli.add_flag("root", "root rank for rooted ops", "0");
+  cli.add_flag("hier-g",
+               "single-config mode: compose hierarchically with this group "
+               "size, --alg as the inter-group kernel (0 = flat)",
+               "0");
   cli.add_flag("pmax", "sweep: largest process count", "64");
   cli.add_flag("pset", "sweep: explicit comma-separated process counts", "");
   cli.add_flag("counts", "sweep: explicit comma-separated element counts", "");
@@ -271,7 +333,16 @@ int main(int argc, char** argv) {
 
   Schedule sched;
   try {
-    sched = gencoll::core::build_schedule(*alg, params);
+    const int hier_g = static_cast<int>(cli.get_int("hier-g").value_or(0));
+    if (hier_g > 1) {
+      gencoll::core::HierSpec spec;
+      spec.group_size = hier_g;
+      spec.inter_alg = *alg;
+      spec.inter_k = params.k;
+      sched = gencoll::core::build_hierarchical_schedule(spec, params);
+    } else {
+      sched = gencoll::core::build_schedule(*alg, params);
+    }
   } catch (const std::exception& e) {
     std::cerr << "build_schedule: " << e.what() << "\n";
     return 2;
