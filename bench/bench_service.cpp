@@ -1,0 +1,151 @@
+// bench_service — deterministic soak of the online collective service.
+//
+// Drives src/service/: three tenants (ML-training, stencil, query-fanout)
+// issue mixed collectives over one simulated machine while the bandit
+// selector refines (algorithm, k, g, intra) per (op, size-class, tenant)
+// key. Midway through (--degrade-at) the fabric degrades — inter links get
+// slower and NIC ports drop — and the selector must notice through its own
+// shift detector and re-converge, closing the loop bench_degraded measures
+// statically.
+//
+// Output (--json) is bench_gate-compatible: an empty "configs" array plus
+// top-level summary fields, so CI gates the run with tools/bench_diff.py:
+//   bench_diff.py - service.json --require-max regret_healthy_final=1.15
+//                                 --require-max regret_degraded_final=1.25
+// Regret is sum(chosen)/sum(oracle) over the window, both sides jitter-free
+// (service.hpp) — 1.0 is a perfect selector; the oracle re-sweeps the arm
+// space after the degradation flip.
+//
+// Fully deterministic for a fixed --seed: same workload, same jitter, same
+// decisions, same JSON (bit-for-bit).
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "netsim/machine.hpp"
+#include "service/service.hpp"
+#include "tuning/autotune.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace gencoll;
+
+service::ServiceOptions build_options(const util::Cli& cli) {
+  service::ServiceOptions opts;
+  const int nodes = static_cast<int>(cli.get_int("nodes").value_or(4));
+  const int ppn = static_cast<int>(cli.get_int("ppn").value_or(4));
+  auto machine = netsim::machine_by_name(cli.get("machine"), nodes, ppn);
+  if (!machine) {
+    throw std::invalid_argument("unknown --machine (frontier|polaris|generic)");
+  }
+  opts.machine = *machine;
+  opts.seed = static_cast<std::uint64_t>(cli.get_int("seed").value_or(42));
+  opts.requests = static_cast<std::size_t>(cli.get_int("requests").value_or(8000));
+  opts.regret_window =
+      static_cast<std::size_t>(cli.get_int("window").value_or(500));
+  opts.sim_jitter = cli.get_double("jitter").value_or(0.08);
+  opts.degrade_at = cli.get_double("degrade-at").value_or(0.5);
+
+  // The mid-run fault: inter links 2.5x more latent / 1.8x less bandwidth
+  // and one NIC port down per node — enough to flip the best arm for the
+  // large size classes (more ports favored wider trees; now narrower wins).
+  opts.degradation.inter_alpha_factor = cli.get_double("alpha-factor").value_or(2.5);
+  opts.degradation.inter_beta_factor = cli.get_double("beta-factor").value_or(1.8);
+  opts.degradation.down_ports = static_cast<int>(cli.get_int("down-ports").value_or(1));
+  opts.degradation.seed = opts.seed + 1;
+
+  opts.selector.seed = opts.seed;
+  opts.workload.seed = opts.seed;
+  return opts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli;
+  cli.add_flag("machine", "machine model: frontier|polaris|generic", "frontier");
+  cli.add_flag("nodes", "node count", "4");
+  cli.add_flag("ppn", "ranks per node", "4");
+  cli.add_flag("seed", "workload/selector/jitter master seed", "42");
+  cli.add_flag("requests", "soak length in requests", "8000");
+  cli.add_flag("window", "requests per regret window", "500");
+  cli.add_flag("jitter", "observation latency jitter fraction", "0.08");
+  cli.add_flag("degrade-at", "run fraction at which the fabric degrades; -1 = never",
+               "0.5");
+  cli.add_flag("alpha-factor", "degraded inter-link alpha multiplier", "2.5");
+  cli.add_flag("beta-factor", "degraded inter-link beta multiplier", "1.8");
+  cli.add_flag("down-ports", "NIC ports failed per node at the flip", "1");
+  cli.add_flag("prior", "autotune a prior selection config first (slower start "
+                        "but converged from request one)", "");
+  cli.add_flag("json", "write the bench_gate-style JSON report here", "");
+  cli.add_flag("rules-out", "write the learned selection rules here", "");
+  if (!cli.parse(argc, argv)) {
+    std::cerr << cli.error() << "\n" << cli.usage(argv[0]);
+    return 2;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.usage(argv[0]);
+    return 0;
+  }
+
+  service::ServiceOptions opts = build_options(cli);
+  if (cli.get_bool("prior")) {
+    // Offline-autotuned rules as priors: the soak then measures pure
+    // *tracking* regret rather than cold-start learning.
+    opts.selector.priors =
+        tuning::autotune_all(opts.machine, tuning::AutotuneOptions{}).config;
+  }
+
+  service::Service svc(opts);
+  service::ServiceReport report = svc.run();
+
+  std::printf("bench_service: %s %dx%d, %zu requests, seed %llu\n",
+              opts.machine.name.c_str(), opts.machine.nodes, opts.machine.ppn,
+              report.requests,
+              static_cast<unsigned long long>(opts.seed));
+  std::printf("  keys %zu, decisions %llu, arm switches %llu, shifts %llu\n",
+              report.keys, static_cast<unsigned long long>(report.decisions),
+              static_cast<unsigned long long>(report.arm_switches),
+              static_cast<unsigned long long>(report.shifts_detected));
+  std::printf("  regret: total %.3f, healthy final %.3f, degraded final %.3f\n",
+              report.regret_total, report.regret_healthy_final,
+              report.regret_degraded_final);
+
+  util::Table windows({"upto", "regret", "state"});
+  for (const service::RegretPoint& point : report.windows) {
+    windows.add_row({std::to_string(point.upto),
+                     util::fmt(point.regret),
+                     point.degraded ? "degraded" : "healthy"});
+  }
+  windows.print(std::cout);
+
+  util::Table tenants({"tenant", "mix", "requests", "mean_us", "p50_us", "p99_us"});
+  for (const service::TenantReport& t : report.tenants) {
+    tenants.add_row({std::to_string(t.tenant), t.mix, std::to_string(t.requests),
+                     util::fmt(t.mean_us), util::fmt(t.p50_us),
+                     util::fmt(t.p99_us)});
+  }
+  tenants.print(std::cout);
+
+  const std::string json_path = cli.get("json");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "cannot write " << json_path << "\n";
+      return 1;
+    }
+    out << report.to_json("bench_service");
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  const std::string rules_path = cli.get("rules-out");
+  if (!rules_path.empty()) {
+    report.learned.save_file(rules_path);
+    std::printf("wrote %zu learned rules to %s\n", report.learned.rules().size(),
+                rules_path.c_str());
+  }
+  return 0;
+}

@@ -1,19 +1,28 @@
 #include "api/gencoll.hpp"
 
-#include <cstdlib>
+#include <chrono>
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "service/bandit.hpp"
+#include "util/env.hpp"
 
 namespace gencoll {
 
 namespace {
 
+double wallclock_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 int env_group_size() {
-  const char* text = std::getenv("GENCOLL_GROUP_SIZE");
-  if (text == nullptr) return 0;
-  const int g = std::atoi(text);
-  return g >= 2 ? g : 0;
+  // 0 and 1 both mean "flat"; anything malformed warns once (util/env) and
+  // falls back to disabled.
+  const auto g = util::env_int("GENCOLL_GROUP_SIZE", 0, 0, 1 << 20);
+  return g >= 2 ? static_cast<int>(g) : 0;
 }
 
 }  // namespace
@@ -39,10 +48,37 @@ tuning::AlgorithmChoice Collectives::resolve(CollOp op, std::size_t nbytes,
   return choice;
 }
 
+void Collectives::use_online_selection(service::OnlineSelector* selector,
+                                       int tenant) {
+  online_ = selector;
+  online_tenant_ = tenant;
+  pending_.reset();
+  online_rounds_.clear();
+}
+
 const core::Schedule& Collectives::schedule_for(CollOp op, std::size_t count,
                                                 std::size_t elem_size, int root,
                                                 const AlgSpec& spec) {
-  const tuning::AlgorithmChoice choice = resolve(op, count * elem_size, spec);
+  tuning::AlgorithmChoice choice;
+  // Per-call overrides beat online mode: the tuning experiments must be able
+  // to pin an algorithm even on a communicator running adaptively.
+  if (online_ != nullptr && !spec.algorithm && !spec.k && !spec.group_size) {
+    // Round-synchronized decision: all ranks present the same per-key round
+    // counter, so the shared selector hands every rank the same arm — a
+    // per-rank epsilon draw could otherwise split the communicator across
+    // two different schedules and deadlock the exchange.
+    const service::ArmKey akey{op, service::size_class(count * elem_size),
+                               online_tenant_};
+    const std::uint64_t round = online_rounds_[{op, akey.size_class}]++;
+    choice = service::choice_of(
+        online_->choose_at(akey, op, count, elem_size, round, wallclock_us()));
+    // The reward is charged to the *chosen* arm even when an unsupported
+    // choice falls through to a fallback schedule below — the arm honestly
+    // earns whatever latency asking for it produced.
+    pending_ = PendingReward{op, count, elem_size, choice, round};
+  } else {
+    choice = resolve(op, count * elem_size, spec);
+  }
 
   core::CollParams params;
   params.op = op;
@@ -109,11 +145,22 @@ const core::Schedule& Collectives::cached_build_hier(const core::HierSpec& hspec
 
 void Collectives::execute(const core::Schedule& sched, std::span<const std::byte> input,
                           std::span<std::byte> output, DataType type, ReduceOp op) {
+  const bool feed_online = online_ != nullptr && pending_.has_value();
+  const double begin_us = feed_online ? wallclock_us() : 0.0;
   if (sched.hier) {
     core::execute_hierarchical(sched, comm_, input, output, type, op, sink_);
-    return;
+  } else {
+    core::execute_rank_program(sched, comm_, input, output, type, op, sink_);
   }
-  core::execute_rank_program(sched, comm_, input, output, type, op, sink_);
+  if (feed_online) {
+    const service::ArmKey akey{
+        pending_->op,
+        service::size_class(pending_->count * pending_->elem_size),
+        online_tenant_};
+    online_->record_at(akey, pending_->round, service::arm_of(pending_->choice),
+                       wallclock_us() - begin_us, comm_.size());
+    pending_.reset();
+  }
 }
 
 void Collectives::bcast(std::span<std::byte> buf, int root, const AlgSpec& spec) {

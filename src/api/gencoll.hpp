@@ -16,8 +16,10 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <map>
+#include <utility>
 #include <memory>
 #include <optional>
 #include <span>
@@ -37,6 +39,10 @@
 #include "tuning/selector.hpp"
 
 namespace gencoll {
+
+namespace service {
+class OnlineSelector;  // service/bandit.hpp
+}
 
 using runtime::DataType;
 using runtime::ReduceOp;
@@ -145,6 +151,21 @@ class Collectives {
   void set_trace_sink(obs::TraceSink* sink) { sink_ = sink; }
   [[nodiscard]] obs::TraceSink* trace_sink() const { return sink_; }
 
+  /// Opt-in online adaptive selection (service/bandit.hpp): subsequent
+  /// collectives without a per-call override ask `selector` for the
+  /// (algorithm, k, g, intra) arm and feed the measured wall-clock latency
+  /// back as the reward. The selector is shared — pass the same instance on
+  /// every rank (it is internally locked); `tenant` keys this communicator's
+  /// statistics (use the rank's job/tenant id, or leave 0). The config rules
+  /// keep acting as the selector's priors only if they were passed to the
+  /// selector's constructor; the local config is bypassed while online mode
+  /// is on. nullptr switches back to static selection. Not owned; must
+  /// outlive the collectives issued under it.
+  void use_online_selection(service::OnlineSelector* selector, int tenant = 0);
+  [[nodiscard]] service::OnlineSelector* online_selector() const {
+    return online_;
+  }
+
  private:
   const core::Schedule& schedule_for(CollOp op, std::size_t count,
                                      std::size_t elem_size, int root,
@@ -161,6 +182,23 @@ class Collectives {
   obs::TraceSink* sink_ = nullptr;
   int env_group_size_ = 0;  ///< GENCOLL_GROUP_SIZE; 0 = unset
   std::map<std::string, std::unique_ptr<core::Schedule>> cache_;
+  // Online selection state: the decision taken in schedule_for, awaiting its
+  // wall-clock reward from the execute() that immediately follows (one rank
+  // == one thread, so a single pending slot suffices).
+  service::OnlineSelector* online_ = nullptr;
+  int online_tenant_ = 0;
+  struct PendingReward {
+    CollOp op;
+    std::size_t count;
+    std::size_t elem_size;
+    tuning::AlgorithmChoice choice;
+    std::uint64_t round;
+  };
+  std::optional<PendingReward> pending_;
+  /// Per-(op, size-class) round counters: every rank issues the same
+  /// collective sequence, so equal counters index the same synchronized
+  /// decision in the shared selector (service::OnlineSelector::choose_at).
+  std::map<std::pair<CollOp, int>, std::uint64_t> online_rounds_;
 };
 
 /// Spawn `ranks` threads, each wrapped in a Collectives over a fresh World.

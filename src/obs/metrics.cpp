@@ -100,6 +100,8 @@ CollectiveMetrics collect_metrics(const TraceRecorder& recorder) {
         case InstantKind::kRetransmit: ++m.retransmits; break;
         case InstantKind::kCorruptDetected: ++m.corruptions_detected; break;
         case InstantKind::kAbort: ++m.aborts; break;
+        case InstantKind::kSelection: ++m.selections; break;
+        case InstantKind::kArmSwitch: ++m.arm_switches; break;
         case InstantKind::kMessagePost:
         case InstantKind::kMessageMatch:
           break;
@@ -128,6 +130,8 @@ util::Table metrics_summary_table(const CollectiveMetrics& m) {
   t.add_row({"retransmits", std::to_string(m.retransmits)});
   t.add_row({"corruptions detected", std::to_string(m.corruptions_detected)});
   t.add_row({"aborts", std::to_string(m.aborts)});
+  t.add_row({"selections / arm switches",
+             std::to_string(m.selections) + " / " + std::to_string(m.arm_switches)});
   t.add_row({"makespan (us)", util::fmt(m.makespan_us)});
   return t;
 }

@@ -54,6 +54,11 @@ struct CollectiveMetrics {
   std::size_t retransmits = 0;
   std::size_t corruptions_detected = 0;
   std::size_t aborts = 0;
+  // Online-selection events (src/service/ streams; zero for executor-only
+  // streams). selections counts decision instants, arm_switches the subset
+  // where the committed arm changed for its (op, size-class, tenant) key.
+  std::size_t selections = 0;
+  std::size_t arm_switches = 0;
   std::vector<RankBreakdown> per_rank;
 };
 

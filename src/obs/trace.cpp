@@ -22,6 +22,8 @@ const char* instant_kind_name(InstantKind kind) {
     case InstantKind::kRetransmit: return "Retransmit";
     case InstantKind::kCorruptDetected: return "CorruptDetected";
     case InstantKind::kAbort: return "Abort";
+    case InstantKind::kSelection: return "Selection";
+    case InstantKind::kArmSwitch: return "ArmSwitch";
   }
   return "?";
 }

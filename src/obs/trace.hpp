@@ -40,6 +40,13 @@ enum class InstantKind {
   kRetransmit,       ///< sender re-posted a message (lost/late/NACKed ack)
   kCorruptDetected,  ///< checksum mismatch detected; message discarded
   kAbort,            ///< this rank raised the World abort poison
+  // Online-selection events (src/service/): emitted at decision instants by
+  // the adaptive selection layer. `rank` carries the tenant id (the
+  // recorder's lanes are per-tenant for selection streams), `tag` the arm
+  // index within the decision's arm set, `bytes` the request payload.
+  kSelection,        ///< the selector committed an arm for one request
+  kArmSwitch,        ///< the committed arm differs from the previous one
+                     ///< for the same (op, size-class, tenant) key
 };
 
 /// Which fabric a message used. The simulator knows (machine topology); the

@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 #include <type_traits>
+
+#include "util/env.hpp"
 
 #if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
 #define GENCOLL_REDUCE_HAVE_AVX2 1
@@ -287,7 +288,7 @@ ReduceKernel avx2_kernel(ReduceOp op, DataType type) {
 ReduceBackend active_reduce_backend() {
 #if GENCOLL_REDUCE_HAVE_AVX2
   static const ReduceBackend backend = [] {
-    if (std::getenv("GENCOLL_NO_SIMD") != nullptr) return ReduceBackend::kScalar;
+    if (util::env_flag("GENCOLL_NO_SIMD")) return ReduceBackend::kScalar;
     return __builtin_cpu_supports("avx2") != 0 ? ReduceBackend::kAvx2
                                                : ReduceBackend::kScalar;
   }();

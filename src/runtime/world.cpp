@@ -1,12 +1,12 @@
 #include "runtime/world.hpp"
 
-#include <cstdlib>
 #include <exception>
 #include <stdexcept>
 #include <thread>
 
 #include "fault/error.hpp"
 #include "runtime/shm_group.hpp"
+#include "util/env.hpp"
 
 namespace gencoll::runtime {
 
@@ -16,12 +16,9 @@ namespace {
 /// Read once per World so tests can setenv() between Worlds.
 std::chrono::milliseconds resolve_recv_timeout(const WorldOptions& options) {
   if (options.recv_timeout) return *options.recv_timeout;
-  if (const char* env = std::getenv("GENCOLL_RECV_TIMEOUT_MS"); env != nullptr) {
-    char* end = nullptr;
-    const long ms = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && ms > 0) return std::chrono::milliseconds(ms);
-  }
-  return std::chrono::seconds(60);
+  constexpr std::int64_t kDefaultMs = 60 * 1000;
+  return std::chrono::milliseconds(
+      util::env_int("GENCOLL_RECV_TIMEOUT_MS", kDefaultMs, 1, INT64_MAX / 2));
 }
 
 }  // namespace

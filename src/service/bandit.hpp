@@ -1,0 +1,188 @@
+// OnlineSelector: bandit-refined collective selection under live traffic.
+//
+// Each (collective, size-class, tenant) key owns an independent arm set
+// (arms.hpp) with exponentially-decayed latency statistics. Decisions are
+// bounded epsilon-greedy over a confidence-discounted exploitation choice:
+//
+//   * explore  — with probability epsilon (decaying per key from epsilon0
+//                to epsilon_floor, never zero) pick a uniformly random arm,
+//                so the selector keeps probing alternatives forever at a
+//                bounded regret cost;
+//   * exploit  — otherwise pick the arm minimizing the optimism-discounted
+//                score  mean_us * (1 - ucb_c / sqrt(weight)),  a relative
+//                lower-confidence bound that needs no prior knowledge of
+//                the latency scale; arms never observed are skipped (the
+//                epsilon stream is what discovers them), so exploitation
+//                never pays a forced round-robin over the whole arm space.
+//
+// Priors: a tuned SelectionConfig seeds each key's starting arm — before
+// any feedback exists the exploit choice is the tuned rule's (algorithm, k,
+// g), so a freshly started service behaves exactly like the offline
+// autotuner until evidence says otherwise.
+//
+// Decay and re-adaptation: observation weights decay by stat_decay per
+// update (effective window ~1/(1-stat_decay) samples), so stale optima fade.
+// Additionally a fast/slow dual-EWMA over the exploit arm's observations
+// detects latency *shifts* (link degradation, healing): when the fast mean
+// departs from the slow mean by shift_factor in either direction, the key
+// re-enters exploration (epsilon resets to epsilon0) and historical weights
+// are aged hard — closing the loop bench_degraded left open: the selector
+// re-finds the new best arm without a restart.
+//
+// Thread safety: all public methods lock one internal mutex. The service
+// soak loop is single-threaded (fully deterministic given the seed); the
+// api path (Collectives::use_online_selection) calls from one thread per
+// rank, where cross-thread decision order — but never memory safety or
+// statistics integrity — depends on scheduling.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "service/arms.hpp"
+#include "tuning/selector.hpp"
+#include "util/rng.hpp"
+
+namespace gencoll::service {
+
+struct OnlineSelectorConfig {
+  std::uint64_t seed = 1;
+  double epsilon0 = 0.25;        ///< initial exploration probability per key
+  double epsilon_floor = 0.01;   ///< exploration never stops entirely
+  double epsilon_decay = 0.99;   ///< multiplicative, per decision on the key
+  double ucb_c = 0.1;            ///< optimism discount weight (relative LCB)
+  double stat_decay = 0.98;     ///< per-observation weight decay (~50 window)
+  double shift_factor = 1.7;    ///< fast/slow EWMA ratio that triggers re-adapt
+  int shift_min_obs = 8;        ///< exploit-arm observations before the
+                                ///< shift detector may fire
+  ArmSpaceOptions arms;
+  /// Tuned rules seeding each key's starting arm (may be empty).
+  tuning::SelectionConfig priors;
+};
+
+/// Decayed per-arm statistics (exposed for tests and reporting).
+struct ArmStats {
+  Arm arm;
+  double mean_us = 0.0;       ///< exponentially-weighted mean latency
+  double weight = 0.0;        ///< decayed effective observation count
+  std::uint64_t pulls = 0;    ///< undecayed pull count
+};
+
+class OnlineSelector {
+ public:
+  /// `p` is the communicator size arms are enumerated for.
+  OnlineSelector(OnlineSelectorConfig config, int p);
+
+  /// Decide the arm for one request. `now_us` timestamps the optional obs
+  /// instants (virtual time in the service, wallclock on the api path).
+  Arm choose(const ArmKey& key, core::CollOp op, std::size_t count,
+             std::size_t elem_size, double now_us);
+
+  /// Reward feedback: the observed latency of `arm` on `key`'s traffic.
+  void record(const ArmKey& key, const Arm& arm, double latency_us);
+
+  /// Round-synchronized decision for bulk-synchronous callers (the threaded
+  /// api path): all p ranks of a communicator issue the same collective
+  /// sequence, so they present the same per-key `round` index — the first
+  /// caller decides (exactly the choose() policy), the rest read the stored
+  /// arm. Without this, per-rank epsilon draws could hand different ranks
+  /// different schedules for one collective and deadlock the exchange.
+  Arm choose_at(const ArmKey& key, core::CollOp op, std::size_t count,
+                std::size_t elem_size, std::uint64_t round, double now_us);
+
+  /// Reward for a synchronized round: each of the `participants` ranks
+  /// reports its wall-clock latency; the round's reward — the max across
+  /// ranks, a collective finishes when its slowest rank does — feeds the
+  /// statistics exactly once, when the last participant reports.
+  void record_at(const ArmKey& key, std::uint64_t round, const Arm& arm,
+                 double latency_us, int participants);
+
+  /// Choice-level wrappers for the api layer (tuning::AlgorithmChoice in and
+  /// out; the key is derived from (op, payload bytes, tenant)).
+  tuning::AlgorithmChoice choose_choice(int tenant, core::CollOp op,
+                                        std::size_t count, std::size_t elem_size,
+                                        double now_us);
+  void record_choice(int tenant, core::CollOp op, std::size_t count,
+                     std::size_t elem_size, const tuning::AlgorithmChoice& choice,
+                     double latency_us);
+
+  /// Opt-in observability: kSelection/kArmSwitch instants per decision, on
+  /// lane `tenant`. Not owned; must outlive the selector's decisions.
+  void set_sink(obs::TraceSink* sink);
+
+  /// The arm exploitation would pick right now (prior arm before feedback
+  /// exists); nullopt for an unseen key.
+  [[nodiscard]] std::optional<Arm> best_arm(const ArmKey& key) const;
+
+  /// Statistics snapshot for one key (empty for unseen keys).
+  [[nodiscard]] std::vector<ArmStats> stats(const ArmKey& key) const;
+
+  [[nodiscard]] std::size_t keys() const;
+  [[nodiscard]] std::uint64_t decisions() const;
+  [[nodiscard]] std::uint64_t arm_switches() const;
+  [[nodiscard]] std::uint64_t shifts_detected() const;
+
+  /// Serialize the learned choices as selection rules: per (op, size-class),
+  /// arm statistics are aggregated across tenants by decayed weight and the
+  /// minimum-mean arm with weight >= min_weight becomes a rule covering the
+  /// class's byte range. The result round-trips through SelectionConfig's
+  /// file format, so a soak run's outcome can seed the next service start —
+  /// priors in, refined rules out.
+  [[nodiscard]] tuning::SelectionConfig export_rules(double min_weight = 2.0) const;
+
+ private:
+  struct KeyState {
+    std::vector<ArmStats> arms;
+    double epsilon = 0.0;
+    int last_arm = -1;    ///< last committed arm index (switch detection)
+    int prior_arm = -1;   ///< arm seeded from the prior config, -1 if none
+    std::uint64_t key_decisions = 0;
+    // Shift detector over the exploit arm's observation stream. The streams
+    // reset whenever the exploit arm changes (stream_arm tracks which arm
+    // they describe) — mixing two arms' latency regimes in one stream reads
+    // as a phantom shift.
+    int stream_arm = -1;
+    double fast_mean = 0.0, fast_weight = 0.0;
+    double slow_mean = 0.0, slow_weight = 0.0;
+  };
+
+  struct RoundState {
+    Arm arm;
+    bool decided = false;
+    int reports = 0;
+    double max_latency_us = 0.0;
+  };
+
+  KeyState& state_for(const ArmKey& key, core::CollOp op, std::size_t count,
+                      std::size_t elem_size);
+  [[nodiscard]] int exploit_index(const KeyState& state) const;
+  void detect_shift(KeyState& state);
+  /// choose() body; mu_ must be held.
+  Arm choose_locked(const ArmKey& key, core::CollOp op, std::size_t count,
+                    std::size_t elem_size, double now_us);
+  /// record() body; mu_ must be held.
+  void record_locked(const ArmKey& key, const Arm& arm, double latency_us);
+
+  OnlineSelectorConfig config_;
+  int p_;
+  mutable std::mutex mu_;
+  std::map<ArmKey, KeyState> keys_;
+  /// Open synchronized rounds (choose_at/record_at); entries retire when the
+  /// last participant reports, with a staleness sweep as the backstop for
+  /// rounds abandoned by a failing rank.
+  std::map<std::pair<ArmKey, std::uint64_t>, RoundState> rounds_;
+  util::SplitMix64 rng_;
+  obs::TraceSink* sink_ = nullptr;
+  std::uint64_t decisions_ = 0;
+  std::uint64_t arm_switches_ = 0;
+  std::uint64_t shifts_ = 0;
+};
+
+}  // namespace gencoll::service

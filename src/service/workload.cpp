@@ -1,0 +1,155 @@
+#include "service/workload.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gencoll::service {
+
+namespace {
+
+/// Exponential draw with unit mean (inverse CDF; u in [0,1)).
+double exp_draw(util::SplitMix64& rng) {
+  return -std::log(1.0 - rng.uniform());
+}
+
+/// Mean inter-arrival gap of a mix, in virtual microseconds.
+double mix_mean_gap_us(MixKind mix) {
+  switch (mix) {
+    case MixKind::kMlTraining: return 150.0;
+    case MixKind::kStencil: return 220.0;
+    case MixKind::kQueryFanout: return 90.0;  // amortized over bursts + idle
+  }
+  return 150.0;
+}
+
+}  // namespace
+
+const char* mix_name(MixKind mix) {
+  switch (mix) {
+    case MixKind::kMlTraining: return "ml-training";
+    case MixKind::kStencil: return "stencil";
+    case MixKind::kQueryFanout: return "query-fanout";
+  }
+  return "?";
+}
+
+const std::vector<MixPhase>& mix_phases(MixKind mix) {
+  // One payload shape per (op, size-class): the shapes below all land in
+  // distinct power-of-two byte buckets per op, so each bandit key maps to
+  // exactly one oracle sweep.
+  static const std::vector<MixPhase> ml = {
+      // Gradient bucket allreduce dominates the bytes.
+      {core::CollOp::kAllreduce, 65536, 4, 4.0},  // 256 KiB
+      // Scalar loss/grad-norm allreduce dominates the count.
+      {core::CollOp::kAllreduce, 64, 4, 5.0},     // 256 B
+      // Periodic parameter/metadata broadcast.
+      {core::CollOp::kBcast, 4096, 4, 1.0},       // 16 KiB
+  };
+  static const std::vector<MixPhase> stencil = {
+      // Halo exchange stand-in: medium allgather every tick.
+      {core::CollOp::kAllgather, 8192, 4, 5.0},   // 32 KiB total
+      // Convergence norm.
+      {core::CollOp::kReduce, 128, 4, 3.0},       // 512 B
+      // Occasional global checkpoint gather.
+      {core::CollOp::kGather, 16384, 4, 1.0},     // 64 KiB total
+  };
+  static const std::vector<MixPhase> query = {
+      // Request fanout.
+      {core::CollOp::kBcast, 256, 1, 5.0},        // 256 B
+      // Partial-result collection.
+      {core::CollOp::kGather, 1024, 4, 3.0},      // 4 KiB total
+      // Aggregated score reduction.
+      {core::CollOp::kReduce, 1024, 4, 2.0},      // 4 KiB
+  };
+  switch (mix) {
+    case MixKind::kMlTraining: return ml;
+    case MixKind::kStencil: return stencil;
+    case MixKind::kQueryFanout: return query;
+  }
+  return ml;
+}
+
+Workload::Workload(WorkloadOptions options) {
+  tenants_ = std::move(options.tenants);
+  if (tenants_.empty()) {
+    tenants_ = {
+        {0, MixKind::kMlTraining, 1.0},
+        {1, MixKind::kStencil, 1.0},
+        {2, MixKind::kQueryFanout, 1.0},
+    };
+  }
+  for (const TenantSpec& spec : tenants_) {
+    if (spec.tempo_scale <= 0.0) {
+      throw std::invalid_argument("workload: tempo_scale must be > 0");
+    }
+    TenantState state{
+        spec,
+        util::SplitMix64(options.seed * std::uint64_t{0x9E3779B97F4A7C15} +
+                         static_cast<std::uint64_t>(spec.tenant) + 1),
+        0.0, 0};
+    // Stagger first arrivals so tenants don't start in lockstep.
+    state.next_us = state.rng.uniform() * mix_mean_gap_us(spec.mix);
+    states_.push_back(state);
+  }
+}
+
+WorkloadRequest Workload::next() {
+  TenantState* earliest = &states_.front();
+  for (TenantState& state : states_) {
+    if (state.next_us < earliest->next_us ||
+        (state.next_us == earliest->next_us &&
+         state.spec.tenant < earliest->spec.tenant)) {
+      earliest = &state;
+    }
+  }
+  WorkloadRequest req = draw(*earliest);
+  schedule_next(*earliest);
+  return req;
+}
+
+WorkloadRequest Workload::draw(TenantState& state) {
+  const std::vector<MixPhase>& phases = mix_phases(state.spec.mix);
+  double total = 0.0;
+  for (const MixPhase& phase : phases) total += phase.weight;
+  double pick = state.rng.uniform() * total;
+  const MixPhase* chosen = &phases.back();
+  for (const MixPhase& phase : phases) {
+    if (pick < phase.weight) {
+      chosen = &phase;
+      break;
+    }
+    pick -= phase.weight;
+  }
+  return WorkloadRequest{state.spec.tenant, state.spec.mix, chosen->op,
+                         chosen->count,    chosen->elem_size,
+                         state.next_us};
+}
+
+void Workload::schedule_next(TenantState& state) {
+  const double mean = mix_mean_gap_us(state.spec.mix) * state.spec.tempo_scale;
+  double gap = mean;
+  switch (state.spec.mix) {
+    case MixKind::kMlTraining:
+      // Poisson arrivals: independent exponential gaps.
+      gap = mean * exp_draw(state.rng);
+      break;
+    case MixKind::kStencil:
+      // Near-regular cadence: fixed tick with ±10% uniform wobble.
+      gap = mean * (0.9 + 0.2 * state.rng.uniform());
+      break;
+    case MixKind::kQueryFanout:
+      // Bursty: 4–12 back-to-back requests, then a long exponential idle
+      // gap sized so the amortized rate matches mean.
+      if (state.burst_left > 0) {
+        --state.burst_left;
+        gap = 4.0 + 4.0 * state.rng.uniform();
+      } else {
+        state.burst_left = 4 + static_cast<int>(state.rng.below(9));
+        gap = mean * static_cast<double>(state.burst_left) * exp_draw(state.rng);
+      }
+      break;
+  }
+  state.next_us += gap;
+}
+
+}  // namespace gencoll::service

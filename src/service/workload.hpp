@@ -1,0 +1,98 @@
+// Seeded multi-tenant workload model for the collective service.
+//
+// Three application archetypes with distinct op/size/tempo distributions
+// drive the soak (ISSUE: ML-training, stencil, query-fanout). Sizes come
+// from small *discrete* per-mix lists — exactly one payload per
+// (op, size-class) — so every bandit key sees a single concrete shape and
+// the oracle's exhaustive sweep stays cheap (one sweep per distinct shape,
+// cached). Tempo differs per mix: ML steps arrive Poisson, stencil ticks on
+// a near-regular cadence, query-fanout arrives in bursts separated by long
+// idle gaps.
+//
+// Determinism: each tenant owns an independent SplitMix64 stream derived
+// from (seed, tenant id), and requests merge across tenants in virtual-time
+// order with tenant id as the tie-break — the request sequence is a pure
+// function of the options.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/coll_params.hpp"
+#include "util/rng.hpp"
+
+namespace gencoll::service {
+
+enum class MixKind {
+  kMlTraining,   ///< big gradient allreduces + tiny scalar allreduces + bcast
+  kStencil,      ///< regular-cadence halo allgather + small reduce norms
+  kQueryFanout,  ///< bursty bcast/gather request fanout
+};
+
+const char* mix_name(MixKind mix);
+
+/// One (op, shape) the mix draws, with its relative draw weight.
+struct MixPhase {
+  core::CollOp op = core::CollOp::kBcast;
+  std::size_t count = 1;
+  std::size_t elem_size = 1;
+  double weight = 1.0;
+};
+
+/// The fixed phase table of a mix (weights normalized by the generator).
+const std::vector<MixPhase>& mix_phases(MixKind mix);
+
+struct TenantSpec {
+  int tenant = 0;
+  MixKind mix = MixKind::kMlTraining;
+  /// Multiplies the mix's mean inter-arrival gap (>1 = slower tenant).
+  double tempo_scale = 1.0;
+};
+
+struct WorkloadOptions {
+  std::uint64_t seed = 1;
+  /// Empty = the default population: one tenant per mix kind.
+  std::vector<TenantSpec> tenants;
+};
+
+/// One collective request in the service's virtual timeline.
+struct WorkloadRequest {
+  int tenant = 0;
+  MixKind mix = MixKind::kMlTraining;
+  core::CollOp op = core::CollOp::kBcast;
+  std::size_t count = 1;
+  std::size_t elem_size = 1;
+  double issue_us = 0.0;  ///< virtual arrival time
+};
+
+/// Deterministic merged request stream.
+class Workload {
+ public:
+  explicit Workload(WorkloadOptions options);
+
+  /// The next request in virtual-time order (the stream is unbounded).
+  WorkloadRequest next();
+
+  [[nodiscard]] const std::vector<TenantSpec>& tenants() const {
+    return tenants_;
+  }
+
+ private:
+  struct TenantState {
+    TenantSpec spec;
+    util::SplitMix64 rng;
+    double next_us = 0.0;
+    int burst_left = 0;  ///< query-fanout: requests left in the current burst
+  };
+
+  /// Advance `state` past the request it just emitted.
+  void schedule_next(TenantState& state);
+  WorkloadRequest draw(TenantState& state);
+
+  std::vector<TenantSpec> tenants_;
+  std::vector<TenantState> states_;
+};
+
+}  // namespace gencoll::service

@@ -6,14 +6,41 @@
 
 namespace gencoll::tuning {
 
-std::optional<AlgorithmChoice> SelectionConfig::lookup(core::CollOp op,
-                                                       std::size_t nbytes) const {
-  for (const SelectionRule& rule : rules_) {
-    if (rule.matches(op, nbytes)) {
-      return AlgorithmChoice{rule.algorithm, rule.k, rule.group_size, rule.intra};
+void SelectionConfig::add_rule(SelectionRule rule) {
+  for (const SelectionRule& existing : rules_) {
+    if (existing.op == rule.op && existing.min_bytes == rule.min_bytes &&
+        existing.max_bytes == rule.max_bytes) {
+      throw std::invalid_argument(
+          "selection config: duplicate rule for (" +
+          std::string(core::coll_op_name(rule.op)) + ", " +
+          std::to_string(rule.min_bytes) + ", " +
+          (rule.max_bytes == SIZE_MAX ? std::string("inf")
+                                      : std::to_string(rule.max_bytes)) +
+          ") — one clause would silently shadow the other");
     }
   }
-  return std::nullopt;
+  rules_.push_back(rule);
+}
+
+std::optional<AlgorithmChoice> SelectionConfig::lookup(core::CollOp op,
+                                                       std::size_t nbytes) const {
+  // Most-specific-wins: the matching rule covering the narrowest byte range.
+  // Strict < on the width makes the tie-break declaration order (the first
+  // equally specific match is kept), so lookups are deterministic under rule
+  // reordering only when specificities differ — which is exactly the
+  // property serialized configs rely on.
+  const SelectionRule* best = nullptr;
+  std::size_t best_width = SIZE_MAX;
+  for (const SelectionRule& rule : rules_) {
+    if (!rule.matches(op, nbytes)) continue;
+    const std::size_t width = rule.max_bytes - rule.min_bytes;
+    if (best == nullptr || width < best_width) {
+      best = &rule;
+      best_width = width;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return AlgorithmChoice{best->algorithm, best->k, best->group_size, best->intra};
 }
 
 AlgorithmChoice SelectionConfig::choose(core::CollOp op, int p,
@@ -103,7 +130,11 @@ SelectionConfig SelectionConfig::load(std::istream& is) {
         fail("trailing token '" + extra + "' after hier clause");
       }
     }
-    config.add_rule(rule);
+    try {
+      config.add_rule(rule);
+    } catch (const std::invalid_argument& e) {
+      fail(e.what());
+    }
   }
   return config;
 }

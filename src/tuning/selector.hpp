@@ -1,7 +1,11 @@
 // Selection configuration: the gencoll analogue of MPICH's collective
-// tuning file (paper §VI-G). A config is an ordered rule list mapping
-// (operation, message-size range) to (algorithm, radix); lookup returns the
-// first matching rule. Configs round-trip through a line-oriented text file
+// tuning file (paper §VI-G). A config is a rule list mapping (operation,
+// message-size range) to (algorithm, radix); lookup is deterministic
+// most-specific-wins — the matching rule with the narrowest byte range, and
+// on equal widths the one declared first — so a broad fallback rule and a
+// pinpoint override coexist regardless of declaration order. Two clauses for
+// the same (op, min, max) key are rejected at insertion instead of silently
+// shadowing each other. Configs round-trip through a line-oriented text file
 // so one environment-variable-style switch re-tunes a whole application.
 #pragma once
 
@@ -37,7 +41,10 @@ class SelectionConfig {
  public:
   SelectionConfig() = default;
 
-  void add_rule(SelectionRule rule) { rules_.push_back(rule); }
+  /// Append a rule. Throws std::invalid_argument when a rule with the same
+  /// (op, min_bytes, max_bytes) key already exists — a duplicate clause is a
+  /// config bug (one of the two would silently shadow the other).
+  void add_rule(SelectionRule rule);
   [[nodiscard]] const std::vector<SelectionRule>& rules() const { return rules_; }
   /// Mutable access for post-processing (e.g. the autotuner's rule merging).
   [[nodiscard]] std::vector<SelectionRule>& mutable_rules() { return rules_; }
@@ -48,7 +55,8 @@ class SelectionConfig {
   int nodes = 0;
   int ppn = 0;
 
-  /// First matching rule, or nullopt (caller falls back to vendor_default).
+  /// Most-specific matching rule (narrowest byte range; ties broken by
+  /// declaration order), or nullopt (caller falls back to vendor_default).
   [[nodiscard]] std::optional<AlgorithmChoice> lookup(core::CollOp op,
                                                       std::size_t nbytes) const;
 

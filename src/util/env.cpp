@@ -1,0 +1,98 @@
+#include "util/env.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+
+#include "util/logging.hpp"
+
+namespace gencoll::util {
+
+namespace {
+
+std::string trim(const std::string& text) {
+  const auto is_space = [](unsigned char c) { return std::isspace(c) != 0; };
+  auto begin = std::find_if_not(text.begin(), text.end(), is_space);
+  auto end = std::find_if_not(text.rbegin(), text.rend(), is_space).base();
+  return begin < end ? std::string(begin, end) : std::string();
+}
+
+std::string lower(std::string text) {
+  std::transform(text.begin(), text.end(), text.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return text;
+}
+
+std::mutex& warn_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::set<std::string>& warned_names() {
+  static auto* warned = new std::set<std::string>();
+  return *warned;
+}
+
+/// True the first time `name` is seen; later calls return false. The
+/// warn-once set is tiny (a handful of GENCOLL_* names per process).
+bool first_warning(const char* name) {
+  const std::lock_guard<std::mutex> lock(warn_mutex());
+  return warned_names().insert(name).second;
+}
+
+void warn_once(const char* name, const std::string& value, const char* why) {
+  if (!first_warning(name)) return;
+  GENCOLL_LOG(kWarn) << name << "='" << value << "': " << why
+                     << " (using default)";
+}
+
+}  // namespace
+
+std::optional<std::string> env_string(const char* name) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return std::nullopt;
+  return trim(raw);
+}
+
+std::int64_t env_int(const char* name, std::int64_t fallback, std::int64_t min,
+                     std::int64_t max) {
+  const auto text = env_string(name);
+  if (!text) return fallback;
+  if (text->empty()) {
+    warn_once(name, *text, "set but empty, want an integer");
+    return fallback;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(text->c_str(), &end, 10);
+  if (end != text->c_str() + text->size() || errno == ERANGE) {
+    warn_once(name, *text, "not an integer");
+    return fallback;
+  }
+  if (parsed < min || parsed > max) {
+    warn_once(name, *text, "out of range");
+    return fallback;
+  }
+  return parsed;
+}
+
+bool env_flag(const char* name) {
+  const auto text = env_string(name);
+  if (!text) return false;
+  const std::string v = lower(*text);
+  if (v.empty() || v == "1" || v == "true" || v == "on" || v == "yes") return true;
+  if (v == "0" || v == "false" || v == "off" || v == "no") return false;
+  warn_once(name, *text, "not a boolean (want 0/1/true/false/on/off/yes/no)");
+  return true;
+}
+
+void env_reset_warnings() {
+  const std::lock_guard<std::mutex> lock(warn_mutex());
+  warned_names().clear();
+}
+
+}  // namespace gencoll::util

@@ -1,0 +1,43 @@
+// Uniform GENCOLL_* environment-variable parsing.
+//
+// Every tunable the library reads from the environment goes through these
+// helpers instead of ad-hoc getenv + atoi: values are whitespace-trimmed,
+// fully validated (no silent truncation at the first non-digit), range
+// checked, and a malformed or out-of-range value warns once per variable
+// (util/logging, kWarn) before the fallback applies — so a typo in a job
+// script degrades loudly instead of silently disabling the feature.
+//
+// Reads are uncached: callers that want read-once semantics (e.g. one value
+// per World) capture the result themselves, which keeps setenv-between-runs
+// testable. Only the warning is deduplicated process-wide.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace gencoll::util {
+
+/// Raw lookup: the variable's value with leading/trailing whitespace
+/// stripped, or nullopt when unset. An all-whitespace value yields an empty
+/// string (set-but-empty is distinguishable from unset).
+std::optional<std::string> env_string(const char* name);
+
+/// Integer variable. Returns `fallback` when unset; warns once and returns
+/// `fallback` when the trimmed value is not a complete integer or lies
+/// outside [min, max].
+std::int64_t env_int(const char* name, std::int64_t fallback,
+                     std::int64_t min = INT64_MIN, std::int64_t max = INT64_MAX);
+
+/// Boolean variable. Unset -> false. "0", "false", "off", "no" (case
+/// insensitive) -> false; "1", "true", "on", "yes", and set-but-empty ->
+/// true (presence-as-flag, matching historical GENCOLL_NO_SIMD semantics).
+/// Anything else warns once and counts as true — a set variable the user
+/// probably meant to enable.
+bool env_flag(const char* name);
+
+/// Test hook: forget which variables have already warned, so malformed-value
+/// paths can be exercised repeatedly in one process.
+void env_reset_warnings();
+
+}  // namespace gencoll::util

@@ -1,0 +1,115 @@
+// Service soak tests: short deterministic runs checking the regret
+// bookkeeping, the degradation flip, learned-rule export, and bit-exact
+// reproducibility of the JSON report.
+#include "service/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "netsim/machine.hpp"
+
+namespace gencoll::service {
+namespace {
+
+ServiceOptions small_options(std::uint64_t seed) {
+  ServiceOptions options;
+  const auto machine = netsim::machine_by_name("generic", 2, 4);
+  EXPECT_TRUE(machine.has_value());
+  options.machine = *machine;
+  options.seed = seed;
+  options.requests = 600;
+  options.regret_window = 150;
+  options.sim_jitter = 0.05;
+  options.degrade_at = -1.0;
+  options.selector.seed = seed;
+  options.workload.seed = seed;
+  return options;
+}
+
+TEST(Service, HealthySoakSmoke) {
+  Service svc(small_options(3));
+  const ServiceReport report = svc.run();
+
+  EXPECT_EQ(report.requests, 600u);
+  EXPECT_EQ(report.decisions, 600u);
+  EXPECT_EQ(report.ranks, 8);
+  EXPECT_GT(report.keys, 0u);
+  ASSERT_EQ(report.windows.size(), 4u);
+  for (const RegretPoint& point : report.windows) {
+    EXPECT_FALSE(point.degraded);
+    // The chosen arm can never beat the oracle minimum.
+    EXPECT_GE(point.regret, 1.0 - 1e-9) << point.upto;
+  }
+  EXPECT_GE(report.regret_total, 1.0 - 1e-9);
+  // No flip: the degraded slot reports the neutral 1.0.
+  EXPECT_DOUBLE_EQ(report.regret_degraded_final, 1.0);
+  EXPECT_EQ(report.tenants.size(), 3u);
+  for (const TenantReport& tenant : report.tenants) {
+    EXPECT_GT(tenant.requests, 0u) << tenant.mix;
+    EXPECT_GT(tenant.mean_us, 0.0) << tenant.mix;
+    EXPECT_LE(tenant.p50_us, tenant.p99_us) << tenant.mix;
+  }
+}
+
+TEST(Service, DegradationFlipMarksWindowsAndReconverges) {
+  ServiceOptions options = small_options(5);
+  options.requests = 800;
+  options.regret_window = 200;
+  options.degrade_at = 0.5;
+  options.degradation.inter_alpha_factor = 2.5;
+  options.degradation.inter_beta_factor = 1.8;
+  options.degradation.seed = options.seed + 1;
+
+  Service svc(options);
+  const ServiceReport report = svc.run();
+  ASSERT_EQ(report.windows.size(), 4u);
+  EXPECT_FALSE(report.windows[0].degraded);
+  EXPECT_FALSE(report.windows[1].degraded);
+  EXPECT_TRUE(report.windows[2].degraded);
+  EXPECT_TRUE(report.windows[3].degraded);
+  // healthy_final froze at the pre-flip window; degraded_final is the last
+  // one — both are real ratios, not the neutral placeholder.
+  EXPECT_GE(report.regret_healthy_final, 1.0 - 1e-9);
+  EXPECT_GE(report.regret_degraded_final, 1.0 - 1e-9);
+  EXPECT_DOUBLE_EQ(report.regret_healthy_final, report.windows[1].regret);
+  EXPECT_DOUBLE_EQ(report.regret_degraded_final, report.windows[3].regret);
+}
+
+TEST(Service, ReportIsBitReproducible) {
+  Service a(small_options(42));
+  Service b(small_options(42));
+  const std::string ja = a.run().to_json("svc");
+  const std::string jb = b.run().to_json("svc");
+  EXPECT_EQ(ja, jb);
+  EXPECT_NE(ja, Service(small_options(43)).run().to_json("svc"));
+}
+
+TEST(Service, JsonCarriesTheGateFieldsAndTenantPercentiles) {
+  Service svc(small_options(7));
+  const std::string json = svc.run().to_json("bench_service");
+  for (const char* field :
+       {"\"benchmark\": \"bench_service\"", "\"configs\": []",
+        "\"regret_total\"", "\"regret_healthy_final\"",
+        "\"regret_degraded_final\"", "\"tenants\"", "\"p99_us\"",
+        "\"decisions\"", "\"learned_rules\""}) {
+    EXPECT_NE(json.find(field), std::string::npos) << field;
+  }
+}
+
+TEST(Service, LearnedRulesExportAfterASoak) {
+  Service svc(small_options(9));
+  const ServiceReport report = svc.run();
+  ASSERT_FALSE(report.learned.rules().empty());
+  // Every learned rule must be resolvable: lookup inside the rule's range
+  // returns it (the export writes disjoint per-size-class ranges).
+  for (const auto& rule : report.learned.rules()) {
+    const auto choice = report.learned.lookup(rule.op, rule.min_bytes);
+    ASSERT_TRUE(choice.has_value());
+    EXPECT_EQ(choice->algorithm, rule.algorithm);
+    EXPECT_EQ(choice->k, rule.k);
+  }
+}
+
+}  // namespace
+}  // namespace gencoll::service

@@ -1,0 +1,124 @@
+// Workload model tests: the merged request stream is a pure function of the
+// options, every request comes from its mix's phase table, and the three
+// archetypes keep their distinct tempos.
+#include "service/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace gencoll::service {
+namespace {
+
+std::vector<WorkloadRequest> draw(std::uint64_t seed, int n) {
+  WorkloadOptions options;
+  options.seed = seed;
+  Workload workload(options);
+  std::vector<WorkloadRequest> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(workload.next());
+  return out;
+}
+
+TEST(Workload, DeterministicForAFixedSeed) {
+  const auto a = draw(7, 400);
+  const auto b = draw(7, 400);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].tenant, b[i].tenant) << i;
+    EXPECT_EQ(a[i].op, b[i].op) << i;
+    EXPECT_EQ(a[i].count, b[i].count) << i;
+    EXPECT_EQ(a[i].elem_size, b[i].elem_size) << i;
+    EXPECT_DOUBLE_EQ(a[i].issue_us, b[i].issue_us) << i;
+  }
+}
+
+TEST(Workload, SeedsProduceDifferentStreams) {
+  const auto a = draw(7, 200);
+  const auto b = draw(8, 200);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size() && !differs; ++i) {
+    differs = a[i].tenant != b[i].tenant || a[i].op != b[i].op ||
+              a[i].issue_us != b[i].issue_us;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Workload, VirtualTimeIsMonotonic) {
+  const auto stream = draw(42, 500);
+  for (std::size_t i = 1; i < stream.size(); ++i) {
+    EXPECT_GE(stream[i].issue_us, stream[i - 1].issue_us) << i;
+  }
+}
+
+TEST(Workload, DefaultPopulationCoversAllMixes) {
+  WorkloadOptions options;
+  options.seed = 3;
+  Workload workload(options);
+  ASSERT_EQ(workload.tenants().size(), 3u);
+
+  std::set<int> tenants_seen;
+  std::set<MixKind> mixes_seen;
+  for (int i = 0; i < 600; ++i) {
+    const WorkloadRequest req = workload.next();
+    tenants_seen.insert(req.tenant);
+    mixes_seen.insert(req.mix);
+  }
+  EXPECT_EQ(tenants_seen.size(), 3u);
+  EXPECT_EQ(mixes_seen.size(), 3u);
+}
+
+TEST(Workload, EveryRequestComesFromItsMixPhaseTable) {
+  const auto stream = draw(13, 500);
+  for (const WorkloadRequest& req : stream) {
+    const auto& phases = mix_phases(req.mix);
+    const bool known = std::any_of(
+        phases.begin(), phases.end(), [&](const MixPhase& phase) {
+          return phase.op == req.op && phase.count == req.count &&
+                 phase.elem_size == req.elem_size;
+        });
+    EXPECT_TRUE(known) << mix_name(req.mix) << " drew an unknown shape";
+  }
+}
+
+TEST(Workload, TempoScaleSlowsATenantDown) {
+  WorkloadOptions fast;
+  fast.seed = 5;
+  fast.tenants = {{0, MixKind::kMlTraining, 1.0}};
+  WorkloadOptions slow;
+  slow.seed = 5;
+  slow.tenants = {{0, MixKind::kMlTraining, 4.0}};
+  Workload wf(fast);
+  Workload ws(slow);
+  double fast_last = 0.0, slow_last = 0.0;
+  for (int i = 0; i < 300; ++i) {
+    fast_last = wf.next().issue_us;
+    slow_last = ws.next().issue_us;
+  }
+  // Same draw stream, 4x the mean gap: the slow tenant's clock runs ahead.
+  EXPECT_GT(slow_last, 2.0 * fast_last);
+}
+
+TEST(Workload, QueryFanoutArrivesInBursts) {
+  WorkloadOptions options;
+  options.seed = 17;
+  options.tenants = {{0, MixKind::kQueryFanout, 1.0}};
+  Workload workload(options);
+  // Bursts show up as many tiny inter-arrival gaps separated by long idles:
+  // the small-gap fraction must dominate yet not reach 1.
+  int tiny = 0;
+  const int n = 400;
+  double prev = workload.next().issue_us;
+  for (int i = 1; i < n; ++i) {
+    const double now = workload.next().issue_us;
+    if (now - prev < 20.0) ++tiny;
+    prev = now;
+  }
+  EXPECT_GT(tiny, n / 2);
+  EXPECT_LT(tiny, n - 1);
+}
+
+}  // namespace
+}  // namespace gencoll::service

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <stdexcept>
 
 namespace gencoll::tuning {
 namespace {
@@ -45,11 +46,54 @@ TEST(Selector, MissingOpFallsBackToVendor) {
   EXPECT_EQ(choice.algorithm, Algorithm::kBinomial);
 }
 
-TEST(Selector, FirstMatchWins) {
+TEST(Selector, MostSpecificRuleWins) {
+  SelectionConfig config;
+  // Broad fallback declared first, pinpoint override second: the narrow
+  // range must win inside its window regardless of declaration order.
+  config.add_rule({CollOp::kBcast, 0, SIZE_MAX, Algorithm::kLinear, 1});
+  config.add_rule({CollOp::kBcast, 1024, 4096, Algorithm::kKnomial, 8});
+  EXPECT_EQ(config.lookup(CollOp::kBcast, 2048)->algorithm, Algorithm::kKnomial);
+  EXPECT_EQ(config.lookup(CollOp::kBcast, 8)->algorithm, Algorithm::kLinear);
+  EXPECT_EQ(config.lookup(CollOp::kBcast, 1 << 20)->algorithm, Algorithm::kLinear);
+
+  SelectionConfig reversed;
+  reversed.add_rule({CollOp::kBcast, 1024, 4096, Algorithm::kKnomial, 8});
+  reversed.add_rule({CollOp::kBcast, 0, SIZE_MAX, Algorithm::kLinear, 1});
+  EXPECT_EQ(reversed.lookup(CollOp::kBcast, 2048)->algorithm, Algorithm::kKnomial);
+}
+
+TEST(Selector, EqualSpecificityTieBreaksOnDeclarationOrder) {
+  SelectionConfig config;
+  // Overlapping ranges of identical width: at 96 both match, first declared
+  // wins — deterministically.
+  config.add_rule({CollOp::kBcast, 0, 128, Algorithm::kLinear, 1});
+  config.add_rule({CollOp::kBcast, 64, 192, Algorithm::kBinomial, 2});
+  EXPECT_EQ(config.lookup(CollOp::kBcast, 96)->algorithm, Algorithm::kLinear);
+  EXPECT_EQ(config.lookup(CollOp::kBcast, 160)->algorithm, Algorithm::kBinomial);
+}
+
+TEST(Selector, DuplicateClauseRejected) {
   SelectionConfig config;
   config.add_rule({CollOp::kBcast, 0, SIZE_MAX, Algorithm::kLinear, 1});
-  config.add_rule({CollOp::kBcast, 0, SIZE_MAX, Algorithm::kBinomial, 2});
-  EXPECT_EQ(config.lookup(CollOp::kBcast, 8)->algorithm, Algorithm::kLinear);
+  EXPECT_THROW(
+      config.add_rule({CollOp::kBcast, 0, SIZE_MAX, Algorithm::kBinomial, 2}),
+      std::invalid_argument);
+  // Same range on a different op is a distinct key and stays legal.
+  EXPECT_NO_THROW(
+      config.add_rule({CollOp::kReduce, 0, SIZE_MAX, Algorithm::kBinomial, 2}));
+}
+
+TEST(Selector, DuplicateClauseFailsLoadWithLineContext) {
+  std::stringstream ss;
+  ss << "rule bcast 0 inf linear 1\n"
+     << "rule bcast 0 inf binomial 2\n";
+  try {
+    SelectionConfig::load(ss);
+    FAIL() << "duplicate clause must fail the load";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("duplicate"), std::string::npos);
+  }
 }
 
 TEST(Selector, SaveLoadRoundTrip) {

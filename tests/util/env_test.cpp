@@ -1,0 +1,123 @@
+#include "util/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace gencoll::util {
+namespace {
+
+/// Scoped setenv: restores the previous value (or unsets) on destruction so
+/// tests cannot leak environment state into each other.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) previous_ = old;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (previous_) {
+      ::setenv(name_, previous_->c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  const char* name_;
+  std::optional<std::string> previous_;
+};
+
+constexpr const char* kVar = "GENCOLL_ENV_TEST_VAR";
+
+TEST(Env, StringUnsetIsNullopt) {
+  ScopedEnv env(kVar, nullptr);
+  EXPECT_FALSE(env_string(kVar).has_value());
+}
+
+TEST(Env, StringTrimsWhitespace) {
+  ScopedEnv env(kVar, "  hello world\t\n");
+  EXPECT_EQ(env_string(kVar), "hello world");
+}
+
+TEST(Env, StringSetButBlankIsEmpty) {
+  ScopedEnv env(kVar, "   ");
+  const auto value = env_string(kVar);
+  ASSERT_TRUE(value.has_value());
+  EXPECT_TRUE(value->empty());
+}
+
+TEST(Env, IntParsesTrimmedValue) {
+  ScopedEnv env(kVar, " 42 ");
+  EXPECT_EQ(env_int(kVar, 7), 42);
+}
+
+TEST(Env, IntNegative) {
+  ScopedEnv env(kVar, "-5");
+  EXPECT_EQ(env_int(kVar, 7), -5);
+}
+
+TEST(Env, IntUnsetUsesFallback) {
+  ScopedEnv env(kVar, nullptr);
+  EXPECT_EQ(env_int(kVar, 7), 7);
+}
+
+TEST(Env, IntMalformedUsesFallback) {
+  env_reset_warnings();
+  ScopedEnv env(kVar, "12abc");  // atoi would have said 12; we refuse
+  EXPECT_EQ(env_int(kVar, 7), 7);
+}
+
+TEST(Env, IntEmptyUsesFallback) {
+  env_reset_warnings();
+  ScopedEnv env(kVar, "");
+  EXPECT_EQ(env_int(kVar, 7), 7);
+}
+
+TEST(Env, IntOutOfRangeUsesFallback) {
+  env_reset_warnings();
+  ScopedEnv env(kVar, "1000");
+  EXPECT_EQ(env_int(kVar, 7, 0, 100), 7);
+  EXPECT_EQ(env_int(kVar, 7, 0, 1000), 1000);
+}
+
+TEST(Env, IntOverflowUsesFallback) {
+  env_reset_warnings();
+  ScopedEnv env(kVar, "99999999999999999999999999");
+  EXPECT_EQ(env_int(kVar, 7), 7);
+}
+
+TEST(Env, FlagUnsetIsFalse) {
+  ScopedEnv env(kVar, nullptr);
+  EXPECT_FALSE(env_flag(kVar));
+}
+
+TEST(Env, FlagTruthyForms) {
+  for (const char* v : {"1", "true", "TRUE", "on", "yes", ""}) {
+    ScopedEnv env(kVar, v);
+    EXPECT_TRUE(env_flag(kVar)) << "value '" << v << "'";
+  }
+}
+
+TEST(Env, FlagFalsyForms) {
+  for (const char* v : {"0", "false", "OFF", "no", " false "}) {
+    ScopedEnv env(kVar, v);
+    EXPECT_FALSE(env_flag(kVar)) << "value '" << v << "'";
+  }
+}
+
+TEST(Env, FlagUnrecognizedCountsAsSet) {
+  env_reset_warnings();
+  ScopedEnv env(kVar, "banana");
+  EXPECT_TRUE(env_flag(kVar));
+}
+
+}  // namespace
+}  // namespace gencoll::util

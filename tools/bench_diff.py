@@ -27,7 +27,17 @@ they persist (see .github/workflows/ci.yml, job bench-gate).
 
 ``--require NAME=MIN`` (repeatable) gates a top-level summary field of the
 current run, e.g. ``--require hier_speedup_vs_flat=2.0`` enforces the
-hierarchical-vs-flat speedup floor; a missing field fails.
+hierarchical-vs-flat speedup floor; ``--require-max NAME=MAX`` is the
+ceiling twin (e.g. ``--require-max regret_healthy_final=1.15`` for the
+service-soak regret gate). A missing field fails either form.
+
+A baseline of ``-`` skips the per-config comparison entirely — for runs
+gated purely by --require/--require-max (bench_service) where no per-config
+baseline exists or makes sense.
+
+``--selftest`` runs a built-in fixture suite (no files needed) and exits
+0/1; CI executes it before trusting the gate, so a broken comparator fails
+loudly instead of waving regressions through.
 
 Stdlib only — CI calls this directly with the system python3.
 """
@@ -63,45 +73,16 @@ def parse_require(text):
             f"--require {text!r}: bad minimum: {e}") from e
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("baseline")
-    ap.add_argument("current")
-    ap.add_argument(
-        "--tolerance",
-        type=float,
-        default=0.25,
-        help="allowed fractional slowdown vs baseline on ratio metrics "
-             "(default 0.25)",
-    )
-    ap.add_argument(
-        "--metric",
-        action="append",
-        default=None,
-        metavar="NAME",
-        help="per-config metric to gate (repeatable; default: ns_per_op and "
-             "allocs_per_op). allocs_per_op must match exactly; every other "
-             "metric is gated by --tolerance as a ratio",
-    )
-    ap.add_argument(
-        "--require",
-        action="append",
-        type=parse_require,
-        default=[],
-        metavar="NAME=MIN",
-        help="require a top-level field of the current run to be >= MIN "
-             "(repeatable), e.g. hier_speedup_vs_flat=2.0",
-    )
-    args = ap.parse_args()
-    metrics = args.metric or ["ns_per_op", "allocs_per_op"]
+def diff(base, cur_doc, cur, tolerance, metrics, requires, require_maxes):
+    """Core comparator; ``base`` is None when the baseline was skipped (-).
 
-    _, base = load(args.baseline)
-    cur_doc, cur = load(args.current)
-
+    Returns (failures, rows): failure strings for the caller to report, and
+    the per-config table rows already printed.
+    """
     rows = []
     failures = []
     new_configs = []
-    for name in sorted(set(base) | set(cur)):
+    for name in sorted(set(base or {}) | set(cur)) if base is not None else []:
         b, c = base.get(name), cur.get(name)
         if b is None:
             new_configs.append(name)
@@ -127,24 +108,25 @@ def main():
             r = c[m] / b[m] if b[m] else float("inf")
             if m == "ns_per_op":
                 ratio = r
-            if r > 1.0 + args.tolerance:
+            if r > 1.0 + tolerance:
                 verdict = "SLOWER"
                 failures.append(
                     f"{name}: {m} {c[m]:.0f} vs {b[m]:.0f} baseline "
-                    f"({r:.2f}x > {1.0 + args.tolerance:.2f}x allowed)")
+                    f"({r:.2f}x > {1.0 + tolerance:.2f}x allowed)")
         rows.append((name, b.get("ns_per_op", 0.0), c.get("ns_per_op", 0.0),
                      ratio, c.get("allocs_per_op", 0.0), verdict))
 
-    name_w = max((len(r[0]) for r in rows), default=4)
-    header = (f"{'config':<{name_w}}  {'baseline':>10}  {'current':>10}  "
-              f"{'ratio':>6}  {'allocs':>6}  verdict")
-    print(header)
-    print("-" * len(header))
-    for name, b_ns, c_ns, ratio, allocs, verdict in rows:
-        print(f"{name:<{name_w}}  {fmt_ns(b_ns):>10}  {fmt_ns(c_ns):>10}  "
-              f"{ratio:>5.2f}x  {allocs:>6.0f}  {verdict}")
+    if rows:
+        name_w = max(len(r[0]) for r in rows)
+        header = (f"{'config':<{name_w}}  {'baseline':>10}  {'current':>10}  "
+                  f"{'ratio':>6}  {'allocs':>6}  verdict")
+        print(header)
+        print("-" * len(header))
+        for name, b_ns, c_ns, ratio, allocs, verdict in rows:
+            print(f"{name:<{name_w}}  {fmt_ns(b_ns):>10}  {fmt_ns(c_ns):>10}  "
+                  f"{ratio:>5.2f}x  {allocs:>6.0f}  {verdict}")
 
-    for field, minimum in args.require:
+    for field, minimum in requires:
         value = cur_doc.get(field)
         if value is None:
             failures.append(f"--require {field}: not present in current run")
@@ -154,14 +136,157 @@ def main():
         else:
             print(f"require {field}: {float(value):.3f} >= {minimum:.3f} ok")
 
+    for field, maximum in require_maxes:
+        value = cur_doc.get(field)
+        if value is None:
+            failures.append(
+                f"--require-max {field}: not present in current run")
+        elif float(value) > maximum:
+            failures.append(
+                f"--require-max {field}: {float(value):.3f} > {maximum:.3f}")
+        else:
+            print(
+                f"require-max {field}: {float(value):.3f} <= {maximum:.3f} ok")
+
+    return failures, rows, new_configs
+
+
+def selftest():
+    """Fixture suite for the comparator itself (no files touched)."""
+    base = {"a": {"name": "a", "ns_per_op": 100.0, "allocs_per_op": 0.0}}
+    checks = []
+
+    def case(name, expect_fail, cur_doc, *, basemap=base, tolerance=0.25,
+             metrics=None, requires=(), require_maxes=()):
+        cur = {c["name"]: c for c in cur_doc.get("configs", [])}
+        failures, _, _ = diff(basemap, cur_doc, cur, tolerance,
+                              metrics or ["ns_per_op", "allocs_per_op"],
+                              list(requires), list(require_maxes))
+        ok = bool(failures) == expect_fail
+        checks.append((name, ok, failures))
+
+    within = {"configs": [
+        {"name": "a", "ns_per_op": 110.0, "allocs_per_op": 0.0}]}
+    case("within tolerance passes", False, within)
+    case("slower fails", True, {"configs": [
+        {"name": "a", "ns_per_op": 200.0, "allocs_per_op": 0.0}]})
+    case("alloc drift fails exactly", True, {"configs": [
+        {"name": "a", "ns_per_op": 100.0, "allocs_per_op": 1.0}]})
+    case("dropped config fails", True, {"configs": []})
+    case("new config passes", False, {"configs": [
+        {"name": "a", "ns_per_op": 100.0, "allocs_per_op": 0.0},
+        {"name": "b", "ns_per_op": 999.0, "allocs_per_op": 5.0}]})
+    case("require met passes", False,
+         {"configs": [], "speedup": 3.0}, basemap={},
+         requires=[("speedup", 2.0)])
+    case("require unmet fails", True,
+         {"configs": [], "speedup": 1.5}, basemap={},
+         requires=[("speedup", 2.0)])
+    case("require missing fails", True,
+         {"configs": []}, basemap={}, requires=[("speedup", 2.0)])
+    case("require-max met passes", False,
+         {"configs": [], "regret": 1.08}, basemap={},
+         require_maxes=[("regret", 1.15)])
+    case("require-max exceeded fails", True,
+         {"configs": [], "regret": 1.30}, basemap={},
+         require_maxes=[("regret", 1.15)])
+    case("require-max missing fails", True,
+         {"configs": []}, basemap={}, require_maxes=[("regret", 1.15)])
+    # Baseline skipped entirely: per-config gating off, requires still gate.
+    failures, rows, _ = diff(None, {"configs": [
+        {"name": "only-current", "ns_per_op": 1.0}], "regret": 1.0},
+        {"only-current": {"name": "only-current", "ns_per_op": 1.0}},
+        0.25, ["ns_per_op"], [], [("regret", 1.15)])
+    checks.append(("skipped baseline ignores configs",
+                   not failures and not rows, failures))
+
+    bad = [(name, failures) for name, ok, failures in checks if not ok]
+    for name, ok, _ in checks:
+        print(f"  {'ok ' if ok else 'FAIL'} {name}")
+    if bad:
+        print(f"selftest: {len(bad)}/{len(checks)} cases failed",
+              file=sys.stderr)
+        return 1
+    print(f"selftest: all {len(checks)} cases passed")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline", nargs="?",
+                    help="baseline JSON, or - to skip per-config comparison")
+    ap.add_argument("current", nargs="?")
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional slowdown vs baseline on ratio metrics "
+             "(default 0.25)",
+    )
+    ap.add_argument(
+        "--metric",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="per-config metric to gate (repeatable; default: ns_per_op and "
+             "allocs_per_op). allocs_per_op must match exactly; every other "
+             "metric is gated by --tolerance as a ratio",
+    )
+    ap.add_argument(
+        "--require",
+        action="append",
+        type=parse_require,
+        default=[],
+        metavar="NAME=MIN",
+        help="require a top-level field of the current run to be >= MIN "
+             "(repeatable), e.g. hier_speedup_vs_flat=2.0",
+    )
+    ap.add_argument(
+        "--require-max",
+        action="append",
+        type=parse_require,
+        default=[],
+        metavar="NAME=MAX",
+        help="require a top-level field of the current run to be <= MAX "
+             "(repeatable), e.g. regret_healthy_final=1.15",
+    )
+    ap.add_argument(
+        "--selftest",
+        action="store_true",
+        help="run the built-in comparator fixture suite and exit",
+    )
+    args = ap.parse_args()
+    if args.selftest:
+        return selftest()
+    if args.baseline is None or args.current is None:
+        ap.error("baseline and current are required (or use --selftest)")
+    metrics = args.metric or ["ns_per_op", "allocs_per_op"]
+
+    if args.baseline == "-":
+        base = None
+        if not (args.require or args.require_max):
+            ap.error("baseline '-' needs --require/--require-max gates "
+                     "(nothing would be checked)")
+    else:
+        _, base = load(args.baseline)
+    cur_doc, cur = load(args.current)
+
+    failures, rows, new_configs = diff(base, cur_doc, cur, args.tolerance,
+                                       metrics, args.require,
+                                       args.require_max)
+
     if failures:
         print(f"\n{len(failures)} regression(s):", file=sys.stderr)
         for f in failures:
             print(f"  {f}", file=sys.stderr)
         return 1
     note = f", {len(new_configs)} new" if new_configs else ""
-    print(f"\nall {len(rows)} gated configs within tolerance "
-          f"(+{args.tolerance:.0%} on ratio metrics, allocs exact{note})")
+    if base is None:
+        print(f"\nall {len(args.require) + len(args.require_max)} "
+              f"required fields within bounds (per-config comparison skipped)")
+    else:
+        print(f"\nall {len(rows)} gated configs within tolerance "
+              f"(+{args.tolerance:.0%} on ratio metrics, allocs exact{note})")
     return 0
 
 
