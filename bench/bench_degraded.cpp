@@ -19,11 +19,14 @@
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "core/elastic.hpp"
 #include "core/reference.hpp"
 #include "fault/plan.hpp"
+#include "fault/recovery.hpp"
 #include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
 #include "runtime/world.hpp"
@@ -163,6 +166,161 @@ int run_fault_repro(const fault::FaultPlan& plan) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Crash-recovery scenario (--recovery): an 8-rank threaded allreduce where
+// rank 3 dies mid-collective under CrashPolicy::kShrink. Measures the
+// revoke -> agree -> shrink -> retry turnaround (max recovery latency across
+// survivors, median over reps) and the completed-over-survivors throughput,
+// validates the surviving outputs bit-exact against core/reference over the
+// shrunk world, and emits everything to the JSON gate (CI holds a ceiling on
+// recovery_latency_ms via tools/bench_diff.py --require-max).
+// ---------------------------------------------------------------------------
+
+struct RecoveryResult {
+  double total_ms = 0.0;        ///< median wall time of the interrupted run
+  double recovery_ms = 0.0;     ///< median of per-run max recovery latency
+  double healthy_ms = 0.0;      ///< same collective, full p, no faults
+  double survivor_mbps = 0.0;   ///< survivor payload delivered / total time
+  int final_p = 0;
+  int shrinks = 0;
+  bool validated = false;
+};
+
+int run_recovery_bench(const std::string& json_path) {
+  core::CollParams params;
+  params.op = CollOp::kAllreduce;
+  params.p = 8;
+  params.count = 16384;  // 64 KiB of int32
+  params.elem_size = 4;
+  params.k = 2;
+
+  core::ElasticOptions options;
+  options.alg = Algorithm::kRecursiveMultiplying;
+  constexpr std::uint64_t kSeed = 2026;
+  const core::InputProvider provider = [](const core::CollParams& cur, int dense) {
+    return core::make_inputs(cur, runtime::DataType::kInt32,
+                             kSeed)[static_cast<std::size_t>(dense)];
+  };
+
+  runtime::WorldOptions world;
+  world.on_crash = fault::CrashPolicy::kShrink;
+  world.recv_timeout = std::chrono::milliseconds(5000);
+  fault::RecoveryConfig recovery;
+  recovery.agree_timeout = std::chrono::milliseconds(2000);
+  world.recovery = recovery;
+
+  constexpr int kReps = 5;
+  RecoveryResult result;
+
+  // Healthy reference: the same elastic driver, no fault plan — so the
+  // recovery overhead is isolated from the driver's own bookkeeping.
+  {
+    std::vector<double> samples;
+    for (int i = 0; i < kReps; ++i) {
+      const auto begin = std::chrono::steady_clock::now();
+      static_cast<void>(core::execute_threaded_elastic(
+          params, runtime::DataType::kInt32, runtime::ReduceOp::kSum, options,
+          provider, world));
+      samples.push_back(std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - begin)
+                            .count());
+    }
+    result.healthy_ms = util::percentile(samples, 0.5);
+  }
+
+  fault::FaultPlan plan;
+  plan.seed = kSeed;
+  plan.crashes.push_back({/*rank=*/3, /*after_ops=*/4});
+  world.fault_plan = &plan;
+
+  std::vector<double> total_samples;
+  std::vector<double> recovery_samples;
+  result.validated = true;
+  for (int i = 0; i < kReps; ++i) {
+    std::vector<core::ElasticReport> reports;
+    const auto begin = std::chrono::steady_clock::now();
+    const auto outputs = core::execute_threaded_elastic(
+        params, runtime::DataType::kInt32, runtime::ReduceOp::kSum, options,
+        provider, world, &reports);
+    total_samples.push_back(std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - begin)
+                                .count());
+
+    double max_recovery = 0.0;
+    const core::ElasticReport* probe = nullptr;
+    for (const core::ElasticReport& r : reports) {
+      if (r.final_p == 0) continue;  // the dead rank
+      max_recovery = std::max(max_recovery, r.recovery_latency_ms);
+      probe = &r;
+    }
+    if (probe == nullptr) {
+      std::cerr << "recovery bench: no rank committed a result\n";
+      return 1;
+    }
+    recovery_samples.push_back(max_recovery);
+    result.final_p = probe->final_p;
+    result.shrinks = probe->shrinks;
+
+    // Bit-exact validation over the shrunk world (allreduce: full buffers).
+    core::CollParams cur = params;
+    cur.p = probe->final_p;
+    const auto inputs = core::make_inputs(cur, runtime::DataType::kInt32, kSeed);
+    const auto want = core::reference_outputs(
+        cur, inputs, runtime::DataType::kInt32, runtime::ReduceOp::kSum);
+    for (std::size_t dense = 0; dense < probe->survivors.size(); ++dense) {
+      const auto orig = static_cast<std::size_t>(probe->survivors[dense]);
+      if (outputs[orig].size() != want[dense].size() ||
+          std::memcmp(outputs[orig].data(), want[dense].data(),
+                      want[dense].size()) != 0) {
+        std::cerr << "recovery bench: survivor " << orig
+                  << " result mismatch after shrink\n";
+        result.validated = false;
+      }
+    }
+  }
+  result.total_ms = util::percentile(total_samples, 0.5);
+  result.recovery_ms = util::percentile(recovery_samples, 0.5);
+  // Payload actually delivered: every survivor finished the allreduce.
+  const double survivor_bytes =
+      static_cast<double>(params.nbytes()) * result.final_p;
+  result.survivor_mbps =
+      result.total_ms > 0.0
+          ? survivor_bytes / (result.total_ms * 1e-3) / (1024.0 * 1024.0)
+          : 0.0;
+
+  std::cout << "crash recovery (allreduce " << params.nbytes() << " B, p="
+            << params.p << " -> " << result.final_p
+            << "): total=" << util::fmt(result.total_ms)
+            << "ms recovery=" << util::fmt(result.recovery_ms)
+            << "ms healthy=" << util::fmt(result.healthy_ms)
+            << "ms survivor_throughput=" << util::fmt(result.survivor_mbps)
+            << "MiB/s shrinks=" << result.shrinks
+            << " validated=" << (result.validated ? 1 : 0) << "\n";
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "json-out: cannot open '" << json_path << "'\n";
+      return 1;
+    }
+    out << "{\n  \"schema\": 1,\n  \"scenario\": \"crash_recovery\",\n"
+        << "  \"collective\": \"allreduce\",\n  \"bytes\": " << params.nbytes()
+        << ",\n  \"p\": " << params.p
+        << ",\n  \"final_p\": " << result.final_p
+        << ",\n  \"shrinks\": " << result.shrinks
+        << ",\n  \"validated\": " << (result.validated ? 1 : 0)
+        << ",\n  \"recovery_latency_ms\": " << result.recovery_ms
+        << ",\n  \"recovery_total_ms\": " << result.total_ms
+        << ",\n  \"healthy_ms\": " << result.healthy_ms
+        << ",\n  \"survivor_throughput_mbps\": " << result.survivor_mbps
+        << ",\n  \"configs\": [\n    {\"name\": "
+           "\"recovery_allreduce_rm_k2_p8to7_65536B\", \"ns_per_op\": "
+        << result.total_ms * 1e6 << ", \"allocs_per_op\": 0.00}\n  ]\n}\n";
+    std::cerr << "# json: wrote " << json_path << "\n";
+  }
+  return result.validated ? 0 : 1;
+}
+
 void write_json(const std::string& path, const bench::BenchContext& ctx,
                 const std::vector<std::string>& rows, const OverheadResult& overhead) {
   std::ofstream out(path);
@@ -198,9 +356,16 @@ int main(int argc, char** argv) {
   cli.add_flag("fault-plan",
                "run a threaded fault repro from a plan spec (see FaultPlan::parse)",
                "");
+  cli.add_flag("recovery",
+               "run the crash-recovery scenario (elastic shrink) instead of "
+               "the sweep",
+               "");
   bench::BenchContext ctx;
   if (!bench::parse_common_cli(argc, argv, cli, ctx, "frontier", 8, 4)) return 1;
 
+  if (!cli.get("recovery").empty()) {
+    return run_recovery_bench(cli.get("json-out"));
+  }
   if (!cli.get("fault-plan").empty()) {
     std::string error;
     const auto plan = fault::FaultPlan::parse(cli.get("fault-plan"), &error);

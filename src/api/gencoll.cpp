@@ -28,7 +28,10 @@ int env_group_size() {
 }  // namespace
 
 Collectives::Collectives(runtime::Communicator& comm, tuning::SelectionConfig config)
-    : comm_(comm), config_(std::move(config)), env_group_size_(env_group_size()) {}
+    : comm_(comm),
+      config_(std::move(config)),
+      env_group_size_(env_group_size()),
+      cache_epoch_(comm.epoch()) {}
 
 tuning::AlgorithmChoice Collectives::resolve(CollOp op, std::size_t nbytes,
                                              const AlgSpec& spec) const {
@@ -56,9 +59,22 @@ void Collectives::use_online_selection(service::OnlineSelector* selector,
   online_rounds_.clear();
 }
 
+void Collectives::refresh_epoch() {
+  if (comm_.epoch() == cache_epoch_) return;
+  cache_epoch_ = comm_.epoch();
+  // A shrink installed a new epoch underneath this facade: the cached
+  // schedules (and any half-charged online round) describe the pre-shrink
+  // dense rank space. Start clean over the survivors.
+  cache_.clear();
+  pending_.reset();
+  online_rounds_.clear();
+  if (online_ != nullptr) online_->rescale_world(comm_.size());
+}
+
 const core::Schedule& Collectives::schedule_for(CollOp op, std::size_t count,
                                                 std::size_t elem_size, int root,
                                                 const AlgSpec& spec) {
+  refresh_epoch();
   tuning::AlgorithmChoice choice;
   // Per-call overrides beat online mode: the tuning experiments must be able
   // to pin an algorithm even on a communicator running adaptively.

@@ -167,6 +167,12 @@ class Collectives {
   }
 
  private:
+  /// Elastic shrink support: when the communicator's membership epoch moved
+  /// since the last collective (runtime/membership.hpp), every cached
+  /// schedule was compiled for the dead rank space — drop the cache, any
+  /// pending online reward, and re-enumerate the online selector's arms for
+  /// the survivor count. Called at the top of schedule_for.
+  void refresh_epoch();
   const core::Schedule& schedule_for(CollOp op, std::size_t count,
                                      std::size_t elem_size, int root,
                                      const AlgSpec& spec);
@@ -181,6 +187,7 @@ class Collectives {
   tuning::SelectionConfig config_;
   obs::TraceSink* sink_ = nullptr;
   int env_group_size_ = 0;  ///< GENCOLL_GROUP_SIZE; 0 = unset
+  int cache_epoch_ = 0;     ///< membership epoch the cache was built under
   std::map<std::string, std::unique_ptr<core::Schedule>> cache_;
   // Online selection state: the decision taken in schedule_for, awaiting its
   // wall-clock reward from the execute() that immediately follows (one rank

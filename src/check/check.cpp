@@ -67,6 +67,42 @@ CheckReport check_schedule(const core::Schedule& sched, core::Algorithm alg,
   return report;
 }
 
+CheckReport check_shrunk_schedule(const core::Schedule& sched,
+                                  core::Algorithm alg,
+                                  const std::vector<int>& survivors,
+                                  const CheckOptions& options) {
+  CheckReport report;
+  auto structural = [&report](std::string detail) {
+    report.violations.push_back(
+        Violation{ViolationKind::kStructure, -1, -1, 0, 0, std::move(detail)});
+  };
+  if (survivors.empty()) {
+    structural("shrunk schedule proven against an empty survivor set");
+  } else {
+    if (sched.params.p != static_cast<int>(survivors.size())) {
+      structural("shrunk schedule p=" + std::to_string(sched.params.p) +
+                 " does not match survivor count " +
+                 std::to_string(survivors.size()));
+    }
+    if (sched.params.root < 0 || sched.params.root >= sched.params.p) {
+      structural("shrunk schedule root=" + std::to_string(sched.params.root) +
+                 " is outside the dense rank space [0," +
+                 std::to_string(sched.params.p) + ")");
+    }
+    for (std::size_t i = 0; i < survivors.size(); ++i) {
+      const bool ascending = i == 0 || survivors[i] > survivors[i - 1];
+      if (survivors[i] < 0 || !ascending) {
+        structural("survivor list is not strictly ascending original ranks at "
+                   "index " + std::to_string(i) + " (value " +
+                   std::to_string(survivors[i]) + ")");
+        break;
+      }
+    }
+  }
+  if (!report.ok()) return report;
+  return check_schedule(sched, alg, options);
+}
+
 void require_ok(const core::Schedule& sched, const CheckReport& report) {
   if (report.ok()) return;
   std::string msg = "schedule check failed: " + sched.name + " [" +

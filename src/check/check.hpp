@@ -111,4 +111,18 @@ CheckReport check_schedule(const core::Schedule& sched, core::Algorithm alg,
 /// and per-violation rank/step/byte-range) if the report is not ok().
 void require_ok(const core::Schedule& sched, const CheckReport& report);
 
+/// Prove a schedule rebuilt after a shrink (DESIGN.md section 11) against the
+/// agreed survivor set before the full symbolic proof runs. A shrunk schedule
+/// lives entirely in the dense rank space [0, survivors.size()): the prover
+/// has no notion of dead ranks, so this guard pins the only bridge between
+/// the membership layer's survivor list and the schedule's rank space —
+/// p must equal the survivor count, the root must be a valid dense rank, and
+/// the survivor list itself must be strictly ascending original ranks (the
+/// dense remap contract). Violations are reported as kStructure with the
+/// schedule-wide rank -1. Delegates to check_schedule() afterwards.
+CheckReport check_shrunk_schedule(const core::Schedule& sched,
+                                  core::Algorithm alg,
+                                  const std::vector<int>& survivors,
+                                  const CheckOptions& options = {});
+
 }  // namespace gencoll::check

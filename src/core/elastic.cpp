@@ -1,0 +1,204 @@
+#include "core/elastic.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "core/algorithms.hpp"
+#include "core/registry.hpp"
+#include "fault/error.hpp"
+
+namespace gencoll::core {
+
+namespace {
+
+using steady_clock = std::chrono::steady_clock;
+
+/// Flat fallback chain: the hint as-is, the hint across its candidate
+/// radixes, then every registered algorithm across its radixes.
+Schedule build_flat(Algorithm hint, CollParams params) {
+  if (supports_params(hint, params)) return build_schedule(hint, params);
+  for (int k : candidate_radixes(params.op, hint, params.p)) {
+    params.k = k;
+    if (supports_params(hint, params)) return build_schedule(hint, params);
+  }
+  for (Algorithm alg : algorithms_for(params.op)) {
+    for (int k : candidate_radixes(params.op, alg, params.p)) {
+      params.k = k;
+      if (supports_params(alg, params)) return build_schedule(alg, params);
+    }
+  }
+  throw unsupported_params("elastic", params,
+                           "no registered algorithm supports the shrunk world");
+}
+
+void emit_instant(obs::TraceSink* sink, obs::InstantKind kind, int rank,
+                  int peer, int tag) {
+  if (sink == nullptr) return;
+  obs::InstantEvent ev;
+  ev.kind = kind;
+  ev.rank = rank;
+  ev.peer = peer;
+  ev.tag = tag;
+  ev.time_us = obs::wallclock_us();
+  sink->instant(ev);
+}
+
+bool recoverable(FaultKind kind) {
+  // kRevoked: a peer's death (or suspicion) revoked our epoch. kTimeout /
+  // kRetriesExhausted: we suspect a loss ourselves — revoke and let the
+  // agreement decide who is actually gone. Everything else (own kRankDeath,
+  // abort poison, schedule bugs) is not survivable by shrinking.
+  return kind == FaultKind::kRevoked || kind == FaultKind::kTimeout ||
+         kind == FaultKind::kRetriesExhausted;
+}
+
+}  // namespace
+
+Schedule build_elastic_schedule(const ElasticOptions& options, CollParams params) {
+  check_params(params);
+  if (options.hier) {
+    // Hierarchy repair: the original group size first (shape preserved when
+    // it still divides p'), then small standard groups. The inter kernel and
+    // radix travel unchanged; supports_hierarchical re-validates them
+    // against the shrunk leader count.
+    std::vector<int> groups{options.hier->group_size, 2, 4, 8};
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+      const int g = groups[i];
+      if (std::find(groups.begin(), groups.begin() + static_cast<std::ptrdiff_t>(i),
+                    g) != groups.begin() + static_cast<std::ptrdiff_t>(i)) {
+        continue;  // duplicate of an earlier candidate
+      }
+      HierSpec spec = *options.hier;
+      spec.group_size = g;
+      if (supports_hierarchical(spec, params)) {
+        return build_hierarchical_schedule(spec, params);
+      }
+    }
+    return build_flat(options.hier->inter_alg, params);
+  }
+  return build_flat(options.alg, params);
+}
+
+std::vector<std::byte> execute_rank_elastic(runtime::Communicator& comm,
+                                            const CollParams& params,
+                                            runtime::DataType type,
+                                            runtime::ReduceOp op,
+                                            const ElasticOptions& options,
+                                            const InputProvider& provider,
+                                            ElasticReport* report) {
+  check_params(params);
+  runtime::World& world = comm.world();
+  const int self = comm.world_rank();
+  const fault::RecoveryConfig& cfg = world.membership().config();
+  obs::TraceSink* sink = options.sink;
+
+  ElasticReport rep;
+  // Rooted ops track the root as an ORIGINAL rank across shrinks; when the
+  // root itself dies the lowest-ranked survivor inherits the role (dense
+  // rank 0 after the remap, by the ascending-survivor ordering).
+  int root_orig = params.root;
+  runtime::EpochView view = world.membership().view();
+
+  for (;;) {
+    CollParams cur = params;
+    cur.p = comm.size();
+    const int root_dense = view.dense_rank(root_orig);
+    cur.root = root_dense >= 0 ? root_dense : 0;
+
+    std::vector<std::byte> output(output_bytes(cur));
+    try {
+      if (cur.p == 1) {
+        // Degenerate single-survivor world: every collective reduces to an
+        // input -> output copy (nothing left to exchange).
+        const std::vector<std::byte> input = provider(cur, comm.rank());
+        const std::size_t n = std::min(input.size(), output.size());
+        if (n != 0) std::memcpy(output.data(), input.data(), n);
+        rep.schedule_name = "identity(p=1)";
+        ++rep.attempts;
+      } else {
+        const Schedule sched = build_elastic_schedule(options, cur);
+        const std::vector<std::byte> input = provider(cur, comm.rank());
+        ++rep.attempts;
+        if (sched.hier) {
+          execute_hierarchical(sched, comm, input, output, type, op, sink,
+                               options.tuning);
+        } else {
+          execute_rank_program(sched, comm, input, output, type, op, sink,
+                               options.tuning);
+        }
+        rep.schedule_name = sched.name;
+      }
+      // Commit rendezvous: the result stands only when every member of this
+      // epoch finished. A false return means the epoch was revoked under us
+      // (late peer crash) — recover and retry like any mid-flight revoke.
+      if (world.membership().try_commit(self, cfg.agree_timeout)) {
+        rep.final_p = cur.p;
+        rep.final_epoch = comm.epoch();
+        rep.survivors = view.survivors;
+        if (report != nullptr) *report = rep;
+        return output;
+      }
+    } catch (const FaultError& e) {
+      if (!recoverable(e.kind())) throw;
+      // Make sure the epoch really is revoked so every survivor converges on
+      // the agreement (no-op when the crash site already revoked it).
+      if (e.kind() != FaultKind::kRevoked) {
+        emit_instant(sink, obs::InstantKind::kRevoke, self, -1, comm.epoch());
+        world.revoke(comm.epoch(), self, e.what());
+      }
+    }
+
+    // ---- recovery: agree on the survivors and enter the new epoch --------
+    const auto t0 = steady_clock::now();
+    emit_instant(sink, obs::InstantKind::kAgree, self, -1, comm.epoch());
+    view = world.join_recovery(comm.epoch(), self);  // throws if we are dead
+    comm.apply_epoch(view);
+    ++rep.shrinks;
+    rep.recovery_latency_ms +=
+        std::chrono::duration<double, std::milli>(steady_clock::now() - t0)
+            .count();
+    emit_instant(sink, obs::InstantKind::kShrink, self, view.size(), view.epoch);
+    if (rep.shrinks > cfg.max_recoveries) {
+      throw FaultError(FaultKind::kRetriesExhausted, self, -1, -1,
+                       "elastic recovery cap reached after " +
+                           std::to_string(rep.shrinks) + " shrink(s) (cap " +
+                           std::to_string(cfg.max_recoveries) + ")");
+    }
+    if (root_dense >= 0 && view.dense_rank(root_orig) < 0) {
+      // The root died between attempts; promote the lowest survivor.
+      root_orig = view.survivors.front();
+    } else if (root_dense < 0) {
+      root_orig = view.survivors.front();
+    }
+  }
+}
+
+std::vector<std::vector<std::byte>> execute_threaded_elastic(
+    const CollParams& params, runtime::DataType type, runtime::ReduceOp op,
+    const ElasticOptions& options, const InputProvider& provider,
+    const runtime::WorldOptions& world_options,
+    std::vector<ElasticReport>* reports) {
+  check_params(params);
+  std::vector<std::vector<std::byte>> outputs(static_cast<std::size_t>(params.p));
+  if (reports != nullptr) {
+    reports->assign(static_cast<std::size_t>(params.p), ElasticReport{});
+  }
+  runtime::World::run(
+      params.p,
+      [&](runtime::Communicator& comm) {
+        ElasticReport rep;
+        std::vector<std::byte> out = execute_rank_elastic(
+            comm, params, type, op, options, provider, &rep);
+        // Each thread writes only its own (original-rank) slot.
+        const auto r = static_cast<std::size_t>(comm.world_rank());
+        outputs[r] = std::move(out);
+        if (reports != nullptr) (*reports)[r] = rep;
+      },
+      world_options);
+  return outputs;
+}
+
+}  // namespace gencoll::core

@@ -27,6 +27,7 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::kRetriesExhausted: return "retries-exhausted";
     case FaultKind::kSizeMismatch: return "size-mismatch";
     case FaultKind::kProtocol: return "protocol";
+    case FaultKind::kRevoked: return "revoked";
   }
   return "?";
 }

@@ -23,6 +23,8 @@ enum class FaultKind {
   kRetriesExhausted,  ///< reliable send gave up after max_retries attempts
   kSizeMismatch,      ///< received payload size != posted receive size
   kProtocol,          ///< malformed reliability envelope / sequence violation
+  kRevoked,           ///< current epoch revoked for shrink recovery; the
+                      ///< interrupted collective is retried over survivors
 };
 
 const char* fault_kind_name(FaultKind kind);

@@ -1,0 +1,19 @@
+#include "fault/recovery.hpp"
+
+namespace gencoll::fault {
+
+const char* crash_policy_name(CrashPolicy policy) {
+  switch (policy) {
+    case CrashPolicy::kAbort: return "abort";
+    case CrashPolicy::kShrink: return "shrink";
+  }
+  return "?";
+}
+
+std::optional<CrashPolicy> parse_crash_policy(std::string_view name) {
+  if (name == "abort") return CrashPolicy::kAbort;
+  if (name == "shrink") return CrashPolicy::kShrink;
+  return std::nullopt;
+}
+
+}  // namespace gencoll::fault

@@ -1,0 +1,98 @@
+// Elastic-recovery primitives: the epoch-versioned generalization of the
+// monotonic abort poison (fault/abort.hpp).
+//
+// Under the ULFM-inspired shrink protocol (runtime/membership.hpp,
+// DESIGN.md section 11) a rank crash no longer poisons the World forever.
+// Instead the detecting rank *revokes the current epoch*: every survivor
+// blocked in a mailbox match, a barrier, or a shared-segment wait wakes with
+// FaultError(kRevoked), joins a deterministic agreement on the survivor set,
+// and retries the interrupted collective on the shrunk world under epoch+1.
+//
+// The RevokeFlag here is the wakeup primitive of that protocol. It is
+// *versioned*: revoking epoch e leaves epoch e+1 clean, so a recovered World
+// keeps working — while any straggler still executing under epoch <= e sees
+// its poison forever (revocations are monotonic per epoch). kAbort mode
+// keeps using the plain AbortFlag unchanged.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace gencoll::fault {
+
+/// What a World does when a rank dies (WorldOptions::on_crash).
+enum class CrashPolicy {
+  kAbort,   ///< fail fast: abort poison, every collective throws (default)
+  kShrink,  ///< revoke -> agree -> shrink -> retry over the survivors
+};
+
+const char* crash_policy_name(CrashPolicy policy);
+
+/// Parse "abort" / "shrink" (the GENCOLL_ON_CRASH vocabulary).
+std::optional<CrashPolicy> parse_crash_policy(std::string_view name);
+
+/// Shrink-recovery tuning (uniform across a World's ranks).
+struct RecoveryConfig {
+  /// Hard cap on recovery rounds per collective; exceeding it rethrows the
+  /// triggering FaultError (escalation to fail-stop). GENCOLL_MAX_RECOVERIES.
+  int max_recoveries = 8;
+  /// Agreement deadline: a revoked-epoch member that neither joins the
+  /// agreement nor is announced dead within this window is declared dead by
+  /// the survivors (the flood agreement's fallback). GENCOLL_AGREE_TIMEOUT_MS.
+  std::chrono::milliseconds agree_timeout{2000};
+};
+
+/// Epoch-versioned poison. revoke(e) marks epoch e (and every earlier epoch)
+/// revoked; revoked(e) asks "is epoch e poisoned?". Installing epoch e+1
+/// after an agreement clears nothing — the highest revoked epoch simply stays
+/// behind the live epoch, so stale-epoch waiters keep waking while the new
+/// epoch runs clean.
+class RevokeFlag {
+ public:
+  /// Revoke `epoch`. The first revocation of a given high-water epoch records
+  /// (rank, reason); later calls for the same or lower epochs are no-ops, so
+  /// the causal report is preserved. Callers must wake their waiters
+  /// afterwards (the flag has no condition variable of its own).
+  void revoke(int epoch, int rank, std::string reason) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (revoked_epoch_.load(std::memory_order_relaxed) >= epoch) return;
+      rank_ = rank;
+      reason_ = std::move(reason);
+      revoked_epoch_.store(epoch, std::memory_order_release);
+    }
+  }
+
+  /// True when `epoch` (or any later revocation covering it) is poisoned.
+  [[nodiscard]] bool revoked(int epoch) const {
+    return revoked_epoch_.load(std::memory_order_acquire) >= epoch;
+  }
+
+  /// Highest revoked epoch (-1 = never revoked).
+  [[nodiscard]] int revoked_epoch() const {
+    return revoked_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Rank that raised the most recent revocation (-1 if none).
+  [[nodiscard]] int source_rank() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return rank_;
+  }
+
+  [[nodiscard]] std::string reason() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return reason_;
+  }
+
+ private:
+  std::atomic<int> revoked_epoch_{-1};
+  mutable std::mutex mu_;
+  int rank_ = -1;
+  std::string reason_;
+};
+
+}  // namespace gencoll::fault

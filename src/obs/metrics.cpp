@@ -102,6 +102,9 @@ CollectiveMetrics collect_metrics(const TraceRecorder& recorder) {
         case InstantKind::kAbort: ++m.aborts; break;
         case InstantKind::kSelection: ++m.selections; break;
         case InstantKind::kArmSwitch: ++m.arm_switches; break;
+        case InstantKind::kRevoke: ++m.revokes; break;
+        case InstantKind::kAgree: ++m.agreements; break;
+        case InstantKind::kShrink: ++m.shrinks; break;
         case InstantKind::kMessagePost:
         case InstantKind::kMessageMatch:
           break;
@@ -132,6 +135,9 @@ util::Table metrics_summary_table(const CollectiveMetrics& m) {
   t.add_row({"aborts", std::to_string(m.aborts)});
   t.add_row({"selections / arm switches",
              std::to_string(m.selections) + " / " + std::to_string(m.arm_switches)});
+  t.add_row({"revokes / agreements / shrinks",
+             std::to_string(m.revokes) + " / " + std::to_string(m.agreements) +
+                 " / " + std::to_string(m.shrinks)});
   t.add_row({"makespan (us)", util::fmt(m.makespan_us)});
   return t;
 }

@@ -59,6 +59,12 @@ struct CollectiveMetrics {
   // where the committed arm changed for its (op, size-class, tenant) key.
   std::size_t selections = 0;
   std::size_t arm_switches = 0;
+  // Elastic shrink-recovery events (CrashPolicy::kShrink runs; zero
+  // otherwise). revokes counts epoch revocations observed, agreements the
+  // survivor-agreement joins, shrinks the epoch installs.
+  std::size_t revokes = 0;
+  std::size_t agreements = 0;
+  std::size_t shrinks = 0;
   std::vector<RankBreakdown> per_rank;
 };
 

@@ -24,6 +24,9 @@ const char* instant_kind_name(InstantKind kind) {
     case InstantKind::kAbort: return "Abort";
     case InstantKind::kSelection: return "Selection";
     case InstantKind::kArmSwitch: return "ArmSwitch";
+    case InstantKind::kRevoke: return "Revoke";
+    case InstantKind::kAgree: return "Agree";
+    case InstantKind::kShrink: return "Shrink";
   }
   return "?";
 }

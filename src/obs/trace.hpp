@@ -47,6 +47,12 @@ enum class InstantKind {
   kSelection,        ///< the selector committed an arm for one request
   kArmSwitch,        ///< the committed arm differs from the previous one
                      ///< for the same (op, size-class, tenant) key
+  // Elastic shrink-recovery events (src/fault/recovery.hpp, core/elastic.hpp):
+  // the revoke -> agree -> shrink lifecycle of one membership epoch. `tag`
+  // carries the revoked/installed epoch number.
+  kRevoke,           ///< a rank revoked the current epoch (crash detected)
+  kAgree,            ///< this rank joined the survivor agreement
+  kShrink,           ///< new epoch installed; `peer` = surviving rank count
 };
 
 /// Which fabric a message used. The simulator knows (machine topology); the

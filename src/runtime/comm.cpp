@@ -30,7 +30,8 @@ void flip_bit(std::span<std::byte> wire, std::uint64_t bit_index) {
 
 }  // namespace
 
-Communicator::Communicator(World* world, int rank) : world_(world), rank_(rank) {
+Communicator::Communicator(World* world, int rank)
+    : world_(world), rank_(rank), dense_rank_(rank) {
   if (world == nullptr) throw std::invalid_argument("Communicator: null world");
   if (rank < 0 || rank >= world->size()) {
     throw std::out_of_range("Communicator: rank out of range");
@@ -41,7 +42,31 @@ Communicator::Communicator(World* world, int rank) : world_(world), rank_(rank) 
   rel_ = world->options().reliability;
 }
 
-int Communicator::size() const { return world_->size(); }
+int Communicator::size() const {
+  return dense_to_orig_.empty() ? world_->size()
+                                : static_cast<int>(dense_to_orig_.size());
+}
+
+void Communicator::apply_epoch(const EpochView& view) {
+  const int dense = view.dense_rank(rank_);
+  if (dense < 0) {
+    throw FaultError(FaultKind::kRankDeath, rank_, -1, -1,
+                     "apply_epoch: rank " + std::to_string(rank_) +
+                         " is not in epoch " + std::to_string(view.epoch) +
+                         "'s survivor set");
+  }
+  epoch_ = view.epoch;
+  dense_rank_ = dense;
+  dense_to_orig_ = view.survivors;
+  // Both ends of every channel restart at sequence 0 in the new epoch. The
+  // agreement is the synchronization point — all survivors pass through it
+  // before any new-epoch traffic — and stale wire traffic (including acks,
+  // which are sender-thread generated and would otherwise desync the
+  // sequence counters) is discarded by its epoch stamp.
+  send_seq_.clear();
+  recv_expected_.clear();
+  reorder_.clear();
+}
 
 void Communicator::crash_check(int peer, int tag) {
   const std::uint64_t op = ops_done_++;
@@ -50,8 +75,15 @@ void Communicator::crash_check(int peer, int tag) {
   if (crash == nullptr || op < static_cast<std::uint64_t>(crash->after_ops)) return;
   const std::string reason = "injected crash at rank " + std::to_string(rank_) +
                              " after " + std::to_string(crash->after_ops) + " op(s)";
-  emit_instant(obs::InstantKind::kAbort, peer, tag, 0);
-  world_->abort(rank_, reason);
+  if (world_->crash_policy() == fault::CrashPolicy::kShrink) {
+    // Elastic mode: this death revokes the epoch instead of poisoning the
+    // World — survivors wake with kRevoked, agree, shrink, and retry.
+    emit_instant(obs::InstantKind::kRevoke, peer, tag, 0);
+    world_->announce_death(rank_, reason);
+  } else {
+    emit_instant(obs::InstantKind::kAbort, peer, tag, 0);
+    world_->abort(rank_, reason);
+  }
   throw FaultError(FaultKind::kRankDeath, rank_, peer, tag, reason);
 }
 
@@ -96,8 +128,9 @@ void Communicator::send(int dest, int tag, std::span<const std::byte> data) {
   }
   if (d.drop) return;
   Message m;
-  m.source = rank_;
+  m.source = dense_rank_;
   m.tag = tag;
+  m.epoch = epoch_;
   m.payload = world_->pool().acquire(data.size());
   if (!data.empty()) std::memcpy(m.payload.data(), data.data(), data.size());
   if (d.corrupt) flip_bit(m.payload.span(), d.corrupt_bit);
@@ -110,14 +143,15 @@ void Communicator::send(int dest, int tag, std::span<const std::byte> data) {
   if (d.duplicate) {
     copy.source = m.source;
     copy.tag = m.tag;
+    copy.epoch = m.epoch;
     copy.deliver_at = m.deliver_at;
     copy.payload = world_->pool().acquire(m.payload.size());
     if (!m.payload.empty()) {
       std::memcpy(copy.payload.data(), m.payload.data(), m.payload.size());
     }
   }
-  world_->mailbox(dest).post(std::move(m));
-  if (d.duplicate) world_->mailbox(dest).post(std::move(copy));
+  world_->mailbox(orig_of(dest)).post(std::move(m));
+  if (d.duplicate) world_->mailbox(orig_of(dest)).post(std::move(copy));
 }
 
 void Communicator::send_view(int dest, int tag, std::span<const std::byte> data) {
@@ -132,11 +166,12 @@ void Communicator::send_view(int dest, int tag, std::span<const std::byte> data)
   }
   crash_check(dest, tag);
   Message m;
-  m.source = rank_;
+  m.source = dense_rank_;
   m.tag = tag;
+  m.epoch = epoch_;
   m.zero_copy = true;
   m.view = data;
-  world_->mailbox(dest).post(std::move(m));
+  world_->mailbox(orig_of(dest)).post(std::move(m));
 }
 
 void Communicator::reliable_send(int dest, int tag, std::span<const std::byte> data) {
@@ -174,15 +209,16 @@ void Communicator::reliable_send(int dest, int tag, std::span<const std::byte> d
       const int copies = dd.duplicate ? 2 : 1;
       for (int c = 0; c < copies; ++c) {
         Message m;
-        m.source = rank_;
+        m.source = dense_rank_;
         m.tag = tag;
+        m.epoch = epoch_;
         m.payload = c + 1 == copies ? std::move(wire) : std::vector<std::byte>(wire);
         if (dd.delay_ms > 0.0) {
           m.deliver_at = steady_clock::now() +
                          std::chrono::duration_cast<steady_clock::duration>(
                              std::chrono::duration<double, std::milli>(dd.delay_ms));
         }
-        world_->mailbox(dest).post(std::move(m));
+        world_->mailbox(orig_of(dest)).post(std::move(m));
       }
       if (!arrived_intact) {
         emit_instant(obs::InstantKind::kCorruptDetected, dest, tag, data.size());
@@ -200,6 +236,9 @@ void Communicator::reliable_send(int dest, int tag, std::span<const std::byte> d
         Message am;
         am.source = dest;
         am.tag = atag;
+        // Acks carry the epoch too: a stale-epoch ack matched after a shrink
+        // would otherwise satisfy a new-epoch attempt's verdict wait.
+        am.epoch = epoch_;
         am.payload = fault::make_ack(seq, arrived_intact);
         if (ad.delay_ms > 0.0) {
           am.deliver_at = steady_clock::now() +
@@ -216,7 +255,7 @@ void Communicator::reliable_send(int dest, int tag, std::span<const std::byte> d
     for (;;) {
       Message am;
       try {
-        am = self_box.match(dest, atag, remaining_ms(deadline), rank_);
+        am = self_box.match(dest, atag, remaining_ms(deadline), rank_, epoch_);
       } catch (const FaultError& e) {
         if (e.kind() == FaultKind::kTimeout) break;  // lost ack -> retransmit
         throw;                                       // abort poison etc.
@@ -285,7 +324,7 @@ std::vector<std::byte> Communicator::reliable_recv(int source, int tag) {
                        "reliable recv deadline expired waiting for seq=" +
                            std::to_string(expected));
     }
-    Message m = box.match(source, tag, left, rank_);
+    Message m = box.match(source, tag, left, rank_, epoch_);
     const fault::DataView v = fault::unwrap_data(m.bytes(), verify);
     if (!v.header_ok || !v.crc_ok) {
       // End-to-end corruption that slipped past (or was rejected by) the
@@ -320,7 +359,7 @@ Message Communicator::recv_msg(int source, int tag, std::size_t expected) {
     m.tag = tag;
     m.payload = std::move(wire);
   } else {
-    m = world_->mailbox(rank_).match(source, tag, timeout_, rank_);
+    m = world_->mailbox(rank_).match(source, tag, timeout_, rank_, epoch_);
   }
   if (m.size() != expected) {
     throw FaultError(FaultKind::kSizeMismatch, rank_, source, tag,
@@ -349,7 +388,7 @@ std::vector<std::byte> Communicator::recv_any_size(int source, int tag) {
                wire.begin() + static_cast<std::ptrdiff_t>(fault::kDataHeaderBytes));
     return wire;
   }
-  Message m = world_->mailbox(rank_).match(source, tag, timeout_, rank_);
+  Message m = world_->mailbox(rank_).match(source, tag, timeout_, rank_, epoch_);
   if (m.zero_copy) return {m.view.begin(), m.view.end()};
   return std::move(m.payload).take();
 }
@@ -360,6 +399,6 @@ void Communicator::sendrecv(int dest, int send_tag, std::span<const std::byte> s
   recv(source, recv_tag, recv_out);
 }
 
-void Communicator::barrier() { world_->barrier_wait(); }
+void Communicator::barrier() { world_->barrier_wait(epoch_); }
 
 }  // namespace gencoll::runtime

@@ -32,6 +32,7 @@
 #include "fault/plan.hpp"
 #include "obs/trace.hpp"
 #include "runtime/mailbox.hpp"
+#include "runtime/membership.hpp"
 
 namespace gencoll::runtime {
 
@@ -61,8 +62,26 @@ class Communicator {
  public:
   Communicator(World* world, int rank);
 
-  [[nodiscard]] int rank() const { return rank_; }
+  /// This rank's id in the *current epoch's dense rank space* — the space
+  /// schedules are built over. Identical to world_rank() until a shrink
+  /// recovery renumbers the survivors (apply_epoch).
+  [[nodiscard]] int rank() const { return dense_rank_; }
+  /// This rank's immutable original World rank (mailbox index, fault-plan
+  /// target, obs lane).
+  [[nodiscard]] int world_rank() const { return rank_; }
+  /// Current epoch size: the survivor count after shrinks, World::size()
+  /// before any.
   [[nodiscard]] int size() const;
+  /// Membership epoch this communicator operates under. Stamped on every
+  /// posted message so stale-epoch stragglers are discarded at match time.
+  [[nodiscard]] int epoch() const { return epoch_; }
+
+  /// Enter a freshly agreed epoch (runtime/membership.hpp): adopt its dense
+  /// rank numbering and reset the per-channel reliable-transport sequence
+  /// state — every survivor applies the same view after the agreement, so
+  /// both ends of each channel restart at sequence 0 together. Throws
+  /// FaultError(kRankDeath) when this rank is not in the survivor set.
+  void apply_epoch(const EpochView& view);
 
   /// Buffered send: copies `data` (into pool-recycled storage — no heap
   /// allocation in steady state) and returns without waiting for the
@@ -138,6 +157,12 @@ class Communicator {
   /// FaultPlan crash point is reached. Called on every p2p operation.
   void crash_check(int peer, int tag);
 
+  /// Mailbox index of a dense-rank peer (identity before any shrink).
+  [[nodiscard]] int orig_of(int dense) const {
+    return dense_to_orig_.empty() ? dense
+                                  : dense_to_orig_[static_cast<std::size_t>(dense)];
+  }
+
   void reliable_send(int dest, int tag, std::span<const std::byte> data);
   /// Returns the next in-sequence *envelope* (header included — the caller
   /// skips fault::kDataHeaderBytes) so the hot path moves the matched buffer
@@ -146,7 +171,11 @@ class Communicator {
   void emit_instant(obs::InstantKind kind, int peer, int tag, std::size_t bytes);
 
   World* world_;  // non-owning; World outlives its Communicators
-  int rank_;
+  int rank_;            ///< original World rank (immutable)
+  int dense_rank_;      ///< rank in the current epoch's dense space
+  int epoch_ = 0;       ///< current membership epoch
+  /// dense rank -> original rank for the current epoch; empty = identity.
+  std::vector<int> dense_to_orig_;
   std::chrono::milliseconds timeout_{std::chrono::seconds(60)};
   obs::TraceSink* sink_ = nullptr;
 

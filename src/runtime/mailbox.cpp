@@ -16,7 +16,7 @@ void Mailbox::post(Message message) {
 }
 
 Message Mailbox::match(int source, int tag, std::chrono::milliseconds timeout,
-                       int self_rank) {
+                       int self_rank, int epoch) {
   using clock = std::chrono::steady_clock;
   std::unique_lock<std::mutex> lock(mu_);
   const auto deadline = clock::now() + timeout;
@@ -27,16 +27,31 @@ Message Mailbox::match(int source, int tag, std::chrono::milliseconds timeout,
                        "abort raised by rank " + std::to_string(abort_->source_rank()) +
                            " (" + abort_->reason() + ")");
     }
+    if (revoke_ != nullptr && revoke_->revoked(epoch)) {
+      throw FaultError(FaultKind::kRevoked, self_rank, source, tag,
+                       "epoch " + std::to_string(epoch) + " revoked by rank " +
+                           std::to_string(revoke_->source_rank()) + " (" +
+                           revoke_->reason() + ")");
+    }
     const auto now = clock::now();
     auto earliest_future = clock::time_point::max();
     auto it = queue_.end();
-    for (auto cur = queue_.begin(); cur != queue_.end(); ++cur) {
-      if (cur->source != source || cur->tag != tag) continue;
+    for (auto cur = queue_.begin(); cur != queue_.end();) {
+      if (cur->source != source || cur->tag != tag || cur->epoch > epoch) {
+        ++cur;
+        continue;
+      }
+      if (cur->epoch < epoch) {
+        // Stale straggler from a pre-shrink epoch: discard, never deliver.
+        cur = queue_.erase(cur);
+        continue;
+      }
       if (cur->deliver_at <= now) {
         it = cur;
         break;
       }
       earliest_future = std::min(earliest_future, cur->deliver_at);
+      ++cur;
     }
     if (it != queue_.end()) {
       Message out = std::move(*it);
@@ -69,6 +84,15 @@ std::size_t Mailbox::drain_matching(
                                 return m.source == source && m.tag == tag &&
                                        pred(m.bytes());
                               }),
+               queue_.end());
+  return before - queue_.size();
+}
+
+std::size_t Mailbox::purge_stale(int epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t before = queue_.size();
+  queue_.erase(std::remove_if(queue_.begin(), queue_.end(),
+                              [epoch](const Message& m) { return m.epoch < epoch; }),
                queue_.end());
   return before - queue_.size();
 }

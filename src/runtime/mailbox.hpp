@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "fault/abort.hpp"
+#include "fault/recovery.hpp"
 #include "runtime/buffer_pool.hpp"
 
 namespace gencoll::runtime {
@@ -37,6 +38,11 @@ namespace gencoll::runtime {
 struct Message {
   int source = -1;
   int tag = 0;
+  /// Membership epoch the message was posted under (runtime/membership.hpp).
+  /// Epoch-aware matches discard messages from older epochs — the "drain
+  /// in-flight stale traffic" half of the shrink protocol. 0 = the initial
+  /// epoch, which every pre-shrink (and every kAbort-mode) message carries.
+  int epoch = 0;
   /// Owned payload bytes: pool-recycled storage on the hot path, adopted
   /// heap vectors on the fault-envelope paths. Empty for zero-copy sends.
   PoolBuffer payload;
@@ -68,8 +74,16 @@ class Mailbox {
   /// post order (MPI non-overtaking). Throws FaultError(kTimeout) on
   /// deadline expiry and FaultError(kAborted) when the abort flag raises.
   /// `self_rank` only labels the thrown errors (-1 = unknown).
+  ///
+  /// `epoch` is the caller's membership epoch: queued (source, tag) messages
+  /// from an *older* epoch are silently discarded (stale stragglers from
+  /// before a shrink must not corrupt the retry), newer ones are left for a
+  /// future epoch-advanced caller, and only an equal-epoch message matches.
+  /// When a RevokeFlag is attached and the caller's epoch is revoked, the
+  /// wait wakes with FaultError(kRevoked) — the recovery driver's signal to
+  /// join the survivor agreement.
   Message match(int source, int tag, std::chrono::milliseconds timeout,
-                int self_rank = -1);
+                int self_rank = -1, int epoch = 0);
 
   /// Non-blocking probe: true if a matching message is queued (regardless of
   /// deliver_at).
@@ -86,11 +100,20 @@ class Mailbox {
   /// Number of queued (undelivered) messages; used by leak checks in tests.
   std::size_t pending() const;
 
+  /// Remove every queued message whose epoch is older than `epoch`; returns
+  /// the number removed. The World purges all mailboxes when a new epoch is
+  /// installed so stale-epoch traffic cannot linger as pending() leaks.
+  std::size_t purge_stale(int epoch);
+
   /// Attach the World's abort poison (non-owning; may be nullptr). Called
   /// once before any rank thread runs.
   void set_abort_flag(const fault::AbortFlag* abort) { abort_ = abort; }
 
-  /// Wake all blocked match() calls so they re-check the abort flag.
+  /// Attach the World's epoch-versioned revoke poison (non-owning; may be
+  /// nullptr). Called once before any rank thread runs.
+  void set_revoke_flag(const fault::RevokeFlag* revoke) { revoke_ = revoke; }
+
+  /// Wake all blocked match() calls so they re-check the abort/revoke flags.
   void interrupt();
 
  private:
@@ -98,6 +121,7 @@ class Mailbox {
   std::condition_variable cv_;
   std::deque<Message> queue_;
   const fault::AbortFlag* abort_ = nullptr;
+  const fault::RevokeFlag* revoke_ = nullptr;
 };
 
 }  // namespace gencoll::runtime

@@ -1,0 +1,203 @@
+#include "runtime/membership.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "fault/error.hpp"
+
+namespace gencoll::runtime {
+
+bool EpochView::contains(int original_rank) const {
+  return dense_rank(original_rank) >= 0;
+}
+
+int EpochView::dense_rank(int original_rank) const {
+  const auto it =
+      std::lower_bound(survivors.begin(), survivors.end(), original_rank);
+  if (it == survivors.end() || *it != original_rank) return -1;
+  return static_cast<int>(it - survivors.begin());
+}
+
+int EpochView::original_rank(int dense_rank) const {
+  if (dense_rank < 0 || dense_rank >= size()) {
+    throw std::out_of_range("EpochView::original_rank: dense rank out of range");
+  }
+  return survivors[static_cast<std::size_t>(dense_rank)];
+}
+
+Membership::Membership(int world_size, fault::RecoveryConfig config,
+                       std::function<void(int)> on_install)
+    : world_size_(world_size),
+      config_(config),
+      on_install_(std::move(on_install)),
+      alive_(static_cast<std::size_t>(world_size), true),
+      joined_(static_cast<std::size_t>(world_size), false),
+      death_reason_(static_cast<std::size_t>(world_size)) {
+  if (world_size <= 0) {
+    throw std::invalid_argument("Membership: world size must be positive");
+  }
+}
+
+int Membership::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+EpochView Membership::view() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return view_locked();
+}
+
+int Membership::alive_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return alive_count_locked();
+}
+
+bool Membership::is_dead(int original_rank) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return original_rank >= 0 && original_rank < world_size_ &&
+         !alive_[static_cast<std::size_t>(original_rank)];
+}
+
+std::vector<int> Membership::dead_ranks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int> dead;
+  for (int r = 0; r < world_size_; ++r) {
+    if (!alive_[static_cast<std::size_t>(r)]) dead.push_back(r);
+  }
+  return dead;
+}
+
+EpochView Membership::view_locked() const {
+  EpochView v;
+  v.epoch = epoch_;
+  for (int r = 0; r < world_size_; ++r) {
+    if (alive_[static_cast<std::size_t>(r)]) v.survivors.push_back(r);
+  }
+  return v;
+}
+
+int Membership::alive_count_locked() const {
+  return static_cast<int>(
+      std::count(alive_.begin(), alive_.end(), true));
+}
+
+void Membership::announce_death(int original_rank, const std::string& reason) {
+  if (original_rank < 0 || original_rank >= world_size_) {
+    throw std::out_of_range("Membership::announce_death: rank out of range");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!alive_[static_cast<std::size_t>(original_rank)]) return;  // announced
+    alive_[static_cast<std::size_t>(original_rank)] = false;
+    death_reason_[static_cast<std::size_t>(original_rank)] = reason;
+    revoke_.revoke(epoch_, original_rank, reason);
+  }
+  cv_.notify_all();
+}
+
+void Membership::revoke(int epoch, int original_rank, const std::string& reason) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (epoch < epoch_) return;  // stale: that epoch was already recovered past
+    revoke_.revoke(epoch_, original_rank, reason);
+  }
+  cv_.notify_all();
+}
+
+bool Membership::try_commit(int original_rank, std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const int e = epoch_;
+  if (revoke_.revoked(e)) return false;
+  const bool sense = commit_sense_;
+  if (++commit_arrived_ >= alive_count_locked()) {
+    commit_arrived_ = 0;
+    commit_sense_ = !commit_sense_;
+    cv_.notify_all();
+    return true;
+  }
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    cv_.wait_until(lock, deadline, [&] {
+      return commit_sense_ != sense || epoch_ != e || revoke_.revoked(e);
+    });
+    // Completion wins over a revocation that landed after the last arrival:
+    // the collective finished on every member, so its result stands.
+    if (commit_sense_ != sense) return true;
+    if (epoch_ != e || revoke_.revoked(e)) return false;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      // A member neither arrived nor died: indistinguishable from a hang.
+      // Revoke so everyone (including the straggler, eventually) recovers.
+      revoke_.revoke(e, original_rank,
+                     "commit rendezvous timed out waiting for peers");
+      cv_.notify_all();
+      return false;
+    }
+  }
+}
+
+void Membership::install_locked(int old_epoch) {
+  std::fill(joined_.begin(), joined_.end(), false);
+  deadline_armed_ = false;
+  commit_arrived_ = 0;
+  epoch_ = old_epoch + 1;
+  if (on_install_) on_install_(epoch_);
+}
+
+EpochView Membership::agree_and_shrink(int epoch, int original_rank) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (original_rank < 0 || original_rank >= world_size_) {
+    throw std::out_of_range("Membership::agree_and_shrink: rank out of range");
+  }
+  if (!alive_[static_cast<std::size_t>(original_rank)]) {
+    throw FaultError(
+        FaultKind::kRankDeath, original_rank, -1, -1,
+        "declared dead by the survivor agreement (" +
+            death_reason_[static_cast<std::size_t>(original_rank)] + ")");
+  }
+  if (epoch_ > epoch) return view_locked();  // peers already installed
+  if (!revoke_.revoked(epoch_)) {
+    throw std::logic_error(
+        "Membership::agree_and_shrink: current epoch is not revoked");
+  }
+  joined_[static_cast<std::size_t>(original_rank)] = true;
+  if (!deadline_armed_) {
+    deadline_armed_ = true;
+    agree_deadline_ = std::chrono::steady_clock::now() + config_.agree_timeout;
+  }
+  cv_.notify_all();
+  for (;;) {
+    if (epoch_ > epoch) return view_locked();  // another joiner installed
+    bool missing = false;
+    for (int r = 0; r < world_size_; ++r) {
+      const auto i = static_cast<std::size_t>(r);
+      if (alive_[i] && !joined_[i]) {
+        missing = true;
+        break;
+      }
+    }
+    if (!missing) {
+      install_locked(epoch);
+      cv_.notify_all();
+      return view_locked();
+    }
+    cv_.wait_until(lock, agree_deadline_);
+    if (epoch_ > epoch) return view_locked();
+    if (std::chrono::steady_clock::now() >= agree_deadline_) {
+      // Flood-agreement fallback: members that neither joined nor died by
+      // the deadline are declared dead (a hung rank and a dead rank are
+      // indistinguishable from here). They throw kRankDeath on their next
+      // membership interaction.
+      for (int r = 0; r < world_size_; ++r) {
+        const auto i = static_cast<std::size_t>(r);
+        if (alive_[i] && !joined_[i]) {
+          alive_[i] = false;
+          death_reason_[i] =
+              "did not join the recovery agreement before the deadline";
+        }
+      }
+    }
+  }
+}
+
+}  // namespace gencoll::runtime

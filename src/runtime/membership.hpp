@@ -1,0 +1,121 @@
+// Epoch-versioned group membership: the agreement half of the
+// revoke -> agree -> shrink -> retry protocol (DESIGN.md section 11).
+//
+// A World under CrashPolicy::kShrink owns one Membership. Epoch 0 contains
+// all p original ranks. When a crash is detected, announce_death() marks the
+// victim dead and revokes the current epoch through the RevokeFlag, which
+// wakes every survivor blocked in a mailbox match / barrier / shm wait with
+// FaultError(kRevoked). Each survivor then calls agree_and_shrink(): a
+// deterministic in-process flood agreement that blocks until every member of
+// the revoked epoch has either joined or been announced dead (members that
+// do neither within the agreement deadline are declared dead — the fallback
+// that covers silent hangs). The last joiner installs epoch+1 whose
+// survivor set is the alive ranks in ascending original-rank order — that
+// ordering IS the dense remap: survivor i of the list becomes dense rank i.
+//
+// Commit rendezvous: a collective under kShrink only *commits* when every
+// current member finished it (try_commit). Without this, a rank whose step
+// program happens to complete before a late peer crash would return a
+// full-p result while the other survivors shrink and retry without it —
+// the rendezvous converts that race into one more kRevoked retry.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "fault/recovery.hpp"
+
+namespace gencoll::runtime {
+
+/// Immutable snapshot of one epoch's survivor set. `survivors` holds the
+/// original (world) ranks in ascending order; position in the list is the
+/// dense rank the shrunk schedules are built over.
+struct EpochView {
+  int epoch = 0;
+  std::vector<int> survivors;
+
+  [[nodiscard]] int size() const { return static_cast<int>(survivors.size()); }
+  [[nodiscard]] bool contains(int original_rank) const;
+  /// Dense rank of an original rank (-1 when dead / out of range).
+  [[nodiscard]] int dense_rank(int original_rank) const;
+  /// Original rank of a dense rank (throws std::out_of_range when invalid).
+  [[nodiscard]] int original_rank(int dense_rank) const;
+};
+
+class Membership {
+ public:
+  /// `on_install` runs under the membership lock immediately after a new
+  /// epoch is installed (before any waiter returns) — the World uses it to
+  /// purge stale-epoch mailbox messages and reset its barrier counter so the
+  /// new epoch starts clean. May be empty.
+  Membership(int world_size, fault::RecoveryConfig config,
+             std::function<void(int new_epoch)> on_install = {});
+
+  [[nodiscard]] int world_size() const { return world_size_; }
+  [[nodiscard]] const fault::RecoveryConfig& config() const { return config_; }
+  [[nodiscard]] const fault::RevokeFlag& revoke_flag() const { return revoke_; }
+
+  [[nodiscard]] int epoch() const;
+  [[nodiscard]] EpochView view() const;
+  [[nodiscard]] int alive_count() const;
+  [[nodiscard]] bool is_dead(int original_rank) const;
+  /// Ranks that ever died, ascending.
+  [[nodiscard]] std::vector<int> dead_ranks() const;
+
+  /// Announce `original_rank` dead and revoke the current epoch. Idempotent
+  /// per rank; the caller (World) is responsible for waking blocked waiters
+  /// afterwards. Announcing the last living rank is allowed (the World's
+  /// run loop then surfaces the recorded errors — nothing is left to agree).
+  void announce_death(int original_rank, const std::string& reason);
+
+  /// Revoke `epoch` without declaring anyone dead (timeout-suspected loss:
+  /// the agreement decides who is actually gone — if everyone joins, the
+  /// retry runs at the same p). No-op when `epoch` is already behind the
+  /// current epoch. The caller wakes waiters.
+  void revoke(int epoch, int original_rank, const std::string& reason);
+
+  /// Commit rendezvous for the caller's current epoch: returns true when all
+  /// members of that epoch arrived (the collective's result is committed),
+  /// false when the epoch was revoked first — the caller must recover and
+  /// retry. A member that neither arrives nor dies within `timeout` causes a
+  /// revocation (it is indistinguishable from a hang).
+  bool try_commit(int original_rank, std::chrono::milliseconds timeout);
+
+  /// Join the agreement for revoked epoch `epoch`; blocks until every member
+  /// of that epoch joined or died, then returns the freshly installed view
+  /// (the last joiner installs it and runs on_install). Throws
+  /// FaultError(kRankDeath) when the caller itself was declared dead by its
+  /// peers. When the epoch was already superseded, returns the current view
+  /// immediately.
+  EpochView agree_and_shrink(int epoch, int original_rank);
+
+ private:
+  [[nodiscard]] EpochView view_locked() const;
+  [[nodiscard]] int alive_count_locked() const;
+  void install_locked(int old_epoch);
+
+  const int world_size_;
+  const fault::RecoveryConfig config_;
+  const std::function<void(int)> on_install_;
+
+  fault::RevokeFlag revoke_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int epoch_ = 0;
+  std::vector<bool> alive_;
+  std::vector<bool> joined_;  ///< agreement participation, current epoch
+  std::vector<std::string> death_reason_;
+  bool deadline_armed_ = false;
+  std::chrono::steady_clock::time_point agree_deadline_{};
+
+  // Commit rendezvous state (sense-reversing; reset on install).
+  int commit_arrived_ = 0;
+  bool commit_sense_ = false;
+};
+
+}  // namespace gencoll::runtime

@@ -16,8 +16,8 @@ namespace {
 constexpr std::size_t kLine = 64;
 }  // namespace
 
-ShmGroup::ShmGroup(World& world, int base_rank, int size)
-    : world_(world), base_rank_(base_rank), size_(size) {
+ShmGroup::ShmGroup(World& world, int base_rank, int size, int epoch)
+    : world_(world), base_rank_(base_rank), size_(size), epoch_(epoch) {
   if (size < 2) {
     throw std::invalid_argument("ShmGroup: group size must be >= 2");
   }
@@ -65,6 +65,12 @@ std::uint64_t ShmGroup::wait_ge(const std::atomic<std::uint64_t>& cell,
       throw FaultError(FaultKind::kAborted, self_rank, -1, -1,
                        std::string("shm_group: woken by abort while waiting for ") +
                            what + ": " + world_.abort_reason());
+    }
+    if (world_.membership().revoke_flag().revoked(epoch_)) {
+      throw FaultError(
+          FaultKind::kRevoked, self_rank, -1, -1,
+          std::string("shm_group: woken by epoch revocation while waiting for ") +
+              what + ": " + world_.membership().revoke_flag().reason());
     }
     ++spins;
     if (spins < 64) {

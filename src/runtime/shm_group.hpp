@@ -54,14 +54,18 @@ class ShmGroup {
  public:
   /// `base_rank` is the group's first world rank (the leader); `size` >= 2
   /// is the group size g. The control segment (size slots + size fan-out
-  /// acks, one cache line each) is acquired from `world.pool()`.
-  ShmGroup(World& world, int base_rank, int size);
+  /// acks, one cache line each) is acquired from `world.pool()`. `epoch` is
+  /// the membership epoch the group serves: waits wake with
+  /// FaultError(kRevoked) once that epoch is revoked for shrink recovery
+  /// (the World hands out a fresh group per epoch).
+  ShmGroup(World& world, int base_rank, int size, int epoch = 0);
   ~ShmGroup();
   ShmGroup(const ShmGroup&) = delete;
   ShmGroup& operator=(const ShmGroup&) = delete;
 
   [[nodiscard]] int size() const { return size_; }
   [[nodiscard]] int base_rank() const { return base_rank_; }
+  [[nodiscard]] int epoch() const { return epoch_; }
 
   // ---- fan-in: member -> leader ----------------------------------------
 
@@ -121,6 +125,7 @@ class ShmGroup {
   World& world_;
   int base_rank_;
   int size_;
+  int epoch_;
   PoolBuffer segment_;  ///< raw storage for 2 * size_ cache-line Slots
   Slot* slots_ = nullptr;
 };

@@ -7,6 +7,7 @@
 #include "fault/error.hpp"
 #include "runtime/shm_group.hpp"
 #include "util/env.hpp"
+#include "util/logging.hpp"
 
 namespace gencoll::runtime {
 
@@ -21,12 +22,47 @@ std::chrono::milliseconds resolve_recv_timeout(const WorldOptions& options) {
       util::env_int("GENCOLL_RECV_TIMEOUT_MS", kDefaultMs, 1, INT64_MAX / 2));
 }
 
+/// Crash policy: explicit option > GENCOLL_ON_CRASH ("abort"/"shrink") >
+/// kAbort. An unrecognized value warns and falls back to fail-fast.
+fault::CrashPolicy resolve_crash_policy(const WorldOptions& options) {
+  if (options.on_crash) return *options.on_crash;
+  if (const auto v = util::env_string("GENCOLL_ON_CRASH")) {
+    if (const auto policy = fault::parse_crash_policy(*v)) return *policy;
+    GENCOLL_LOG(kWarn)
+        << "GENCOLL_ON_CRASH=\"" << *v
+        << "\" is not \"abort\" or \"shrink\"; using abort";
+  }
+  return fault::CrashPolicy::kAbort;
+}
+
+/// Recovery caps: explicit option > GENCOLL_MAX_RECOVERIES /
+/// GENCOLL_AGREE_TIMEOUT_MS > struct defaults.
+fault::RecoveryConfig resolve_recovery(const WorldOptions& options) {
+  if (options.recovery) return *options.recovery;
+  fault::RecoveryConfig cfg;
+  cfg.max_recoveries = static_cast<int>(
+      util::env_int("GENCOLL_MAX_RECOVERIES", cfg.max_recoveries, 1, 1 << 20));
+  cfg.agree_timeout = std::chrono::milliseconds(util::env_int(
+      "GENCOLL_AGREE_TIMEOUT_MS", cfg.agree_timeout.count(), 1, INT64_MAX / 2));
+  return cfg;
+}
+
 }  // namespace
 
 World::World(int size, WorldOptions options)
     : size_(size),
       options_(std::move(options)),
-      recv_timeout_(resolve_recv_timeout(options_)) {
+      recv_timeout_(resolve_recv_timeout(options_)),
+      crash_policy_(resolve_crash_policy(options_)),
+      membership_(size > 0 ? size : 1, resolve_recovery(options_),
+                  [this](int new_epoch) {
+                    // Runs under the membership lock at epoch install, before
+                    // any agreement waiter returns: drop stale-epoch traffic
+                    // and reset the barrier so the shrunk world starts clean.
+                    for (const auto& mb : mailboxes_) mb->purge_stale(new_epoch);
+                    std::lock_guard<std::mutex> lock(barrier_mu_);
+                    barrier_arrived_ = 0;
+                  }) {
   if (size <= 0) throw std::invalid_argument("World: size must be positive");
   if (options_.fault_plan != nullptr) options_.fault_plan->check();
   if (options_.pool != nullptr) pool_ = options_.pool;
@@ -34,6 +70,7 @@ World::World(int size, WorldOptions options)
   for (int i = 0; i < size; ++i) {
     mailboxes_.push_back(std::make_unique<Mailbox>());
     mailboxes_.back()->set_abort_flag(&abort_);
+    mailboxes_.back()->set_revoke_flag(&membership_.revoke_flag());
   }
 }
 
@@ -48,28 +85,43 @@ ShmGroup& World::shm_group(int group_size, int group_id) {
       (group_id + 1) * group_size > size_) {
     throw std::invalid_argument("World::shm_group: group outside world");
   }
+  const int epoch = membership_.epoch();
   std::lock_guard<std::mutex> lock(shm_mu_);
-  auto& entry = shm_groups_[{group_size, group_id}];
+  auto& entry = shm_groups_[{epoch, group_size, group_id}];
   if (!entry) {
-    entry = std::make_unique<ShmGroup>(*this, group_id * group_size, group_size);
+    entry = std::make_unique<ShmGroup>(*this, group_id * group_size, group_size,
+                                       epoch);
   }
   return *entry;
 }
 
-void World::barrier_wait() {
+void World::barrier_wait(int epoch) {
   std::unique_lock<std::mutex> lock(barrier_mu_);
   if (abort_.raised()) {
     throw FaultError(FaultKind::kAborted, -1, -1, -1,
                      "barrier entered on poisoned World (" + abort_.reason() + ")");
   }
+  const fault::RevokeFlag& revoke = membership_.revoke_flag();
+  if (revoke.revoked(epoch)) {
+    throw FaultError(FaultKind::kRevoked, -1, -1, -1,
+                     "barrier entered on revoked epoch " + std::to_string(epoch) +
+                         " (" + revoke.reason() + ")");
+  }
   const bool sense = barrier_sense_;
-  if (++barrier_arrived_ == size_) {
+  if (++barrier_arrived_ >= membership_.alive_count()) {
     barrier_arrived_ = 0;
     barrier_sense_ = !barrier_sense_;
     barrier_cv_.notify_all();
   } else {
-    barrier_cv_.wait(lock, [&] { return barrier_sense_ != sense || abort_.raised(); });
-    if (barrier_sense_ == sense) {  // woken by abort, not by the last arrival
+    barrier_cv_.wait(lock, [&] {
+      return barrier_sense_ != sense || abort_.raised() || revoke.revoked(epoch);
+    });
+    if (barrier_sense_ == sense) {  // woken by poison, not by the last arrival
+      if (revoke.revoked(epoch) && !abort_.raised()) {
+        throw FaultError(FaultKind::kRevoked, -1, -1, -1,
+                         "barrier interrupted by epoch revocation (" +
+                             revoke.reason() + ")");
+      }
       throw FaultError(FaultKind::kAborted, -1, -1, -1,
                        "barrier interrupted by abort (" + abort_.reason() + ")");
     }
@@ -93,6 +145,28 @@ void World::abort(int rank, const std::string& reason) {
   for (const auto& mb : mailboxes_) mb->interrupt();
 }
 
+void World::announce_death(int rank, const std::string& reason) {
+  membership_.announce_death(rank, reason);
+  {
+    std::lock_guard<std::mutex> lock(barrier_mu_);
+  }
+  barrier_cv_.notify_all();
+  for (const auto& mb : mailboxes_) mb->interrupt();
+}
+
+void World::revoke(int epoch, int rank, const std::string& reason) {
+  membership_.revoke(epoch, rank, reason);
+  {
+    std::lock_guard<std::mutex> lock(barrier_mu_);
+  }
+  barrier_cv_.notify_all();
+  for (const auto& mb : mailboxes_) mb->interrupt();
+}
+
+EpochView World::join_recovery(int epoch, int rank) {
+  return membership_.agree_and_shrink(epoch, rank);
+}
+
 void World::run(int size, const std::function<void(Communicator&)>& fn) {
   run(size, fn, WorldOptions{});
 }
@@ -100,9 +174,11 @@ void World::run(int size, const std::function<void(Communicator&)>& fn) {
 void World::run(int size, const std::function<void(Communicator&)>& fn,
                 const WorldOptions& options) {
   World world(size, options);
+  const bool shrink = world.crash_policy() == fault::CrashPolicy::kShrink;
 
   std::mutex error_mu;
   std::exception_ptr first_error;
+  int deaths_swallowed = 0;
 
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(size));
@@ -112,6 +188,23 @@ void World::run(int size, const std::function<void(Communicator&)>& fn,
         Communicator comm(&world, r);
         fn(comm);
       } catch (...) {
+        if (shrink) {
+          // Elastic mode: this rank's death is survivable — announce it
+          // (idempotent; the crash site usually already did) and let the
+          // surviving threads shrink and finish. Any *other* exception is a
+          // real failure and falls through to the fail-fast path.
+          try {
+            throw;
+          } catch (const FaultError& e) {
+            if (e.kind() == FaultKind::kRankDeath) {
+              world.announce_death(r, e.what());
+              std::lock_guard<std::mutex> lock(error_mu);
+              ++deaths_swallowed;
+              return;
+            }
+          } catch (...) {
+          }
+        }
         {
           std::lock_guard<std::mutex> lock(error_mu);
           if (!first_error) first_error = std::current_exception();
@@ -130,6 +223,10 @@ void World::run(int size, const std::function<void(Communicator&)>& fn,
   }
   for (auto& t : threads) t.join();
   if (first_error) std::rethrow_exception(first_error);
+  if (deaths_swallowed == size) {
+    throw FaultError(FaultKind::kRankDeath, -1, -1, -1,
+                     "every rank died; no survivors to complete the collective");
+  }
 }
 
 }  // namespace gencoll::runtime

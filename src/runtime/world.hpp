@@ -10,6 +10,14 @@
 // stalling until the receive deadline. The first (causal) exception is still
 // the one re-thrown.
 //
+// Elastic shrink (WorldOptions::on_crash = CrashPolicy::kShrink): a rank
+// death instead *revokes the current membership epoch* — survivors wake with
+// FaultError(kRevoked), agree on the survivor set (runtime/membership.hpp),
+// and the recovery driver (core/elastic.hpp) retries the interrupted
+// collective over the shrunk, densely renumbered world. World::run swallows
+// the dead rank's kRankDeath in this mode so the surviving threads' results
+// stand.
+//
 // WorldOptions wires in the fault subsystem: a deterministic FaultPlan
 // interposed on the transport, the reliable-transport configuration, and the
 // default receive deadline (overridable via GENCOLL_RECV_TIMEOUT_MS so CI
@@ -25,13 +33,16 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
 #include "fault/abort.hpp"
 #include "fault/plan.hpp"
+#include "fault/recovery.hpp"
 #include "runtime/comm.hpp"
 #include "runtime/mailbox.hpp"
+#include "runtime/membership.hpp"
 
 namespace gencoll::runtime {
 
@@ -52,6 +63,14 @@ struct WorldOptions {
   /// executions — the benchmark gate uses this to reach zero steady-state
   /// allocations per operation.
   BufferPool* pool = nullptr;
+  /// What a rank death does to this World. kAbort (the historical fail-fast
+  /// poison) or kShrink (revoke -> agree -> shrink -> retry over survivors,
+  /// DESIGN.md section 11). Unset: GENCOLL_ON_CRASH from the environment,
+  /// else kAbort.
+  std::optional<fault::CrashPolicy> on_crash;
+  /// Shrink-recovery tuning. Unset: GENCOLL_MAX_RECOVERIES /
+  /// GENCOLL_AGREE_TIMEOUT_MS from the environment, else the struct defaults.
+  std::optional<fault::RecoveryConfig> recovery;
 };
 
 class World {
@@ -65,9 +84,12 @@ class World {
 
   Mailbox& mailbox(int rank);
 
-  /// Sense-reversing barrier across all `size` ranks. Throws
-  /// FaultError(kAborted) once the World is poisoned.
-  void barrier_wait();
+  /// Sense-reversing barrier across the current epoch's living ranks (all
+  /// `size` ranks before any shrink). Throws FaultError(kAborted) once the
+  /// World is abort-poisoned and FaultError(kRevoked) when `epoch` has been
+  /// revoked for recovery. `epoch` is the caller's membership epoch (0 for
+  /// never-shrunk worlds).
+  void barrier_wait(int epoch = 0);
 
   /// Total undelivered messages across all mailboxes (leak check).
   [[nodiscard]] std::size_t pending_messages() const;
@@ -81,6 +103,31 @@ class World {
   [[nodiscard]] const WorldOptions& options() const { return options_; }
   [[nodiscard]] std::chrono::milliseconds recv_timeout() const { return recv_timeout_; }
 
+  /// Crash policy this World resolved (option > GENCOLL_ON_CRASH > kAbort).
+  [[nodiscard]] fault::CrashPolicy crash_policy() const { return crash_policy_; }
+
+  /// Epoch-versioned membership (survivor sets, agreement, commit
+  /// rendezvous). Meaningful under CrashPolicy::kShrink; under kAbort it
+  /// stays at epoch 0 / all alive.
+  [[nodiscard]] Membership& membership() { return membership_; }
+  [[nodiscard]] const Membership& membership() const { return membership_; }
+
+  /// Shrink-mode crash path: mark `rank` dead, revoke the current epoch, and
+  /// wake every blocked waiter (mailbox matches, barriers, shm waits) so the
+  /// survivors converge on the agreement. Idempotent per rank.
+  void announce_death(int rank, const std::string& reason);
+
+  /// Revoke `epoch` without declaring a death (timeout-suspected loss) and
+  /// wake every blocked waiter. No-op when `epoch` was already recovered.
+  void revoke(int epoch, int rank, const std::string& reason);
+
+  /// Join the survivor agreement for revoked `epoch` and return the newly
+  /// installed view (runtime/membership.hpp). On installation the World
+  /// purges stale-epoch mailbox traffic and resets its barrier so the new
+  /// epoch starts clean. Throws FaultError(kRankDeath) when this rank was
+  /// declared dead by its peers.
+  EpochView join_recovery(int epoch, int rank);
+
   /// The transport's buffer pool (external when WorldOptions::pool was set,
   /// otherwise this World's private pool).
   [[nodiscard]] BufferPool& pool() { return *pool_; }
@@ -89,7 +136,10 @@ class World {
   /// ranks starting at group_id * group_size (runtime/shm_group.hpp).
   /// Created lazily on first request and kept for the World's lifetime, so
   /// generation counters persist across back-to-back collectives. Thread
-  /// safe; every member of a group receives the same object.
+  /// safe; every member of a group receives the same object. Groups are
+  /// keyed per membership epoch: after a shrink the survivors get fresh
+  /// segments (clean generation counters over the dense rank space) while
+  /// stale-epoch waiters keep their old, revoked group.
   ShmGroup& shm_group(int group_size, int group_id);
 
   /// Convenience: construct a World of `size` ranks, run `fn(comm)` on a
@@ -103,6 +153,7 @@ class World {
   int size_;
   WorldOptions options_;
   std::chrono::milliseconds recv_timeout_;
+  fault::CrashPolicy crash_policy_;
   BufferPool owned_pool_;
   BufferPool* pool_ = &owned_pool_;  ///< points at options_.pool when set
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
@@ -113,9 +164,13 @@ class World {
   int barrier_arrived_ = 0;
   bool barrier_sense_ = false;
 
+  // Declared after the mailboxes/barrier members: its on_install callback
+  // touches both (it only ever runs from rank threads, never mid-construct).
+  Membership membership_;
+
   // Declared after the pool members: segments must release into a live pool.
   std::mutex shm_mu_;
-  std::map<std::pair<int, int>, std::unique_ptr<ShmGroup>> shm_groups_;
+  std::map<std::tuple<int, int, int>, std::unique_ptr<ShmGroup>> shm_groups_;
 };
 
 }  // namespace gencoll::runtime

@@ -296,6 +296,23 @@ void OnlineSelector::set_sink(obs::TraceSink* sink) {
   sink_ = sink;
 }
 
+void OnlineSelector::rescale_world(int p) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (p == p_) return;
+  p_ = p;
+  // Every enumerated arm space embedded the old p (group-size divisibility,
+  // radix support): drop the keys so the next decision re-enumerates, and
+  // retire open synchronized rounds — their participant counts named the
+  // pre-shrink world and would never fill.
+  keys_.clear();
+  rounds_.clear();
+}
+
+int OnlineSelector::world_size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return p_;
+}
+
 std::optional<Arm> OnlineSelector::best_arm(const ArmKey& key) const {
   const std::lock_guard<std::mutex> lock(mu_);
   const auto it = keys_.find(key);

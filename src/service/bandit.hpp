@@ -117,6 +117,16 @@ class OnlineSelector {
   /// lane `tenant`. Not owned; must outlive the selector's decisions.
   void set_sink(obs::TraceSink* sink);
 
+  /// Elastic shrink support (DESIGN.md section 11): re-enumerate every arm
+  /// space for a new world size. Arms are parameterized by p (group sizes
+  /// must divide it, radix support depends on it), so the learned per-key
+  /// statistics and open synchronized rounds are dropped — the priors still
+  /// seed the restart, exactly as on a fresh start. Idempotent for the
+  /// current p, so every rank of a shared selector may report the same
+  /// shrink without clobbering the first reporter's reset.
+  void rescale_world(int p);
+  [[nodiscard]] int world_size() const;
+
   /// The arm exploitation would pick right now (prior arm before feedback
   /// exists); nullopt for an unseen key.
   [[nodiscard]] std::optional<Arm> best_arm(const ArmKey& key) const;

@@ -6,9 +6,11 @@
 
 #include <cstring>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "core/partition.hpp"
+#include "runtime/membership.hpp"
 
 namespace gencoll {
 namespace {
@@ -299,6 +301,36 @@ TEST(Api, BarrierCollectiveCompletes) {
     coll.barrier_collective();  // vendor default (dissemination k=2)
     SUCCEED();
   });
+}
+
+TEST(Api, EpochShrinkInvalidatesTheScheduleCache) {
+  // An elastic shrink (runtime/membership.hpp) moves the communicator to a
+  // new epoch with a smaller dense rank space; the facade must notice and
+  // drop schedules compiled for the dead world. Install the shrunk epoch
+  // directly — the full revoke/agree path is covered by the recovery suite.
+  runtime::World world(3);
+  runtime::EpochView view;
+  view.epoch = 1;
+  view.survivors = {0, 2};  // rank 1 died; original rank 2 becomes dense 1
+  std::vector<std::thread> threads;
+  for (int r = 0; r < 3; ++r) {
+    threads.emplace_back([&world, &view, r] {
+      runtime::Communicator comm(&world, r);
+      Collectives coll(comm);
+      std::vector<std::int32_t> v(16, 1);
+      coll.allreduce(as_bytes(v), DataType::kInt32, ReduceOp::kSum);
+      EXPECT_EQ(v[0], 3);
+      EXPECT_EQ(coll.schedules_built(), 1u);
+      if (r == 1) return;  // the "dead" rank leaves
+      comm.apply_epoch(view);
+      std::vector<std::int32_t> w(16, 1);
+      coll.allreduce(as_bytes(w), DataType::kInt32, ReduceOp::kSum);
+      EXPECT_EQ(w[0], 2);  // reduced over the two survivors
+      // The p=3 entry was dropped, not retained beside the p=2 build.
+      EXPECT_EQ(coll.schedules_built(), 1u);
+    });
+  }
+  for (auto& t : threads) t.join();
 }
 
 }  // namespace

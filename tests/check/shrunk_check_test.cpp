@@ -1,0 +1,99 @@
+// check_shrunk_schedule(): the structural guard that pins a post-shrink
+// rebuild (DESIGN.md section 11) to the agreed survivor set before the full
+// symbolic proof runs — p must equal the survivor count, the root must be a
+// dense rank, and the survivor list must be strictly ascending originals.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "check/check.hpp"
+#include "core/registry.hpp"
+
+namespace gencoll::check {
+namespace {
+
+using core::Algorithm;
+using core::CollOp;
+using core::CollParams;
+using core::Schedule;
+
+CollParams allreduce_params(int p) {
+  CollParams params;
+  params.op = CollOp::kAllreduce;
+  params.p = p;
+  params.count = 64;
+  params.elem_size = 4;
+  params.k = 2;
+  return params;
+}
+
+bool has_structure_violation(const CheckReport& report) {
+  for (const Violation& v : report.violations) {
+    if (v.kind == ViolationKind::kStructure) return true;
+  }
+  return false;
+}
+
+TEST(ShrunkCheck, CleanShrunkScheduleProves) {
+  // 8 ranks shrunk to 7: survivor 3 died, the rest remap densely.
+  const CollParams params = allreduce_params(7);
+  const Schedule sched = core::build_schedule(Algorithm::kKnomial, params);
+  const std::vector<int> survivors = {0, 1, 2, 4, 5, 6, 7};
+  const CheckReport report =
+      check_shrunk_schedule(sched, Algorithm::kKnomial, survivors);
+  EXPECT_TRUE(report.ok()) << report.violations.size() << " violations";
+  // The delegate ran: conformance filled in the traffic accounting.
+  EXPECT_GT(report.total_send_bytes, 0u);
+}
+
+TEST(ShrunkCheck, SurvivorCountMismatchIsStructural) {
+  const Schedule sched =
+      core::build_schedule(Algorithm::kKnomial, allreduce_params(7));
+  // Six survivors cannot carry a 7-rank schedule.
+  const std::vector<int> survivors = {0, 1, 2, 4, 5, 6};
+  const CheckReport report =
+      check_shrunk_schedule(sched, Algorithm::kKnomial, survivors);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_structure_violation(report));
+  EXPECT_THROW(require_ok(sched, report), std::logic_error);
+}
+
+TEST(ShrunkCheck, RootOutsideDenseSpaceIsStructural) {
+  CollParams params = allreduce_params(7);
+  params.op = CollOp::kBcast;
+  Schedule sched = core::build_schedule(Algorithm::kKnomial, params);
+  const std::vector<int> survivors = {0, 1, 2, 3, 4, 5, 6};
+  // A dead root kept as its original rank: 7's dense rank would be 6, so a
+  // literal 7 escaping the promotion logic is out of the dense space.
+  sched.params.root = 7;
+  const CheckReport report =
+      check_shrunk_schedule(sched, Algorithm::kKnomial, survivors);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_structure_violation(report));
+}
+
+TEST(ShrunkCheck, NonAscendingSurvivorListIsStructural) {
+  const Schedule sched =
+      core::build_schedule(Algorithm::kKnomial, allreduce_params(3));
+  const CheckReport swapped = check_shrunk_schedule(
+      sched, Algorithm::kKnomial, std::vector<int>{0, 3, 1});
+  EXPECT_TRUE(has_structure_violation(swapped));
+  const CheckReport duplicate = check_shrunk_schedule(
+      sched, Algorithm::kKnomial, std::vector<int>{0, 1, 1});
+  EXPECT_TRUE(has_structure_violation(duplicate));
+  const CheckReport negative = check_shrunk_schedule(
+      sched, Algorithm::kKnomial, std::vector<int>{-1, 0, 1});
+  EXPECT_TRUE(has_structure_violation(negative));
+}
+
+TEST(ShrunkCheck, EmptySurvivorSetIsStructural) {
+  const Schedule sched =
+      core::build_schedule(Algorithm::kKnomial, allreduce_params(2));
+  const CheckReport report =
+      check_shrunk_schedule(sched, Algorithm::kKnomial, {});
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_structure_violation(report));
+}
+
+}  // namespace
+}  // namespace gencoll::check

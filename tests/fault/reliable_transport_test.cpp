@@ -14,6 +14,7 @@
 #include "fault/envelope.hpp"
 #include "fault/error.hpp"
 #include "fault/plan.hpp"
+#include "obs/recorder.hpp"
 #include "runtime/comm.hpp"
 #include "runtime/world.hpp"
 
@@ -229,6 +230,53 @@ TEST(ReliableTransport, ExhaustedRetriesThrowTyped) {
     EXPECT_EQ(e.peer(), 1);
     EXPECT_NE(std::string(e.what()).find("attempt"), std::string::npos);
   }
+}
+
+TEST(ReliableTransport, BackoffStaysCappedAndAttemptsStayBounded) {
+  // Regression guard for the capped exponential backoff: on a dead channel
+  // (every attempt dropped) the sender must wait ack_timeout * factor^i per
+  // retry but never beyond max_ack_timeout, make exactly max_retries + 1
+  // attempts, and report every extra attempt both in ReliabilityStats and as
+  // an obs kRetransmit instant — the two accountings must agree.
+  fault::FaultPlan plan;
+  plan.seed = 77;
+  plan.drop_prob = 1.0;
+  WorldOptions options = reliable_options(&plan);
+  options.reliability.max_retries = 8;
+  options.reliability.ack_timeout = std::chrono::milliseconds(2);
+  options.reliability.backoff_factor = 4.0;
+  options.reliability.max_ack_timeout = std::chrono::milliseconds(10);
+
+  obs::TraceRecorder recorder(2);
+  World world(2, options);
+  Communicator sender(&world, 0);
+  sender.set_trace_sink(&recorder);
+
+  // With the cap: 2 + 8 + 7 * 10 = 80 ms of ack waits. Without the cap the
+  // geometric series 2 * 4^i passes 2 minutes by attempt 9 — the elapsed
+  // ceiling below fails loudly if the cap regresses. (Wall-clock sleeps, so
+  // sanitizer CPU overhead barely moves the measurement.)
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    sender.send(1, 0, pattern_bytes(16, 0));
+    FAIL() << "expected FaultError on a fully dead channel";
+  } catch (const FaultError& e) {
+    EXPECT_EQ(e.kind(), FaultKind::kRetriesExhausted);
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(60));  // backoff really waited
+  EXPECT_LT(elapsed, std::chrono::seconds(5));        // ...but the cap held
+
+  // Attempts bounded: exactly max_retries extra attempts beyond the first.
+  EXPECT_EQ(sender.stats().retransmits, 8u);
+  EXPECT_EQ(sender.stats().data_sends, 0u);
+
+  // Observability agrees with the transport's own accounting.
+  std::size_t retransmit_instants = 0;
+  for (const obs::InstantEvent& ev : recorder.instants(0)) {
+    if (ev.kind == obs::InstantKind::kRetransmit) ++retransmit_instants;
+  }
+  EXPECT_EQ(retransmit_instants, sender.stats().retransmits);
 }
 
 TEST(ReliableTransport, UnreliableDropTimesOutTyped) {

@@ -1,0 +1,169 @@
+// Unit coverage for the epoch-versioned membership (runtime/membership.hpp):
+// revoke flag monotonicity, death announcements, the flood agreement's dense
+// survivor remap, and the commit rendezvous semantics the elastic driver
+// relies on.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "fault/error.hpp"
+#include "fault/recovery.hpp"
+#include "runtime/membership.hpp"
+
+namespace gencoll::runtime {
+namespace {
+
+using gencoll::FaultError;
+using gencoll::FaultKind;
+
+fault::RecoveryConfig fast_config() {
+  fault::RecoveryConfig cfg;
+  cfg.agree_timeout = std::chrono::milliseconds(500);
+  return cfg;
+}
+
+TEST(RevokeFlag, MonotonicPerEpochAndCleanForNewer) {
+  fault::RevokeFlag flag;
+  EXPECT_FALSE(flag.revoked(0));
+  flag.revoke(0, 3, "first");
+  EXPECT_TRUE(flag.revoked(0));
+  EXPECT_FALSE(flag.revoked(1));  // the next epoch starts clean
+  EXPECT_EQ(flag.source_rank(), 3);
+  EXPECT_EQ(flag.reason(), "first");
+  flag.revoke(0, 5, "late duplicate");  // no-op: epoch 0 already revoked
+  EXPECT_EQ(flag.source_rank(), 3);
+  flag.revoke(1, 5, "second epoch");
+  EXPECT_TRUE(flag.revoked(1));
+  EXPECT_TRUE(flag.revoked(0));  // older epochs stay poisoned forever
+  EXPECT_EQ(flag.source_rank(), 5);
+}
+
+TEST(CrashPolicy, ParsesAndNames) {
+  EXPECT_EQ(fault::parse_crash_policy("abort"), fault::CrashPolicy::kAbort);
+  EXPECT_EQ(fault::parse_crash_policy("shrink"), fault::CrashPolicy::kShrink);
+  EXPECT_FALSE(fault::parse_crash_policy("nope").has_value());
+  EXPECT_STREQ(fault::crash_policy_name(fault::CrashPolicy::kAbort), "abort");
+  EXPECT_STREQ(fault::crash_policy_name(fault::CrashPolicy::kShrink), "shrink");
+}
+
+TEST(EpochViewTest, DenseRemapIsAscendingSurvivorOrder) {
+  EpochView view;
+  view.epoch = 2;
+  view.survivors = {0, 1, 3, 6, 7};
+  EXPECT_EQ(view.size(), 5);
+  EXPECT_TRUE(view.contains(3));
+  EXPECT_FALSE(view.contains(2));
+  EXPECT_EQ(view.dense_rank(0), 0);
+  EXPECT_EQ(view.dense_rank(3), 2);
+  EXPECT_EQ(view.dense_rank(7), 4);
+  EXPECT_EQ(view.dense_rank(2), -1);
+  EXPECT_EQ(view.original_rank(2), 3);
+}
+
+TEST(MembershipTest, DeathRevokesAndAgreementInstallsShrunkEpoch) {
+  Membership m(4, fast_config());
+  EXPECT_EQ(m.epoch(), 0);
+  EXPECT_EQ(m.alive_count(), 4);
+
+  m.announce_death(2, "test death");
+  EXPECT_TRUE(m.revoke_flag().revoked(0));
+  EXPECT_TRUE(m.is_dead(2));
+  EXPECT_EQ(m.alive_count(), 3);
+  m.announce_death(2, "duplicate");  // idempotent
+
+  std::vector<EpochView> views(4);
+  std::vector<std::thread> threads;
+  for (int r : {0, 1, 3}) {
+    threads.emplace_back([&m, &views, r] {
+      views[static_cast<std::size_t>(r)] = m.agree_and_shrink(0, r);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (int r : {0, 1, 3}) {
+    const EpochView& v = views[static_cast<std::size_t>(r)];
+    EXPECT_EQ(v.epoch, 1);
+    EXPECT_EQ(v.survivors, (std::vector<int>{0, 1, 3}));
+  }
+  EXPECT_EQ(m.epoch(), 1);
+  // The new epoch is clean: the retry's waits are not poisoned.
+  EXPECT_FALSE(m.revoke_flag().revoked(1));
+  EXPECT_EQ(m.dead_ranks(), (std::vector<int>{2}));
+}
+
+TEST(MembershipTest, DeclaredDeadRankIsRejectedFromTheAgreement) {
+  Membership m(3, fast_config());
+  m.announce_death(1, "gone");
+  std::thread peer0([&m] { (void)m.agree_and_shrink(0, 0); });
+  std::thread peer2([&m] { (void)m.agree_and_shrink(0, 2); });
+  peer0.join();
+  peer2.join();
+  EXPECT_THROW(
+      {
+        try {
+          (void)m.agree_and_shrink(0, 1);
+        } catch (const FaultError& e) {
+          EXPECT_EQ(e.kind(), FaultKind::kRankDeath);
+          throw;
+        }
+      },
+      FaultError);
+}
+
+TEST(MembershipTest, AgreementDeadlineDeclaresSilentRanksDead) {
+  // Rank 2 never joins and never dies: the deadline fallback must declare it
+  // dead rather than hang the survivors.
+  Membership m(3, fast_config());
+  m.revoke(0, 0, "suspected loss");
+  std::vector<EpochView> views(2);
+  std::thread peer0([&] { views[0] = m.agree_and_shrink(0, 0); });
+  std::thread peer1([&] { views[1] = m.agree_and_shrink(0, 1); });
+  peer0.join();
+  peer1.join();
+  EXPECT_EQ(views[0].survivors, (std::vector<int>{0, 1}));
+  EXPECT_EQ(views[1].epoch, 1);
+  EXPECT_TRUE(m.is_dead(2));
+}
+
+TEST(MembershipTest, CommitRendezvousSucceedsWhenAllMembersArrive) {
+  Membership m(3, fast_config());
+  // Not vector<bool>: concurrent writers need distinct memory locations.
+  std::vector<int> ok(3, 0);
+  std::vector<std::thread> threads;
+  for (int r = 0; r < 3; ++r) {
+    threads.emplace_back([&m, &ok, r] {
+      ok[static_cast<std::size_t>(r)] =
+          m.try_commit(r, std::chrono::milliseconds(2000)) ? 1 : 0;
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_TRUE(ok[0] && ok[1] && ok[2]);
+  EXPECT_EQ(m.epoch(), 0);  // commit does not change the epoch
+  EXPECT_FALSE(m.revoke_flag().revoked(0));
+}
+
+TEST(MembershipTest, CommitRendezvousFailsWhenEpochRevokedUnderneath) {
+  Membership m(2, fast_config());
+  bool committed = true;
+  std::thread waiter([&] {
+    committed = m.try_commit(0, std::chrono::milliseconds(5000));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  m.announce_death(1, "late crash");  // revokes epoch 0 and wakes the waiter
+  waiter.join();
+  EXPECT_FALSE(committed);
+  EXPECT_TRUE(m.revoke_flag().revoked(0));
+}
+
+TEST(MembershipTest, CommitRendezvousTimeoutRevokesTheEpoch) {
+  // One of two members never arrives: the rendezvous must revoke (a hang is
+  // indistinguishable from a loss) instead of stalling.
+  Membership m(2, fast_config());
+  EXPECT_FALSE(m.try_commit(0, std::chrono::milliseconds(100)));
+  EXPECT_TRUE(m.revoke_flag().revoked(0));
+}
+
+}  // namespace
+}  // namespace gencoll::runtime

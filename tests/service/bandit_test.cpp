@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <sstream>
 #include <vector>
@@ -241,6 +242,34 @@ TEST(Bandit, TenantsLearnIndependently) {
   ASSERT_TRUE(sel.best_arm(t1).has_value());
   EXPECT_TRUE(*sel.best_arm(t0) == arms[0]);
   EXPECT_TRUE(*sel.best_arm(t1) == arms[1]);
+}
+
+TEST(Bandit, RescaleWorldReenumeratesArmsForTheShrunkP) {
+  OnlineSelectorConfig config;
+  config.seed = 7;
+  config.epsilon0 = 0.0;  // deterministic exploit so arm picks are inspectable
+  config.epsilon_floor = 0.0;
+  OnlineSelector sel(config, kRanks);
+  drive(sel, arm_space(config)[0], 90.0, 280.0, 50);
+  EXPECT_EQ(sel.keys(), 1u);
+  EXPECT_EQ(sel.world_size(), kRanks);
+
+  // A shrink to p' = 7 (prime): hierarchical arms and most radixes vanish.
+  sel.rescale_world(7);
+  EXPECT_EQ(sel.world_size(), 7);
+  EXPECT_EQ(sel.keys(), 0u);  // learned state dropped with the old arm space
+  EXPECT_FALSE(sel.best_arm(kKey).has_value());
+
+  // Survivors all report the same shrink: repeated calls are no-ops.
+  sel.rescale_world(7);
+  const Arm arm = sel.choose(kKey, core::CollOp::kAllreduce, 1024, 4, 0.0);
+  const auto shrunk = enumerate_arms(core::CollOp::kAllreduce, 7, 1024, 4,
+                                     config.arms);
+  EXPECT_NE(std::find(shrunk.begin(), shrunk.end(), arm), shrunk.end())
+      << arm.describe() << " is not buildable at p=7";
+  for (const Arm& a : shrunk) {
+    EXPECT_EQ(a.group_size, 1) << "no group size divides a prime world";
+  }
 }
 
 }  // namespace
